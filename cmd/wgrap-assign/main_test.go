@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func captureRun(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	runErr := run(args, tmp)
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunGeneratedDataset(t *testing.T) {
+	out, err := captureRun(t, []string{"-area", "DB", "-year", "2008", "-scale", "0.03", "-delta", "3", "-method", "sdga", "-show", "2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"method: sdga", "total coverage score", "optimality ratio", "group coverage"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunFromJSONFile(t *testing.T) {
+	gen := corpus.NewGenerator(corpus.Config{Scale: 0.03, AuthorsPerArea: 40, Seed: 2})
+	d, err := gen.Dataset(corpus.DataMining, 2009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dm09.json")
+	if err := d.SaveJSON(path, false); err != nil {
+		t.Fatal(err)
+	}
+	out, err := captureRun(t, []string{"-data", path, "-delta", "3", "-method", "greedy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DM 2009") {
+		t.Fatalf("output missing dataset header:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := captureRun(t, []string{"-data", "does-not-exist.json"}); err == nil {
+		t.Fatal("missing data file accepted")
+	}
+	if _, err := captureRun(t, []string{"-area", "DB", "-scale", "0.03", "-method", "bogus"}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if _, err := captureRun(t, []string{"-bogus-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

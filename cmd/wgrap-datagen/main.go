@@ -1,0 +1,63 @@
+// Command wgrap-datagen generates a synthetic conference dataset (papers,
+// reviewers and, optionally, abstracts) shaped like the DBLP data of the
+// paper's Table 3 and writes it as JSON for use with wgrap-assign and
+// wgrap-journal.
+//
+// Example:
+//
+//	wgrap-datagen -area DB -year 2008 -scale 0.2 -out db08.json -abstracts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wgrap-datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wgrap-datagen", flag.ContinueOnError)
+	area := fs.String("area", "DB", "research area: DM, DB or T")
+	year := fs.Int("year", 2008, "conference year (2008 or 2009)")
+	scale := fs.Float64("scale", 0.2, "scale factor applied to the Table 3 sizes")
+	seed := fs.Int64("seed", 1, "random seed")
+	authors := fs.Int("authors", 400, "authors generated per area")
+	out := fs.String("out", "", "output file (default stdout)")
+	abstracts := fs.Bool("abstracts", false, "include paper abstracts in the JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	gen := corpus.NewGenerator(corpus.Config{
+		Scale:          *scale,
+		Seed:           *seed,
+		AuthorsPerArea: *authors,
+	})
+	d, err := gen.Dataset(corpus.Area(*area), *year)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := d.WriteJSON(w, *abstracts); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "generated %s %d: %d papers, %d reviewers\n",
+		*area, *year, len(d.Papers), len(d.Reviewers))
+	return nil
+}

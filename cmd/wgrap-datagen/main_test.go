@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "ds.json")
+	err := run([]string{"-area", "T", "-year", "2009", "-scale", "0.03", "-authors", "40", "-out", out, "-abstracts"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := corpus.LoadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Area != corpus.Theory || d.Year != 2009 || len(d.Papers) == 0 || len(d.Reviewers) == 0 {
+		t.Fatalf("unexpected dataset %+v", d)
+	}
+	if len(d.PaperPubs) == 0 {
+		t.Fatal("abstracts missing despite -abstracts")
+	}
+}
+
+func TestRunRejectsBadArea(t *testing.T) {
+	if err := run([]string{"-area", "XX", "-scale", "0.03", "-authors", "20"}); err == nil {
+		t.Fatal("bad area accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunRejectsUnwritableOutput(t *testing.T) {
+	if err := run([]string{"-scale", "0.03", "-authors", "20", "-out", filepath.Join(os.DevNull, "x", "y.json")}); err == nil {
+		t.Fatal("unwritable output accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Command wgrap-experiments regenerates the tables and figures of the paper's
+// evaluation (Section 5 and Appendix C) on the synthetic corpus and prints
+// them as text tables.
+//
+// Examples:
+//
+//	wgrap-experiments -list
+//	wgrap-experiments -run figure10 -scale 0.2
+//	wgrap-experiments -run all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "wgrap-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("wgrap-experiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list the available experiments and exit")
+	runName := fs.String("run", "all", "experiment to run (name or \"all\")")
+	scale := fs.Float64("scale", 0, "dataset scale factor (0 = default)")
+	seed := fs.Int64("seed", 1, "random seed")
+	quick := fs.Bool("quick", false, "use the small smoke-test parameter grids")
+	budget := fs.Duration("refine-budget", 0, "refinement time budget for figure12 (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Fprintf(out, "%-12s %s\n", r.Name, r.Description)
+		}
+		return nil
+	}
+
+	cfg := experiments.Config{
+		Scale:            *scale,
+		Seed:             *seed,
+		Quick:            *quick,
+		RefinementBudget: *budget,
+	}
+	if strings.EqualFold(*runName, "all") {
+		start := time.Now()
+		if err := experiments.RunAll(cfg, out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "all experiments completed in %s\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	r, ok := experiments.Lookup(*runName)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", *runName)
+	}
+	res, err := r.Run(cfg)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(out, res.String())
+	return err
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"figure10", "table4", "figure9a", "casestudies"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "figure7", "-quick"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Approximation ratio") && !strings.Contains(buf.String(), "approximation ratio") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestRunQuickQualityExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "figure10", "-quick", "-scale", "0.03"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Optimality ratio") {
+		t.Fatalf("unexpected output:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "unknown"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func captureRun(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	tmp, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tmp.Close()
+	runErr := run(args, tmp)
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestRunTopK(t *testing.T) {
+	out, err := captureRun(t, []string{"-area", "DB", "-year", "2008", "-scale", "0.03", "-paper", "0", "-delta", "3", "-k", "3", "-compare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"group 1", "group 3", "BBA time", "BFS time"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// BFS and BBA must agree on the best score: both appear as "coverage X".
+	if !strings.Contains(out, "coverage") {
+		t.Fatalf("missing coverage output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := captureRun(t, []string{"-paper", "99999", "-scale", "0.03"}); err == nil {
+		t.Fatal("out-of-range paper accepted")
+	}
+	if _, err := captureRun(t, []string{"-data", "missing.json"}); err == nil {
+		t.Fatal("missing data file accepted")
+	}
+	if _, err := captureRun(t, []string{"-zzz"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package wgrap_test
+
+import (
+	"fmt"
+
+	wgrap "repro"
+)
+
+// ExampleAssignJournal reproduces the running example of Section 3 of the
+// paper: three candidate reviewers, one paper, and a group of two to select.
+func ExampleAssignJournal() {
+	papers := []wgrap.Paper{{ID: "p", Topics: wgrap.Vector{0.35, 0.45, 0.2}}}
+	reviewers := []wgrap.Reviewer{
+		{ID: "r1", Topics: wgrap.Vector{0.15, 0.75, 0.1}},
+		{ID: "r2", Topics: wgrap.Vector{0.75, 0.15, 0.1}},
+		{ID: "r3", Topics: wgrap.Vector{0.1, 0.35, 0.55}},
+	}
+	in := wgrap.NewInstance(papers, reviewers, 2, 1)
+	best, err := wgrap.AssignJournal(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("best group: %v (coverage %.2f)\n", best.Group, best.Score)
+	// Output:
+	// best group: [0 1] (coverage 0.90)
+}
+
+// ExampleAssign assigns two reviewers to each of three papers with the
+// default SDGA + stochastic refinement pipeline.
+func ExampleAssign() {
+	papers := []wgrap.Paper{
+		{ID: "p1", Topics: wgrap.Vector{0.6, 0, 0.4}},
+		{ID: "p2", Topics: wgrap.Vector{0.5, 0.5, 0}},
+		{ID: "p3", Topics: wgrap.Vector{0.5, 0.5, 0}},
+	}
+	reviewers := []wgrap.Reviewer{
+		{ID: "r1", Topics: wgrap.Vector{0.1, 0.5, 0.4}},
+		{ID: "r2", Topics: wgrap.Vector{1, 0, 0}},
+		{ID: "r3", Topics: wgrap.Vector{0, 1, 0}},
+	}
+	in := wgrap.NewInstance(papers, reviewers, 2, 2)
+	res, err := wgrap.Assign(in, wgrap.AssignOptions{Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("total coverage %.2f, worst paper %.2f\n", res.Score, res.LowestCoverage)
+	// Output:
+	// total coverage 2.60, worst paper 0.60
+}
+
+// ExampleWeightedCoverage scores a single reviewer against a paper
+// (Definition 1).
+func ExampleWeightedCoverage() {
+	paper := wgrap.Vector{0.6, 0.4}
+	reviewer := wgrap.Vector{0.5, 0.5}
+	fmt.Printf("%.2f\n", wgrap.WeightedCoverage(reviewer, paper))
+	// Output:
+	// 0.90
+}

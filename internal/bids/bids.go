@@ -1,0 +1,254 @@
+// Package bids implements the extension sketched in the paper's conclusion
+// (Section 6): combining the weighted-coverage relevance of a reviewer group
+// with the reviewers' bids ("willingness") on individual papers.
+//
+// Bids are the standard conference-management signal (e.g. "eager",
+// "willing", "reluctant", "conflict"). The package provides
+//
+//   - a Matrix type holding per (reviewer, paper) bid levels,
+//   - a synthetic bid generator that correlates bids with topical relevance
+//     (reviewers tend to bid on papers close to their expertise),
+//   - BlendScore, a scoring function that mixes weighted coverage with the
+//     average bid of the assigned group and remains submodular, so SDGA's
+//     approximation guarantee (Appendix B, Lemma 4) still applies, and
+//   - helpers to translate "conflict" bids into hard conflicts of interest.
+package bids
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/cra"
+)
+
+// Level is a reviewer's bid on a paper.
+type Level int
+
+// Bid levels, ordered from most to least desirable.
+const (
+	// Conflict marks a conflict of interest; the pair must never be assigned.
+	Conflict Level = iota
+	// NotWilling means the reviewer asked not to review the paper.
+	NotWilling
+	// Neutral is the default when no bid was entered.
+	Neutral
+	// Willing means the reviewer is happy to review the paper.
+	Willing
+	// Eager means the reviewer explicitly requested the paper.
+	Eager
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Conflict:
+		return "conflict"
+	case NotWilling:
+		return "not-willing"
+	case Neutral:
+		return "neutral"
+	case Willing:
+		return "willing"
+	case Eager:
+		return "eager"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// weight maps a bid level to a preference weight in [0, 1].
+func (l Level) weight() float64 {
+	switch l {
+	case Eager:
+		return 1.0
+	case Willing:
+		return 0.75
+	case Neutral:
+		return 0.5
+	case NotWilling:
+		return 0.1
+	default: // Conflict
+		return 0
+	}
+}
+
+// Matrix stores the bid of every reviewer on every paper.
+type Matrix struct {
+	levels [][]Level // levels[r][p]
+}
+
+// NewMatrix creates a matrix of Neutral bids for r reviewers and p papers.
+func NewMatrix(r, p int) *Matrix {
+	m := &Matrix{levels: make([][]Level, r)}
+	for i := range m.levels {
+		row := make([]Level, p)
+		for j := range row {
+			row[j] = Neutral
+		}
+		m.levels[i] = row
+	}
+	return m
+}
+
+// NumReviewers returns the number of reviewer rows.
+func (m *Matrix) NumReviewers() int { return len(m.levels) }
+
+// NumPapers returns the number of paper columns.
+func (m *Matrix) NumPapers() int {
+	if len(m.levels) == 0 {
+		return 0
+	}
+	return len(m.levels[0])
+}
+
+// Set records reviewer r's bid on paper p.
+func (m *Matrix) Set(r, p int, l Level) { m.levels[r][p] = l }
+
+// Get returns reviewer r's bid on paper p.
+func (m *Matrix) Get(r, p int) Level { return m.levels[r][p] }
+
+// Validate checks that the matrix matches the instance dimensions.
+func (m *Matrix) Validate(in *core.Instance) error {
+	if m.NumReviewers() != in.NumReviewers() || m.NumPapers() != in.NumPapers() {
+		return fmt.Errorf("bids: matrix is %dx%d, instance needs %dx%d",
+			m.NumReviewers(), m.NumPapers(), in.NumReviewers(), in.NumPapers())
+	}
+	return nil
+}
+
+// ApplyConflicts registers every Conflict bid as a hard conflict of interest
+// on the instance and returns the number of conflicts added.
+func (m *Matrix) ApplyConflicts(in *core.Instance) int {
+	n := 0
+	for r := 0; r < m.NumReviewers(); r++ {
+		for p := 0; p < m.NumPapers(); p++ {
+			if m.levels[r][p] == Conflict {
+				in.AddConflict(r, p)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Generate draws a synthetic bid matrix correlated with topical relevance:
+// reviewers are likely to bid Eager/Willing on papers they cover well and
+// NotWilling on papers far from their expertise; a small fraction of pairs
+// become conflicts (co-authorships, same institution).
+func Generate(in *core.Instance, conflictRate float64, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(in.NumReviewers(), in.NumPapers())
+	for r := 0; r < in.NumReviewers(); r++ {
+		for p := 0; p < in.NumPapers(); p++ {
+			if rng.Float64() < conflictRate {
+				m.Set(r, p, Conflict)
+				continue
+			}
+			relevance := core.WeightedCoverage(in.Reviewers[r].Topics, in.Papers[p].Topics)
+			u := rng.Float64()
+			switch {
+			case relevance > 0.7 && u < 0.6:
+				m.Set(r, p, Eager)
+			case relevance > 0.5 && u < 0.6:
+				m.Set(r, p, Willing)
+			case relevance < 0.25 && u < 0.5:
+				m.Set(r, p, NotWilling)
+			default:
+				m.Set(r, p, Neutral)
+			}
+		}
+	}
+	return m
+}
+
+// BonusScore returns the bid bonus of assigning the group to paper p:
+// (1−alpha)/δp times the summed bid weight of the group. Dividing by δp keeps
+// the bonus of a full group in [0, 1−alpha], commensurate with the coverage
+// term; because the bonus is a sum over the group members it is modular, so
+// the blended objective stays submodular and monotone (Lemma 4) and the
+// SDGA/Greedy approximation guarantees carry over.
+func BonusScore(in *core.Instance, m *Matrix, group []int, p int, alpha float64) float64 {
+	if in.GroupSize == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range group {
+		sum += m.Get(r, p).weight()
+	}
+	return (1 - alpha) * sum / float64(in.GroupSize)
+}
+
+// TotalScore blends topical coverage and bids for one paper's group:
+// alpha·c(g, p) + BonusScore.
+func TotalScore(in *core.Instance, m *Matrix, group []int, p int, alpha float64) float64 {
+	return alpha*in.GroupScore(p, group) + BonusScore(in, m, group, p, alpha)
+}
+
+// AssignmentScore blends coverage and bids over a full assignment.
+func AssignmentScore(in *core.Instance, m *Matrix, a *core.Assignment, alpha float64) float64 {
+	s := 0.0
+	for p := range a.Groups {
+		s += TotalScore(in, m, a.Groups[p], p, alpha)
+	}
+	return s
+}
+
+// Assign computes a bid-aware conference assignment: SDGA driven by the
+// blended marginal gain alpha·coverage-gain + (1−alpha)·bidWeight/δp.
+// Conflict bids are enforced as hard conflicts of interest. Alpha = 1 reduces
+// to plain WGRAP, alpha = 0 ignores topical coverage entirely.
+func Assign(in *core.Instance, m *Matrix, alpha float64, seed int64) (*core.Assignment, error) {
+	if err := m.Validate(in); err != nil {
+		return nil, err
+	}
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("bids: alpha %v outside [0,1]", alpha)
+	}
+	work := *in
+	m.ApplyConflicts(&work)
+	delta := float64(work.GroupSize)
+	alg := cra.SDGA{
+		PairBonus: func(r, p int) float64 {
+			return (1 - alpha) * m.Get(r, p).weight() / delta
+		},
+		GainWeight: alpha,
+	}
+	return alg.Assign(&work)
+}
+
+// Satisfaction summarises how well an assignment respects the bids.
+type Satisfaction struct {
+	// Eager, Willing, Neutral, NotWilling count the assigned pairs at each
+	// bid level (Conflict pairs are rejected by the algorithms).
+	Eager, Willing, Neutral, NotWilling int
+	// MeanWeight is the average bid weight of the assigned pairs.
+	MeanWeight float64
+}
+
+// Satisfy computes the bid satisfaction of an assignment.
+func Satisfy(m *Matrix, a *core.Assignment) Satisfaction {
+	var s Satisfaction
+	total, n := 0.0, 0
+	for p := range a.Groups {
+		for _, r := range a.Groups[p] {
+			level := m.Get(r, p)
+			switch level {
+			case Eager:
+				s.Eager++
+			case Willing:
+				s.Willing++
+			case Neutral:
+				s.Neutral++
+			case NotWilling:
+				s.NotWilling++
+			}
+			total += level.weight()
+			n++
+		}
+	}
+	if n > 0 {
+		s.MeanWeight = total / float64(n)
+	}
+	return s
+}

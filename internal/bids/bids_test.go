@@ -1,0 +1,235 @@
+package bids
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cra"
+)
+
+func randVec(rng *rand.Rand, t int) core.Vector {
+	v := make(core.Vector, t)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v.Normalized()
+}
+
+func randomInstance(rng *rand.Rand, p, r, t, delta int) *core.Instance {
+	papers := make([]core.Paper, p)
+	for i := range papers {
+		papers[i] = core.Paper{Topics: randVec(rng, t)}
+	}
+	reviewers := make([]core.Reviewer, r)
+	for i := range reviewers {
+		reviewers[i] = core.Reviewer{Topics: randVec(rng, t)}
+	}
+	in := core.NewInstance(papers, reviewers, delta, 0)
+	in.Workload = in.MinWorkload()
+	return in
+}
+
+func TestLevelStringsAndWeights(t *testing.T) {
+	order := []Level{Conflict, NotWilling, Neutral, Willing, Eager}
+	prev := -1.0
+	for _, l := range order {
+		if l.String() == "" {
+			t.Fatalf("missing string for %d", l)
+		}
+		w := l.weight()
+		if w < prev {
+			t.Fatalf("weights not monotone in bid level: %v", order)
+		}
+		prev = w
+	}
+	if Level(99).String() == "" {
+		t.Fatal("unknown level should still render")
+	}
+	if Conflict.weight() != 0 || Eager.weight() != 1 {
+		t.Fatal("extreme weights wrong")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	if m.NumReviewers() != 2 || m.NumPapers() != 3 {
+		t.Fatalf("dims = %d x %d", m.NumReviewers(), m.NumPapers())
+	}
+	if m.Get(1, 2) != Neutral {
+		t.Fatal("default bid should be Neutral")
+	}
+	m.Set(1, 2, Eager)
+	if m.Get(1, 2) != Eager {
+		t.Fatal("Set/Get mismatch")
+	}
+	if NewMatrix(0, 0).NumPapers() != 0 {
+		t.Fatal("empty matrix paper count")
+	}
+}
+
+func TestValidateAndApplyConflicts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := randomInstance(rng, 3, 4, 3, 2)
+	m := NewMatrix(4, 3)
+	if err := m.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	bad := NewMatrix(2, 3)
+	if err := bad.Validate(in); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	m.Set(0, 1, Conflict)
+	m.Set(2, 2, Conflict)
+	if n := m.ApplyConflicts(in); n != 2 {
+		t.Fatalf("ApplyConflicts = %d, want 2", n)
+	}
+	if !in.IsConflict(0, 1) || !in.IsConflict(2, 2) {
+		t.Fatal("conflicts not registered")
+	}
+}
+
+func TestGenerateCorrelatesWithRelevance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := randomInstance(rng, 30, 20, 8, 3)
+	m := Generate(in, 0.02, 5)
+	// Average relevance of Eager pairs must exceed that of NotWilling pairs.
+	sum := map[Level]float64{}
+	count := map[Level]int{}
+	conflicts := 0
+	for r := 0; r < in.NumReviewers(); r++ {
+		for p := 0; p < in.NumPapers(); p++ {
+			l := m.Get(r, p)
+			if l == Conflict {
+				conflicts++
+				continue
+			}
+			sum[l] += core.WeightedCoverage(in.Reviewers[r].Topics, in.Papers[p].Topics)
+			count[l]++
+		}
+	}
+	if conflicts == 0 {
+		t.Fatal("no conflicts generated despite positive rate")
+	}
+	if count[Eager] == 0 || count[NotWilling] == 0 {
+		t.Skipf("degenerate draw: eager=%d notwilling=%d", count[Eager], count[NotWilling])
+	}
+	if sum[Eager]/float64(count[Eager]) <= sum[NotWilling]/float64(count[NotWilling]) {
+		t.Fatal("eager bids are not more relevant than not-willing bids")
+	}
+}
+
+func TestScores(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomInstance(rng, 2, 4, 3, 2)
+	m := NewMatrix(4, 2)
+	m.Set(0, 0, Eager)
+	m.Set(1, 0, NotWilling)
+	group := []int{0, 1}
+	alpha := 0.7
+	bonus := BonusScore(in, m, group, 0, alpha)
+	want := (1 - alpha) * (1.0 + 0.1) / 2
+	if math.Abs(bonus-want) > 1e-12 {
+		t.Fatalf("BonusScore = %v, want %v", bonus, want)
+	}
+	total := TotalScore(in, m, group, 0, alpha)
+	if math.Abs(total-(alpha*in.GroupScore(0, group)+bonus)) > 1e-12 {
+		t.Fatalf("TotalScore inconsistent")
+	}
+	a := core.NewAssignment(2)
+	a.Assign(0, 0)
+	a.Assign(0, 1)
+	if math.Abs(AssignmentScore(in, m, a, alpha)-total) > 1e-12 {
+		t.Fatal("AssignmentScore should equal the single populated paper's total")
+	}
+}
+
+func TestAssignRespectsConflictBidsAndConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := randomInstance(rng, 10, 8, 5, 2)
+	in.Workload = in.MinWorkload() + 1
+	m := Generate(in, 0.03, 9)
+	a, err := Assign(in, m, 0.7, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.ValidateAssignment(a); err != nil {
+		t.Fatal(err)
+	}
+	for p := range a.Groups {
+		for _, r := range a.Groups[p] {
+			if m.Get(r, p) == Conflict {
+				t.Fatalf("conflict bid (r%d,p%d) assigned", r, p)
+			}
+		}
+	}
+}
+
+func TestAssignAlphaValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randomInstance(rng, 4, 4, 3, 2)
+	m := NewMatrix(4, 4)
+	if _, err := Assign(in, m, 1.5, 1); err == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+	if _, err := Assign(in, NewMatrix(1, 1), 0.5, 1); err == nil {
+		t.Fatal("mismatched matrix accepted")
+	}
+}
+
+// Property: lowering alpha (weighting bids more) never decreases the bid
+// satisfaction of the SDGA-with-bids assignment, and alpha=1 matches plain
+// SDGA's coverage score.
+func TestAssignTradeoff(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 5+rng.Intn(8), 5+rng.Intn(5), 3+rng.Intn(4), 2)
+		m := Generate(in, 0, seed)
+		aCoverage, err := Assign(in, m, 1.0, seed)
+		if err != nil {
+			return false
+		}
+		aBids, err := Assign(in, m, 0.0, seed)
+		if err != nil {
+			return false
+		}
+		// With alpha = 1 the result must match plain SDGA's coverage score.
+		plain, err := (cra.SDGA{}).Assign(in)
+		if err != nil {
+			return false
+		}
+		if math.Abs(in.AssignmentScore(aCoverage)-in.AssignmentScore(plain)) > 1e-9 {
+			return false
+		}
+		// Pure-bid optimisation cannot satisfy bids worse than pure-coverage
+		// optimisation.
+		return Satisfy(m, aBids).MeanWeight >= Satisfy(m, aCoverage).MeanWeight-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatisfy(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, Eager)
+	m.Set(1, 0, NotWilling)
+	m.Set(0, 1, Willing)
+	a := core.NewAssignment(2)
+	a.Assign(0, 0)
+	a.Assign(0, 1)
+	a.Assign(1, 0)
+	s := Satisfy(m, a)
+	if s.Eager != 1 || s.NotWilling != 1 || s.Willing != 1 || s.Neutral != 0 {
+		t.Fatalf("Satisfy = %+v", s)
+	}
+	want := (1.0 + 0.1 + 0.75) / 3
+	if math.Abs(s.MeanWeight-want) > 1e-12 {
+		t.Fatalf("MeanWeight = %v, want %v", s.MeanWeight, want)
+	}
+	if Satisfy(m, core.NewAssignment(2)).MeanWeight != 0 {
+		t.Fatal("empty assignment should have zero mean weight")
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Assignment holds, for every paper index, the set of reviewer indices
+// assigned to it. Assignments are built incrementally by the solvers; use
+// Instance.ValidateAssignment to check the WGRAP constraints of
+// Definition 3 and Instance.AssignmentScore for the objective value.
+type Assignment struct {
+	// Groups[p] lists the reviewer indices assigned to paper p.
+	Groups [][]int
+}
+
+// NewAssignment creates an empty assignment for p papers.
+func NewAssignment(p int) *Assignment {
+	return &Assignment{Groups: make([][]int, p)}
+}
+
+// Clone returns a deep copy.
+func (a *Assignment) Clone() *Assignment {
+	c := NewAssignment(len(a.Groups))
+	for p, g := range a.Groups {
+		c.Groups[p] = append([]int(nil), g...)
+	}
+	return c
+}
+
+// Assign adds reviewer r to paper p. It does not check constraints.
+func (a *Assignment) Assign(p, r int) {
+	a.Groups[p] = append(a.Groups[p], r)
+}
+
+// Remove deletes reviewer r from paper p and reports whether it was present.
+func (a *Assignment) Remove(p, r int) bool {
+	g := a.Groups[p]
+	for i, x := range g {
+		if x == r {
+			a.Groups[p] = append(g[:i], g[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether reviewer r is assigned to paper p.
+func (a *Assignment) Contains(p, r int) bool {
+	for _, x := range a.Groups[p] {
+		if x == r {
+			return true
+		}
+	}
+	return false
+}
+
+// Group returns the reviewers assigned to paper p.
+func (a *Assignment) Group(p int) []int { return a.Groups[p] }
+
+// Pairs returns the total number of (reviewer, paper) pairs in the assignment.
+func (a *Assignment) Pairs() int {
+	n := 0
+	for _, g := range a.Groups {
+		n += len(g)
+	}
+	return n
+}
+
+// ReviewerLoads returns, for a pool of r reviewers, how many papers each
+// reviewer has been assigned.
+func (a *Assignment) ReviewerLoads(r int) []int {
+	loads := make([]int, r)
+	for _, g := range a.Groups {
+		for _, rev := range g {
+			loads[rev]++
+		}
+	}
+	return loads
+}
+
+// Sorted returns a copy of the assignment with every group sorted by
+// reviewer index; useful for deterministic output and comparisons in tests.
+func (a *Assignment) Sorted() *Assignment {
+	c := a.Clone()
+	for _, g := range c.Groups {
+		sort.Ints(g)
+	}
+	return c
+}
+
+// AssignmentScore computes the WGRAP objective of Definition 3:
+// sum over papers of the coverage score of the assigned group.
+func (in *Instance) AssignmentScore(a *Assignment) float64 {
+	s := 0.0
+	for p := range in.Papers {
+		s += in.GroupScore(p, a.Groups[p])
+	}
+	return s
+}
+
+// PaperScores returns the per-paper coverage scores of the assignment.
+func (in *Instance) PaperScores(a *Assignment) []float64 {
+	out := make([]float64, in.NumPapers())
+	for p := range in.Papers {
+		out[p] = in.GroupScore(p, a.Groups[p])
+	}
+	return out
+}
+
+// ValidateAssignment checks the WGRAP constraints of Definition 3: every
+// paper has exactly δp distinct reviewers, no reviewer exceeds δr papers and
+// no conflicting pair is assigned.
+func (in *Instance) ValidateAssignment(a *Assignment) error {
+	if len(a.Groups) != in.NumPapers() {
+		return fmt.Errorf("core: assignment covers %d papers, want %d", len(a.Groups), in.NumPapers())
+	}
+	loads := make([]int, in.NumReviewers())
+	for p, g := range a.Groups {
+		if len(g) != in.GroupSize {
+			return fmt.Errorf("core: paper %d has %d reviewers, want δp=%d", p, len(g), in.GroupSize)
+		}
+		seen := make(map[int]bool, len(g))
+		for _, r := range g {
+			if r < 0 || r >= in.NumReviewers() {
+				return fmt.Errorf("core: paper %d has out-of-range reviewer %d", p, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("core: paper %d has duplicate reviewer %d", p, r)
+			}
+			seen[r] = true
+			if in.IsConflict(r, p) {
+				return fmt.Errorf("core: conflicting pair (reviewer %d, paper %d) assigned", r, p)
+			}
+			loads[r]++
+		}
+	}
+	for r, l := range loads {
+		if l > in.Workload {
+			return fmt.Errorf("core: reviewer %d assigned %d papers, exceeds δr=%d", r, l, in.Workload)
+		}
+	}
+	return nil
+}
+
+// ValidatePartial checks the constraints that must hold for a partially
+// built assignment: group sizes do not exceed δp, loads do not exceed δr, no
+// duplicates and no conflicts.
+func (in *Instance) ValidatePartial(a *Assignment) error {
+	if len(a.Groups) != in.NumPapers() {
+		return fmt.Errorf("core: assignment covers %d papers, want %d", len(a.Groups), in.NumPapers())
+	}
+	loads := make([]int, in.NumReviewers())
+	for p, g := range a.Groups {
+		if len(g) > in.GroupSize {
+			return fmt.Errorf("core: paper %d has %d reviewers, exceeds δp=%d", p, len(g), in.GroupSize)
+		}
+		seen := make(map[int]bool, len(g))
+		for _, r := range g {
+			if r < 0 || r >= in.NumReviewers() {
+				return fmt.Errorf("core: paper %d has out-of-range reviewer %d", p, r)
+			}
+			if seen[r] {
+				return fmt.Errorf("core: paper %d has duplicate reviewer %d", p, r)
+			}
+			seen[r] = true
+			if in.IsConflict(r, p) {
+				return fmt.Errorf("core: conflicting pair (reviewer %d, paper %d) assigned", r, p)
+			}
+			loads[r]++
+		}
+	}
+	for r, l := range loads {
+		if l > in.Workload {
+			return fmt.Errorf("core: reviewer %d assigned %d papers, exceeds δr=%d", r, l, in.Workload)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,110 @@
+package core
+
+// ScoreFunc scores how well an expertise vector g (a single reviewer or the
+// aggregated expertise of a reviewer group, Definition 2) covers a paper
+// vector p. All scoring functions studied in the paper normalise by the sum
+// of the paper vector so that scores of a fully covered paper equal 1.
+type ScoreFunc func(g, p Vector) float64
+
+// WeightedCoverage is the default quality measure of the paper
+// (Definition 1): sum_t min(g[t], p[t]) / sum_t p[t].
+func WeightedCoverage(g, p Vector) float64 {
+	den := p.Sum()
+	if den == 0 {
+		return 0
+	}
+	return MinSum(g, p) / den
+}
+
+// ReviewerCoverage is the winner-takes-all alternative cR of Appendix B: a
+// topic contributes the reviewer's weight g[t] whenever g[t] >= p[t].
+func ReviewerCoverage(g, p Vector) float64 {
+	den := p.Sum()
+	if den == 0 {
+		return 0
+	}
+	num := 0.0
+	for t, x := range g {
+		if x >= p[t] {
+			num += x
+		}
+	}
+	return num / den
+}
+
+// PaperCoverage is the alternative cP of Appendix B: a topic contributes the
+// paper's weight p[t] whenever the group fully covers it (g[t] >= p[t]).
+func PaperCoverage(g, p Vector) float64 {
+	den := p.Sum()
+	if den == 0 {
+		return 0
+	}
+	num := 0.0
+	for t, x := range g {
+		if x >= p[t] {
+			num += p[t]
+		}
+	}
+	return num / den
+}
+
+// DotProduct is the alternative cD of Appendix B: the inner product of the
+// group expertise and the paper vector, normalised by the paper weight.
+func DotProduct(g, p Vector) float64 {
+	den := p.Sum()
+	if den == 0 {
+		return 0
+	}
+	return Dot(g, p) / den
+}
+
+// ScoringFunctions maps the names used in the paper (Table 5) to the
+// corresponding implementations; convenient for CLIs and experiments.
+var ScoringFunctions = map[string]ScoreFunc{
+	"weighted":    WeightedCoverage,
+	"reviewer":    ReviewerCoverage,
+	"paper":       PaperCoverage,
+	"dot-product": DotProduct,
+}
+
+// GroupVector aggregates the expertise of the reviewers with the given
+// indices into the group vector of Definition 2 (per-topic maximum). An empty
+// group yields the zero vector.
+func (in *Instance) GroupVector(group []int) Vector {
+	g := make(Vector, in.NumTopics())
+	for _, r := range group {
+		g.MaxInPlace(in.Reviewers[r].Topics)
+	}
+	return g
+}
+
+// PairScore returns c(r, p): the score of a single reviewer r for paper p.
+func (in *Instance) PairScore(r, p int) float64 {
+	return in.ScoreFn()(in.Reviewers[r].Topics, in.Papers[p].Topics)
+}
+
+// GroupScore returns c(g, p) for the group of reviewer indices assigned to
+// paper p.
+func (in *Instance) GroupScore(p int, group []int) float64 {
+	return in.ScoreFn()(in.GroupVector(group), in.Papers[p].Topics)
+}
+
+// Gain returns the marginal gain of adding reviewer r to the running group of
+// paper p (Definition 8): c(g ∪ {r}, p) − c(g, p).
+func (in *Instance) Gain(p int, group []int, r int) float64 {
+	g := in.GroupVector(group)
+	base := in.ScoreFn()(g, in.Papers[p].Topics)
+	g.MaxInPlace(in.Reviewers[r].Topics)
+	return in.ScoreFn()(g, in.Papers[p].Topics) - base
+}
+
+// GainWithVector is the allocation-light variant of Gain for callers that
+// maintain the running group vector themselves: it returns the marginal gain
+// of merging reviewer r into group vector g for paper p, without modifying g.
+func (in *Instance) GainWithVector(p int, g Vector, r int) float64 {
+	score := in.ScoreFn()
+	paper := in.Papers[p].Topics
+	base := score(g, paper)
+	merged := Max(g, in.Reviewers[r].Topics)
+	return score(merged, paper) - base
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Table 6 of the paper: the toy example comparing the four scoring functions.
+func TestScoringFunctionsTable6(t *testing.T) {
+	p := Vector{0.6, 0.4}
+	r1 := Vector{0.9, 0.1}
+	r2 := Vector{0.5, 0.5}
+
+	cases := []struct {
+		name string
+		fn   ScoreFunc
+		r1   float64
+		r2   float64
+	}{
+		{"reviewer coverage", ReviewerCoverage, 0.9, 0.5},
+		{"paper coverage", PaperCoverage, 0.6, 0.4},
+		{"dot-product", DotProduct, 0.58, 0.5},
+		{"weighted coverage", WeightedCoverage, 0.7, 0.9},
+	}
+	for _, c := range cases {
+		if got := c.fn(r1, p); !almostEqual(got, c.r1) {
+			t.Errorf("%s(r1,p) = %v, want %v", c.name, got, c.r1)
+		}
+		if got := c.fn(r2, p); !almostEqual(got, c.r2) {
+			t.Errorf("%s(r2,p) = %v, want %v", c.name, got, c.r2)
+		}
+	}
+}
+
+// Figure 3(a)/5(a) example from the paper: single-reviewer weighted coverage.
+func TestWeightedCoveragePaperExample(t *testing.T) {
+	p := Vector{0.35, 0.45, 0.2}
+	r1 := Vector{0.15, 0.75, 0.1}
+	r2 := Vector{0.75, 0.15, 0.1}
+	r3 := Vector{0.1, 0.35, 0.55}
+	if got := WeightedCoverage(r1, p); !almostEqual(got, 0.7) {
+		t.Errorf("c(r1,p) = %v, want 0.7", got)
+	}
+	if got := WeightedCoverage(r2, p); !almostEqual(got, 0.6) {
+		t.Errorf("c(r2,p) = %v, want 0.6", got)
+	}
+	if got := WeightedCoverage(r3, p); !almostEqual(got, 0.65) {
+		t.Errorf("c(r3,p) = %v, want 0.65", got)
+	}
+}
+
+func TestZeroPaperVector(t *testing.T) {
+	p := Vector{0, 0}
+	g := Vector{0.5, 0.5}
+	for name, fn := range ScoringFunctions {
+		if got := fn(g, p); got != 0 {
+			t.Errorf("%s with zero paper vector = %v, want 0", name, got)
+		}
+	}
+}
+
+func TestGroupVector(t *testing.T) {
+	in := smallInstance()
+	g := in.GroupVector([]int{0, 1})
+	want := Vector{0.75, 0.75, 0.1}
+	if !Equal(g, want, 1e-12) {
+		t.Fatalf("GroupVector = %v, want %v", g, want)
+	}
+	empty := in.GroupVector(nil)
+	if !Equal(empty, Vector{0, 0, 0}, 0) {
+		t.Fatalf("empty group vector = %v", empty)
+	}
+}
+
+func TestGroupScoreAndGain(t *testing.T) {
+	in := smallInstance()
+	// c({r1}, p) = 0.7, c({r1,r2}, p) = min(.75,.35)+min(.75,.45)+min(.1,.2) = .35+.45+.1 = .9
+	if got := in.GroupScore(0, []int{0}); !almostEqual(got, 0.7) {
+		t.Fatalf("GroupScore({r1}) = %v", got)
+	}
+	if got := in.GroupScore(0, []int{0, 1}); !almostEqual(got, 0.9) {
+		t.Fatalf("GroupScore({r1,r2}) = %v", got)
+	}
+	if got := in.Gain(0, []int{0}, 1); !almostEqual(got, 0.2) {
+		t.Fatalf("Gain = %v, want 0.2", got)
+	}
+	g := in.GroupVector([]int{0})
+	if got := in.GainWithVector(0, g, 1); !almostEqual(got, 0.2) {
+		t.Fatalf("GainWithVector = %v, want 0.2", got)
+	}
+	// GainWithVector must not modify g.
+	if !Equal(g, in.GroupVector([]int{0}), 0) {
+		t.Fatal("GainWithVector modified the group vector")
+	}
+}
+
+// smallInstance is the 3-reviewer, 1-paper example used throughout Section 3.
+func smallInstance() *Instance {
+	papers := []Paper{{ID: "p", Topics: Vector{0.35, 0.45, 0.2}}}
+	reviewers := []Reviewer{
+		{ID: "r1", Topics: Vector{0.15, 0.75, 0.1}},
+		{ID: "r2", Topics: Vector{0.75, 0.15, 0.1}},
+		{ID: "r3", Topics: Vector{0.1, 0.35, 0.55}},
+	}
+	return NewInstance(papers, reviewers, 2, 1)
+}
+
+// randomInstance builds a random, normalised instance for property tests.
+func randomInstance(rng *rand.Rand, p, r, t int) *Instance {
+	papers := make([]Paper, p)
+	for i := range papers {
+		papers[i] = Paper{Topics: randomVector(rng, t).Normalized()}
+	}
+	reviewers := make([]Reviewer, r)
+	for i := range reviewers {
+		reviewers[i] = Reviewer{Topics: randomVector(rng, t).Normalized()}
+	}
+	gs := 1 + rng.Intn(min(3, r))
+	wl := 1 + rng.Intn(3)
+	for r*wl < p*gs {
+		wl++
+	}
+	return NewInstance(papers, reviewers, gs, wl)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Property: every scoring function is bounded in [0, something sane] and the
+// weighted/paper coverage are bounded by 1; scores are monotone when the
+// group grows (condition C.2 of Lemma 4).
+func TestScoreBoundsAndMonotonicity(t *testing.T) {
+	fns := []struct {
+		name    string
+		fn      ScoreFunc
+		atMost1 bool
+	}{
+		{"weighted", WeightedCoverage, true},
+		{"paper", PaperCoverage, true},
+		{"reviewer", ReviewerCoverage, false},
+		{"dot-product", DotProduct, false},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tdim := 2 + rng.Intn(20)
+		p := randomVector(rng, tdim).Normalized()
+		g := randomVector(rng, tdim).Normalized()
+		extra := randomVector(rng, tdim).Normalized()
+		grown := Max(g, extra)
+		for _, c := range fns {
+			s := c.fn(g, p)
+			if s < -1e-12 {
+				return false
+			}
+			if c.atMost1 && s > 1+1e-9 {
+				return false
+			}
+			if c.fn(grown, p) < s-1e-9 { // monotone in group expertise
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Lemma 4): the assignment objective is submodular for all four
+// scoring functions. We test the equivalent diminishing-returns form on a
+// single paper: gain of adding r to a superset group is never larger than the
+// gain of adding r to a subset group.
+func TestSubmodularityAllScoringFunctions(t *testing.T) {
+	for name, fn := range ScoringFunctions {
+		fn := fn
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			tdim := 2 + rng.Intn(15)
+			p := randomVector(rng, tdim).Normalized()
+			sub := randomVector(rng, tdim).Normalized()  // group vector of the subset
+			addl := randomVector(rng, tdim).Normalized() // the extra reviewer making it a superset
+			r := randomVector(rng, tdim).Normalized()    // the reviewer whose gain we measure
+			super := Max(sub, addl)
+
+			gainSub := fn(Max(sub, r), p) - fn(sub, p)
+			gainSuper := fn(Max(super, r), p) - fn(super, p)
+			return gainSuper <= gainSub+1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+			t.Errorf("submodularity violated for %s: %v", name, err)
+		}
+	}
+}
+
+// Property: weighted coverage of a group is always at least the best single
+// member's coverage and at most the sum of members' coverages.
+func TestGroupScoreBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 1, 3+rng.Intn(5), 2+rng.Intn(10))
+		k := 1 + rng.Intn(3)
+		group := rng.Perm(in.NumReviewers())[:k]
+		gs := in.GroupScore(0, group)
+		best, sum := 0.0, 0.0
+		for _, r := range group {
+			s := in.PairScore(r, 0)
+			if s > best {
+				best = s
+			}
+			sum += s
+		}
+		return gs >= best-1e-9 && gs <= sum+1e-9 && gs <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGainNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 2, 4, 2+rng.Intn(10))
+		group := []int{rng.Intn(4)}
+		r := rng.Intn(4)
+		return in.Gain(rng.Intn(2), group, r) >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDotProductSymmetryWithNormalisedPaper(t *testing.T) {
+	p := Vector{0.5, 0.5}
+	g := Vector{0.25, 0.75}
+	want := (0.5*0.25 + 0.5*0.75) / 1.0
+	if got := DotProduct(g, p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("DotProduct = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVectorSum(t *testing.T) {
+	v := Vector{0.1, 0.2, 0.7}
+	if !almostEqual(v.Sum(), 1.0) {
+		t.Fatalf("Sum = %v, want 1.0", v.Sum())
+	}
+	if (Vector{}).Sum() != 0 {
+		t.Fatal("empty vector sum should be 0")
+	}
+}
+
+func TestVectorCloneIndependence(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone must not share backing storage")
+	}
+}
+
+func TestVectorNormalized(t *testing.T) {
+	v := Vector{2, 2, 4}
+	n := v.Normalized()
+	if !almostEqual(n.Sum(), 1) {
+		t.Fatalf("normalized sum = %v", n.Sum())
+	}
+	if !almostEqual(n[2], 0.5) {
+		t.Fatalf("n[2] = %v, want 0.5", n[2])
+	}
+	z := Vector{0, 0}
+	if got := z.Normalized(); !Equal(got, z, 0) {
+		t.Fatalf("zero vector should stay zero, got %v", got)
+	}
+}
+
+func TestVectorScale(t *testing.T) {
+	v := Vector{1, 2}
+	s := v.Scale(1.5)
+	if !Equal(s, Vector{1.5, 3}, 1e-12) {
+		t.Fatalf("Scale = %v", s)
+	}
+	if !Equal(v, Vector{1, 2}, 0) {
+		t.Fatal("Scale must not modify receiver")
+	}
+}
+
+func TestMaxInPlace(t *testing.T) {
+	a := Vector{0.1, 0.9, 0.3}
+	b := Vector{0.5, 0.2, 0.3}
+	a.MaxInPlace(b)
+	if !Equal(a, Vector{0.5, 0.9, 0.3}, 0) {
+		t.Fatalf("MaxInPlace = %v", a)
+	}
+}
+
+func TestMaxDoesNotModifyArgs(t *testing.T) {
+	a := Vector{0.1, 0.9}
+	b := Vector{0.5, 0.2}
+	c := Max(a, b)
+	if !Equal(c, Vector{0.5, 0.9}, 0) {
+		t.Fatalf("Max = %v", c)
+	}
+	if !Equal(a, Vector{0.1, 0.9}, 0) || !Equal(b, Vector{0.5, 0.2}, 0) {
+		t.Fatal("Max must not modify its arguments")
+	}
+}
+
+func TestDotAndMinSum(t *testing.T) {
+	a := Vector{0.2, 0.8}
+	b := Vector{0.5, 0.5}
+	if !almostEqual(Dot(a, b), 0.2*0.5+0.8*0.5) {
+		t.Fatalf("Dot = %v", Dot(a, b))
+	}
+	if !almostEqual(MinSum(a, b), 0.2+0.5) {
+		t.Fatalf("MinSum = %v", MinSum(a, b))
+	}
+}
+
+func TestTopTopics(t *testing.T) {
+	v := Vector{0.1, 0.4, 0.05, 0.3, 0.15}
+	top := v.TopTopics(3)
+	want := []int{1, 3, 4}
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("TopTopics = %v, want %v", top, want)
+		}
+	}
+	if got := v.TopTopics(100); len(got) != len(v) {
+		t.Fatalf("TopTopics(k>T) returned %d entries", len(got))
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	v := Vector{0.35, 0.45, 0.2}
+	if got := v.String(); got != "[0.350 0.450 0.200]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func randomVector(rng *rand.Rand, dim int) Vector {
+	v := make(Vector, dim)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v
+}
+
+// Property: MinSum is symmetric and bounded by min(Sum(a), Sum(b)).
+func TestMinSumProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomVector(r, 1+r.Intn(40))
+		b := randomVector(r, a.Dim())
+		ms := MinSum(a, b)
+		if math.Abs(ms-MinSum(b, a)) > 1e-9 {
+			return false
+		}
+		bound := math.Min(a.Sum(), b.Sum())
+		return ms <= bound+1e-9 && ms >= -1e-12
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: entry-wise Max dominates both arguments.
+func TestMaxDominates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randomVector(r, 1+r.Intn(40))
+		b := randomVector(r, a.Dim())
+		m := Max(a, b)
+		for i := range m {
+			if m[i] < a[i] || m[i] < b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,360 @@
+// Package corpus generates the synthetic DBLP-like data used to reproduce the
+// paper's evaluation (Section 5, Table 3). The real experiments use the
+// ArnetMiner/DBLP citation corpus — paper abstracts of SIGKDD/ICDM/SDM/CIKM,
+// SIGMOD/VLDB/ICDE/PODS and STOC/FOCS/SODA for 2008–2009, plus the program
+// committees of SIGKDD, SIGMOD and STOC — which is not available offline.
+// This package builds a corpus with the same shape:
+//
+//   - three research areas, each owning a block of topics out of T=30;
+//   - authors whose topic profiles are Dirichlet draws concentrated on their
+//     home area, with long-tailed publication counts and h-indices;
+//   - publications (2000–2009) with abstracts sampled from per-topic word
+//     distributions, so the internal/topics pipeline can be exercised
+//     end-to-end;
+//   - per-area, per-year conference datasets whose paper counts and PC sizes
+//     match Table 3 (scaled by Config.Scale).
+//
+// Every downstream algorithm consumes only topic vectors, so this synthetic
+// substitute exercises exactly the same code paths as the original data.
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// Area identifies one of the three research areas of Table 3.
+type Area string
+
+// Research areas.
+const (
+	DataMining Area = "DM"
+	Databases  Area = "DB"
+	Theory     Area = "T"
+)
+
+// Areas lists the three areas in the paper's order.
+var Areas = []Area{DataMining, Databases, Theory}
+
+// areaSpec describes one area of Table 3.
+type areaSpec struct {
+	name          Area
+	venues        []string
+	papersByYear  map[int]int
+	pcVenue       string
+	pcSizeByYear  map[int]int
+	topicLo       int // first topic index owned by the area (inclusive)
+	topicHi       int // last topic index owned by the area (exclusive)
+	keywordsStems []string
+}
+
+// Config controls the generator.
+type Config struct {
+	// Topics is the total number of topics T (default 30, as in the paper).
+	Topics int
+	// Scale multiplies the paper counts and PC sizes of Table 3 (default 1.0;
+	// tests use small values such as 0.05).
+	Scale float64
+	// AuthorsPerArea is the size of each area's author population
+	// (default 400).
+	AuthorsPerArea int
+	// WordsPerTopic is the number of dedicated vocabulary words per topic
+	// (default 40).
+	WordsPerTopic int
+	// SharedWords is the number of area-independent vocabulary words
+	// (default 120).
+	SharedWords int
+	// AbstractWords is the abstract length in tokens (default 90).
+	AbstractWords int
+	// Concentration is the Dirichlet concentration of an author's profile on
+	// the topics of their home area (default 0.25; smaller = more peaked).
+	Concentration float64
+	// Seed makes generation reproducible (default 1).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Topics <= 0 {
+		c.Topics = 30
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.AuthorsPerArea <= 0 {
+		c.AuthorsPerArea = 400
+	}
+	if c.WordsPerTopic <= 0 {
+		c.WordsPerTopic = 40
+	}
+	if c.SharedWords <= 0 {
+		c.SharedWords = 120
+	}
+	if c.AbstractWords <= 0 {
+		c.AbstractWords = 90
+	}
+	if c.Concentration <= 0 {
+		c.Concentration = 0.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Author is a synthetic researcher.
+type Author struct {
+	ID      string
+	Name    string
+	Area    Area
+	HIndex  int
+	Profile core.Vector
+	// Publications generated for the author, newest last.
+	Publications []Publication
+}
+
+// Publication is a synthetic paper authored by one or more authors.
+type Publication struct {
+	ID       string
+	Title    string
+	Abstract string
+	Venue    string
+	Year     int
+	// AuthorIdx are indices into Generator.Authors().
+	AuthorIdx []int
+	// Mixture is the ground-truth topic mixture the abstract was sampled
+	// from; it doubles as the paper's topic vector in the "direct" pipeline.
+	Mixture core.Vector
+}
+
+// Generator produces authors, publications and conference datasets.
+type Generator struct {
+	cfg     Config
+	specs   []areaSpec
+	authors []Author
+	pubs    []Publication
+	// pubsByVenueYear indexes publications for dataset construction.
+	pubsByVenueYear map[string][]int
+	// topicWords[t] lists the vocabulary dedicated to topic t.
+	topicWords [][]string
+	shared     []string
+}
+
+// NewGenerator builds the synthetic world deterministically from the seed.
+func NewGenerator(cfg Config) *Generator {
+	cfg = cfg.withDefaults()
+	g := &Generator{cfg: cfg, pubsByVenueYear: make(map[string][]int)}
+	g.buildSpecs()
+	g.buildVocabulary()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g.buildAuthors(rng)
+	g.buildPublications(rng)
+	return g
+}
+
+func (g *Generator) buildSpecs() {
+	per := g.cfg.Topics / 3
+	g.specs = []areaSpec{
+		{
+			name:   DataMining,
+			venues: []string{"SIGKDD", "ICDM", "SDM", "CIKM"},
+			papersByYear: map[int]int{
+				2008: 545, 2009: 648,
+			},
+			pcVenue:       "SIGKDD",
+			pcSizeByYear:  map[int]int{2008: 203, 2009: 145},
+			topicLo:       0,
+			topicHi:       per,
+			keywordsStems: []string{"mining", "clustering", "classification", "pattern", "learning", "feature", "anomaly", "stream", "graph", "recommendation"},
+		},
+		{
+			name:   Databases,
+			venues: []string{"SIGMOD", "VLDB", "ICDE", "PODS"},
+			papersByYear: map[int]int{
+				2008: 617, 2009: 513,
+			},
+			pcVenue:       "SIGMOD",
+			pcSizeByYear:  map[int]int{2008: 105, 2009: 90},
+			topicLo:       per,
+			topicHi:       2 * per,
+			keywordsStems: []string{"query", "index", "transaction", "storage", "xml", "spatial", "privacy", "optimization", "distributed", "schema"},
+		},
+		{
+			name:   Theory,
+			venues: []string{"STOC", "FOCS", "SODA"},
+			papersByYear: map[int]int{
+				2008: 281, 2009: 226,
+			},
+			pcVenue:       "STOC",
+			pcSizeByYear:  map[int]int{2008: 228, 2009: 222},
+			topicLo:       2 * per,
+			topicHi:       g.cfg.Topics,
+			keywordsStems: []string{"approximation", "complexity", "randomized", "hardness", "combinatorial", "lower", "bound", "algorithmic", "game", "lattice"},
+		},
+	}
+}
+
+func (g *Generator) spec(area Area) (*areaSpec, error) {
+	for i := range g.specs {
+		if g.specs[i].name == area {
+			return &g.specs[i], nil
+		}
+	}
+	return nil, fmt.Errorf("corpus: unknown area %q", area)
+}
+
+// buildVocabulary creates per-topic and shared word lists; words embed their
+// owning area's keyword stems so topic listings read naturally.
+func (g *Generator) buildVocabulary() {
+	g.topicWords = make([][]string, g.cfg.Topics)
+	for t := 0; t < g.cfg.Topics; t++ {
+		stem := "general"
+		for _, s := range g.specs {
+			if t >= s.topicLo && t < s.topicHi {
+				stem = s.keywordsStems[(t-s.topicLo)%len(s.keywordsStems)]
+			}
+		}
+		words := make([]string, g.cfg.WordsPerTopic)
+		for w := range words {
+			words[w] = fmt.Sprintf("%s%02dterm%02d", stem, t, w)
+		}
+		g.topicWords[t] = words
+	}
+	g.shared = make([]string, g.cfg.SharedWords)
+	for i := range g.shared {
+		g.shared[i] = fmt.Sprintf("common%03d", i)
+	}
+}
+
+// buildAuthors draws each area's author population.
+func (g *Generator) buildAuthors(rng *rand.Rand) {
+	first := []string{"Alex", "Bing", "Chen", "Dana", "Elena", "Feng", "Grace", "Hugo", "Iris", "Jun", "Kai", "Lena", "Ming", "Nora", "Omar", "Ping", "Qing", "Rosa", "Sami", "Tara", "Uwe", "Vera", "Wei", "Xin", "Yan", "Zoe"}
+	last := []string{"Almeida", "Baros", "Chen", "Dimitrov", "Eriksson", "Fujita", "Garcia", "Huang", "Ivanov", "Jansen", "Kumar", "Liu", "Moreau", "Nakamura", "Olsen", "Petrov", "Qureshi", "Rossi", "Singh", "Tanaka", "Ueda", "Vargas", "Wang", "Xu", "Yamada", "Zhang"}
+	for _, s := range g.specs {
+		for i := 0; i < g.cfg.AuthorsPerArea; i++ {
+			idx := len(g.authors)
+			alphas := make([]float64, g.cfg.Topics)
+			for t := range alphas {
+				if t >= s.topicLo && t < s.topicHi {
+					alphas[t] = g.cfg.Concentration
+				} else {
+					alphas[t] = g.cfg.Concentration / 20
+				}
+			}
+			profile := core.Vector(randx.DirichletVec(rng, alphas))
+			g.authors = append(g.authors, Author{
+				ID:      fmt.Sprintf("a%04d", idx),
+				Name:    fmt.Sprintf("%s %s (%s-%d)", first[rng.Intn(len(first))], last[rng.Intn(len(last))], s.name, i),
+				Area:    s.name,
+				HIndex:  randx.LongTailInt(rng, 1.3, 60),
+				Profile: profile,
+			})
+		}
+	}
+}
+
+// buildPublications generates every author's publication record (2000–2009)
+// and the venue submissions that later become conference datasets.
+func (g *Generator) buildPublications(rng *rand.Rand) {
+	for ai := range g.authors {
+		a := &g.authors[ai]
+		spec, _ := g.spec(a.Area)
+		// Long-tailed publication count correlated with the h-index.
+		nPubs := 2 + a.HIndex/3 + rng.Intn(4)
+		for k := 0; k < nPubs; k++ {
+			year := 2000 + rng.Intn(10)
+			venue := spec.venues[rng.Intn(len(spec.venues))]
+			// Occasionally add a co-author from the same area.
+			authorIdx := []int{ai}
+			if rng.Float64() < 0.5 {
+				co := rng.Intn(g.cfg.AuthorsPerArea) + areaOffset(a.Area, g.cfg.AuthorsPerArea)
+				if co != ai {
+					authorIdx = append(authorIdx, co)
+				}
+			}
+			mixture := g.paperMixture(rng, authorIdx)
+			pub := Publication{
+				ID:        fmt.Sprintf("p%05d", len(g.pubs)),
+				Title:     g.title(rng, mixture),
+				Abstract:  g.abstract(rng, mixture),
+				Venue:     venue,
+				Year:      year,
+				AuthorIdx: authorIdx,
+				Mixture:   mixture,
+			}
+			pi := len(g.pubs)
+			g.pubs = append(g.pubs, pub)
+			for _, x := range authorIdx {
+				g.authors[x].Publications = append(g.authors[x].Publications, pub)
+			}
+			key := venueYearKey(venue, year)
+			g.pubsByVenueYear[key] = append(g.pubsByVenueYear[key], pi)
+		}
+	}
+}
+
+func areaOffset(a Area, perArea int) int {
+	switch a {
+	case DataMining:
+		return 0
+	case Databases:
+		return perArea
+	default:
+		return 2 * perArea
+	}
+}
+
+func venueYearKey(venue string, year int) string { return fmt.Sprintf("%s-%d", venue, year) }
+
+// paperMixture blends the profiles of the authors and renormalises, adding a
+// little noise so papers are not clones of their authors.
+func (g *Generator) paperMixture(rng *rand.Rand, authorIdx []int) core.Vector {
+	mix := make(core.Vector, g.cfg.Topics)
+	for _, ai := range authorIdx {
+		for t, v := range g.authors[ai].Profile {
+			mix[t] += v
+		}
+	}
+	noise := randx.Dirichlet(rng, 0.15, g.cfg.Topics)
+	for t := range mix {
+		mix[t] = 0.8*mix[t]/float64(len(authorIdx)) + 0.2*noise[t]
+	}
+	return mix.Normalized()
+}
+
+// title builds a short synthetic title from the mixture's dominant topics.
+func (g *Generator) title(rng *rand.Rand, mixture core.Vector) string {
+	top := mixture.TopTopics(2)
+	w1 := g.topicWords[top[0]][rng.Intn(len(g.topicWords[top[0]]))]
+	w2 := g.topicWords[top[1]][rng.Intn(len(g.topicWords[top[1]]))]
+	return fmt.Sprintf("On %s and %s", w1, w2)
+}
+
+// abstract samples AbstractWords tokens: 85% from the mixture's topics and
+// 15% from the shared vocabulary.
+func (g *Generator) abstract(rng *rand.Rand, mixture core.Vector) string {
+	var sb strings.Builder
+	for i := 0; i < g.cfg.AbstractWords; i++ {
+		if rng.Float64() < 0.15 {
+			sb.WriteString(g.shared[rng.Intn(len(g.shared))])
+		} else {
+			t := randx.Categorical(rng, mixture)
+			words := g.topicWords[t]
+			sb.WriteString(words[rng.Intn(len(words))])
+		}
+		sb.WriteByte(' ')
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// Authors returns the generated author population.
+func (g *Generator) Authors() []Author { return g.authors }
+
+// Publications returns every generated publication.
+func (g *Generator) Publications() []Publication { return g.pubs }
+
+// Config returns the effective configuration.
+func (g *Generator) Config() Config { return g.cfg }

@@ -1,0 +1,275 @@
+package corpus
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cra"
+	"repro/internal/topics"
+)
+
+// smallGen returns a generator scaled down enough for fast tests.
+func smallGen() *Generator {
+	return NewGenerator(Config{
+		Scale:          0.04,
+		AuthorsPerArea: 60,
+		AbstractWords:  40,
+		Seed:           7,
+	})
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(Config{Scale: 0.02, AuthorsPerArea: 20, Seed: 3})
+	g2 := NewGenerator(Config{Scale: 0.02, AuthorsPerArea: 20, Seed: 3})
+	a1, a2 := g1.Authors(), g2.Authors()
+	if len(a1) != len(a2) {
+		t.Fatal("different author counts for the same seed")
+	}
+	for i := range a1 {
+		if a1[i].Name != a2[i].Name || a1[i].HIndex != a2[i].HIndex {
+			t.Fatal("same seed produced different authors")
+		}
+		if !core.Equal(a1[i].Profile, a2[i].Profile, 0) {
+			t.Fatal("same seed produced different profiles")
+		}
+	}
+}
+
+func TestAuthorProfilesConcentrateOnHomeArea(t *testing.T) {
+	g := smallGen()
+	per := g.Config().Topics / 3
+	misplaced := 0
+	for _, a := range g.Authors() {
+		lo := areaOffset(a.Area, 1) * per // 0, per, 2*per
+		mass := 0.0
+		for t := lo; t < lo+per; t++ {
+			mass += a.Profile[t]
+		}
+		if mass < 0.5 {
+			misplaced++
+		}
+	}
+	if frac := float64(misplaced) / float64(len(g.Authors())); frac > 0.05 {
+		t.Fatalf("%.1f%% of authors have less than half their mass in their home area", frac*100)
+	}
+}
+
+func TestPublicationsWellFormed(t *testing.T) {
+	g := smallGen()
+	if len(g.Publications()) == 0 {
+		t.Fatal("no publications generated")
+	}
+	for _, p := range g.Publications() {
+		if p.Year < 2000 || p.Year > 2009 {
+			t.Fatalf("publication year out of range: %d", p.Year)
+		}
+		if len(p.AuthorIdx) == 0 || p.Abstract == "" || p.Title == "" {
+			t.Fatalf("malformed publication %+v", p)
+		}
+		if math.Abs(p.Mixture.Sum()-1) > 1e-9 {
+			t.Fatalf("mixture not normalised: %v", p.Mixture.Sum())
+		}
+	}
+}
+
+func TestDatasetShapeMatchesScaledTable3(t *testing.T) {
+	g := smallGen()
+	cases := []struct {
+		area   Area
+		year   int
+		papers int
+		pc     int
+	}{
+		{DataMining, 2008, 545, 203},
+		{DataMining, 2009, 648, 145},
+		{Databases, 2008, 617, 105},
+		{Databases, 2009, 513, 90},
+		{Theory, 2008, 281, 228},
+		{Theory, 2009, 226, 222},
+	}
+	for _, c := range cases {
+		d, err := g.Dataset(c.area, c.year)
+		if err != nil {
+			t.Fatalf("%s %d: %v", c.area, c.year, err)
+		}
+		wantPapers := scaled(c.papers, 0.04, 4)
+		wantPC := scaled(c.pc, 0.04, 8)
+		if len(d.Papers) != wantPapers {
+			t.Errorf("%s %d: %d papers, want %d", c.area, c.year, len(d.Papers), wantPapers)
+		}
+		if len(d.Reviewers) != wantPC {
+			t.Errorf("%s %d: %d reviewers, want %d", c.area, c.year, len(d.Reviewers), wantPC)
+		}
+		if len(d.PaperPubs) != len(d.Papers) || len(d.ReviewerAuthors) != len(d.Reviewers) {
+			t.Errorf("%s %d: metadata length mismatch", c.area, c.year)
+		}
+	}
+}
+
+func TestDatasetUnknownAreaYear(t *testing.T) {
+	g := smallGen()
+	if _, err := g.Dataset("XX", 2008); err == nil {
+		t.Fatal("unknown area accepted")
+	}
+	if _, err := g.Dataset(Databases, 1999); err == nil {
+		t.Fatal("unknown year accepted")
+	}
+}
+
+func TestDatasetInstanceSolvable(t *testing.T) {
+	g := smallGen()
+	d, err := g.Dataset(Databases, 2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := d.Instance(3, 0)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := cra.SDGA{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.ValidateAssignment(a); err != nil {
+		t.Fatal(err)
+	}
+	score := in.AssignmentScore(a) / float64(in.NumPapers())
+	if score < 0.3 {
+		t.Fatalf("average coverage %v is implausibly low for area-matched reviewers", score)
+	}
+}
+
+func TestReviewerPool(t *testing.T) {
+	g := smallGen()
+	all := g.ReviewerPool(1, 2000, 2009)
+	strict := g.ReviewerPool(5, 2005, 2009)
+	if len(all) == 0 {
+		t.Fatal("empty reviewer pool")
+	}
+	if len(strict) >= len(all) {
+		t.Fatalf("stricter filter should shrink the pool: %d vs %d", len(strict), len(all))
+	}
+	for _, r := range all {
+		if r.Topics.Dim() != g.Config().Topics {
+			t.Fatal("wrong vector dimension in reviewer pool")
+		}
+	}
+}
+
+func TestScaleByHIndex(t *testing.T) {
+	reviewers := []core.Reviewer{
+		{ID: "low", HIndex: 2, Topics: core.Vector{0.5, 0.5}},
+		{ID: "high", HIndex: 50, Topics: core.Vector{0.5, 0.5}},
+	}
+	scaled := ScaleByHIndex(reviewers)
+	if !core.Equal(scaled[0].Topics, core.Vector{0.5, 0.5}, 1e-12) {
+		t.Fatalf("lowest h-index should keep factor 1, got %v", scaled[0].Topics)
+	}
+	if !core.Equal(scaled[1].Topics, core.Vector{1, 1}, 1e-12) {
+		t.Fatalf("highest h-index should double, got %v", scaled[1].Topics)
+	}
+	if !core.Equal(reviewers[1].Topics, core.Vector{0.5, 0.5}, 0) {
+		t.Fatal("ScaleByHIndex modified its input")
+	}
+	if ScaleByHIndex(nil) != nil {
+		t.Fatal("nil input should return nil")
+	}
+	same := ScaleByHIndex(reviewers[:1])
+	if !core.Equal(same[0].Topics, core.Vector{0.5, 0.5}, 1e-12) {
+		t.Fatal("single reviewer should be unscaled")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := smallGen()
+	d, err := g.Dataset(Theory, 2009)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Area != d.Area || back.Year != d.Year {
+		t.Fatal("area/year lost in round trip")
+	}
+	if len(back.Papers) != len(d.Papers) || len(back.Reviewers) != len(d.Reviewers) {
+		t.Fatal("sizes lost in round trip")
+	}
+	for i := range d.Papers {
+		if !core.Equal(back.Papers[i].Topics, d.Papers[i].Topics, 1e-12) {
+			t.Fatal("paper vectors lost in round trip")
+		}
+	}
+	if len(back.PaperPubs) != len(d.Papers) {
+		t.Fatal("abstracts lost in round trip")
+	}
+	// The reconstructed dataset must still build a solvable instance.
+	in := back.Instance(2, 0)
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestBuildTopicCorpusAndExtraction(t *testing.T) {
+	g := NewGenerator(Config{
+		Scale:          0.02,
+		AuthorsPerArea: 30,
+		AbstractWords:  30,
+		Topics:         6,
+		Seed:           5,
+	})
+	d, err := g.Dataset(Databases, 2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := d.BuildTopicCorpus(2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	in, model, err := d.ExtractedInstance(2, 0, topics.ATMConfig{Topics: 6, Iterations: 30, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(model.TopicWord) != 6 {
+		t.Fatalf("unexpected topic count %d", len(model.TopicWord))
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The extracted instance must be solvable end to end.
+	a, err := cra.SDGA{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.ValidateAssignment(a); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaledHelper(t *testing.T) {
+	if scaled(100, 0.1, 4) != 10 {
+		t.Fatal("scaled(100, 0.1) != 10")
+	}
+	if scaled(10, 0.01, 4) != 4 {
+		t.Fatal("floor not applied")
+	}
+	if scaled(10, 1, 4) != 10 {
+		t.Fatal("identity scale broken")
+	}
+}

@@ -1,0 +1,198 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/randx"
+)
+
+// Dataset is one simulated conference: the submissions of an area and year
+// (all papers published at the area's venues that year, as in Section 5) and
+// the program committee of the area's flagship venue.
+type Dataset struct {
+	Area Area
+	Year int
+	// Papers are the submissions with their topic vectors.
+	Papers []core.Paper
+	// Reviewers are the PC members with their topic vectors and h-indices.
+	Reviewers []core.Reviewer
+	// PaperPubs and ReviewerAuthors link back to the generator's world for
+	// case studies and the topic-model pipeline.
+	PaperPubs       []Publication
+	ReviewerAuthors []Author
+}
+
+// Instance builds a WGRAP instance from the dataset with the given group
+// size; workload 0 means the minimum balanced workload ⌈P·δp/R⌉ (the default
+// of Section 5.2).
+func (d *Dataset) Instance(groupSize, workload int) *core.Instance {
+	in := core.NewInstance(d.Papers, d.Reviewers, groupSize, workload)
+	if workload == 0 {
+		in.Workload = in.MinWorkload()
+	}
+	return in
+}
+
+// Dataset assembles the simulated conference of the given area and year.
+// Paper counts and PC sizes follow Table 3, scaled by Config.Scale (at least
+// one paper and max(δ needs) reviewers are always kept).
+func (g *Generator) Dataset(area Area, year int) (*Dataset, error) {
+	spec, err := g.spec(area)
+	if err != nil {
+		return nil, err
+	}
+	wantPapers, ok := spec.papersByYear[year]
+	if !ok {
+		return nil, fmt.Errorf("corpus: area %s has no data for year %d (Table 3 covers 2008-2009)", area, year)
+	}
+	wantPC := spec.pcSizeByYear[year]
+	wantPapers = scaled(wantPapers, g.cfg.Scale, 4)
+	wantPC = scaled(wantPC, g.cfg.Scale, 8)
+
+	rng := rand.New(rand.NewSource(g.cfg.Seed + int64(year)*31 + int64(len(spec.venues))))
+
+	// Submissions: publications of the area's venues in that year. The
+	// generator may not have produced exactly the Table 3 count; top up with
+	// freshly sampled submissions from the area's author population.
+	var pubIdx []int
+	for _, v := range spec.venues {
+		pubIdx = append(pubIdx, g.pubsByVenueYear[venueYearKey(v, year)]...)
+	}
+	sort.Ints(pubIdx)
+	papers := make([]core.Paper, 0, wantPapers)
+	paperPubs := make([]Publication, 0, wantPapers)
+	for _, pi := range pubIdx {
+		if len(papers) == wantPapers {
+			break
+		}
+		pub := g.pubs[pi]
+		papers = append(papers, core.Paper{ID: pub.ID, Title: pub.Title, Topics: pub.Mixture.Clone()})
+		paperPubs = append(paperPubs, pub)
+	}
+	for len(papers) < wantPapers {
+		ai := areaOffset(area, g.cfg.AuthorsPerArea) + rng.Intn(g.cfg.AuthorsPerArea)
+		mixture := g.paperMixture(rng, []int{ai})
+		pub := Publication{
+			ID:        fmt.Sprintf("sub-%s-%d-%04d", area, year, len(papers)),
+			Title:     g.title(rng, mixture),
+			Abstract:  g.abstract(rng, mixture),
+			Venue:     spec.venues[rng.Intn(len(spec.venues))],
+			Year:      year,
+			AuthorIdx: []int{ai},
+			Mixture:   mixture,
+		}
+		papers = append(papers, core.Paper{ID: pub.ID, Title: pub.Title, Topics: pub.Mixture.Clone()})
+		paperPubs = append(paperPubs, pub)
+	}
+
+	// Program committee: authors of the area, sampled with probability
+	// proportional to their publication volume (senior researchers serve on
+	// PCs more often).
+	offset := areaOffset(area, g.cfg.AuthorsPerArea)
+	weights := make([]float64, g.cfg.AuthorsPerArea)
+	for i := 0; i < g.cfg.AuthorsPerArea; i++ {
+		weights[i] = float64(len(g.authors[offset+i].Publications))
+	}
+	if wantPC > g.cfg.AuthorsPerArea {
+		wantPC = g.cfg.AuthorsPerArea
+	}
+	chosen := randx.WeightedChoiceWithoutReplacement(rng, weights, wantPC)
+	reviewers := make([]core.Reviewer, 0, wantPC)
+	reviewerAuthors := make([]Author, 0, wantPC)
+	for _, i := range chosen {
+		a := g.authors[offset+i]
+		reviewers = append(reviewers, core.Reviewer{
+			ID:     a.ID,
+			Name:   a.Name,
+			Topics: ReviewerVector(a),
+			HIndex: a.HIndex,
+		})
+		reviewerAuthors = append(reviewerAuthors, a)
+	}
+	return &Dataset{
+		Area:            area,
+		Year:            year,
+		Papers:          papers,
+		Reviewers:       reviewers,
+		PaperPubs:       paperPubs,
+		ReviewerAuthors: reviewerAuthors,
+	}, nil
+}
+
+// ReviewerVector derives a reviewer's topic vector from their publication
+// record: the normalised average of their papers' mixtures (falling back to
+// the latent profile when the author has no publications). This mirrors
+// Section 2.4, where reviewer vectors are extracted from publication records
+// rather than declared directly.
+func ReviewerVector(a Author) core.Vector {
+	if len(a.Publications) == 0 {
+		return a.Profile.Clone()
+	}
+	v := make(core.Vector, a.Profile.Dim())
+	for _, p := range a.Publications {
+		for t, x := range p.Mixture {
+			v[t] += x
+		}
+	}
+	return v.Normalized()
+}
+
+// ReviewerPool returns the JRA candidate pool of Section 5.1: every author
+// with at least minPubs publications in [fromYear, toYear], as reviewers.
+func (g *Generator) ReviewerPool(minPubs, fromYear, toYear int) []core.Reviewer {
+	var out []core.Reviewer
+	for _, a := range g.authors {
+		count := 0
+		for _, p := range a.Publications {
+			if p.Year >= fromYear && p.Year <= toYear {
+				count++
+			}
+		}
+		if count >= minPubs {
+			out = append(out, core.Reviewer{ID: a.ID, Name: a.Name, Topics: ReviewerVector(a), HIndex: a.HIndex})
+		}
+	}
+	return out
+}
+
+// ScaleByHIndex returns a copy of the reviewers with their vectors scaled by
+// 1 + (h - hmin)/(hmax - hmin) as in Equation 15 (Figure 21(d)).
+func ScaleByHIndex(reviewers []core.Reviewer) []core.Reviewer {
+	if len(reviewers) == 0 {
+		return nil
+	}
+	hmin, hmax := reviewers[0].HIndex, reviewers[0].HIndex
+	for _, r := range reviewers {
+		if r.HIndex < hmin {
+			hmin = r.HIndex
+		}
+		if r.HIndex > hmax {
+			hmax = r.HIndex
+		}
+	}
+	out := make([]core.Reviewer, len(reviewers))
+	for i, r := range reviewers {
+		factor := 1.0
+		if hmax > hmin {
+			factor = 1 + float64(r.HIndex-hmin)/float64(hmax-hmin)
+		}
+		out[i] = r
+		out[i].Topics = r.Topics.Scale(factor)
+	}
+	return out
+}
+
+// scaled applies the scale factor with a floor.
+func scaled(n int, scale float64, min int) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < min {
+		v = min
+	}
+	if v > n && scale <= 1 {
+		v = n
+	}
+	return v
+}

@@ -1,0 +1,98 @@
+package corpus
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// datasetJSON is the on-disk representation of a Dataset, used by the
+// wgrap-datagen and wgrap-assign command-line tools so generated conferences
+// can be inspected, archived and re-used across runs.
+type datasetJSON struct {
+	Area      Area              `json:"area"`
+	Year      int               `json:"year"`
+	Papers    []paperJSON       `json:"papers"`
+	Reviewers []reviewerJSON    `json:"reviewers"`
+	Abstracts map[string]string `json:"abstracts,omitempty"`
+}
+
+type paperJSON struct {
+	ID     string    `json:"id"`
+	Title  string    `json:"title"`
+	Topics []float64 `json:"topics"`
+}
+
+type reviewerJSON struct {
+	ID     string    `json:"id"`
+	Name   string    `json:"name"`
+	HIndex int       `json:"h_index"`
+	Topics []float64 `json:"topics"`
+}
+
+// WriteJSON serialises the dataset (topic vectors plus, optionally, the
+// abstracts of its papers for the topic-model pipeline).
+func (d *Dataset) WriteJSON(w io.Writer, includeAbstracts bool) error {
+	out := datasetJSON{Area: d.Area, Year: d.Year}
+	for _, p := range d.Papers {
+		out.Papers = append(out.Papers, paperJSON{ID: p.ID, Title: p.Title, Topics: p.Topics})
+	}
+	for _, r := range d.Reviewers {
+		out.Reviewers = append(out.Reviewers, reviewerJSON{ID: r.ID, Name: r.Name, HIndex: r.HIndex, Topics: r.Topics})
+	}
+	if includeAbstracts {
+		out.Abstracts = make(map[string]string, len(d.PaperPubs))
+		for _, p := range d.PaperPubs {
+			out.Abstracts[p.ID] = p.Abstract
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SaveJSON writes the dataset to a file.
+func (d *Dataset) SaveJSON(path string, includeAbstracts bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.WriteJSON(f, includeAbstracts)
+}
+
+// ReadJSON parses a dataset previously written with WriteJSON.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var in datasetJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("corpus: decoding dataset: %w", err)
+	}
+	d := &Dataset{Area: in.Area, Year: in.Year}
+	for _, p := range in.Papers {
+		d.Papers = append(d.Papers, core.Paper{ID: p.ID, Title: p.Title, Topics: p.Topics})
+	}
+	for _, r := range in.Reviewers {
+		d.Reviewers = append(d.Reviewers, core.Reviewer{ID: r.ID, Name: r.Name, HIndex: r.HIndex, Topics: r.Topics})
+	}
+	if len(in.Abstracts) > 0 {
+		for _, p := range d.Papers {
+			if abs, ok := in.Abstracts[p.ID]; ok {
+				d.PaperPubs = append(d.PaperPubs, Publication{ID: p.ID, Title: p.Title, Abstract: abs})
+			}
+		}
+	}
+	return d, nil
+}
+
+// LoadJSON reads a dataset from a file.
+func LoadJSON(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

@@ -1,0 +1,69 @@
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/topics"
+)
+
+// BuildTopicCorpus assembles the internal/topics corpus for a dataset's
+// reviewer pool: every publication (2000 up to and including the dataset
+// year) of every PC member, with the PC members as the corpus authors. It is
+// the input of the Author-Topic Model step of Section 2.4.
+func (d *Dataset) BuildTopicCorpus(upToYear int) (*topics.Corpus, error) {
+	c := topics.NewCorpus(len(d.ReviewerAuthors))
+	for ri, a := range d.ReviewerAuthors {
+		for _, p := range a.Publications {
+			if upToYear > 0 && p.Year > upToYear {
+				continue
+			}
+			if err := c.AddText(p.Abstract, []int{ri}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(c.Docs) == 0 {
+		return nil, fmt.Errorf("corpus: no reviewer publications up to %d", upToYear)
+	}
+	return c, nil
+}
+
+// ExtractedInstance runs the full topic-extraction pipeline of Section 2.4 on
+// the dataset: fit the Author-Topic Model on the PC members' publication
+// abstracts, take the fitted author-topic rows as the reviewer vectors, and
+// infer every submission's topic vector from its abstract with EM
+// (Equation 11). The result is a WGRAP instance whose vectors come from text
+// rather than from the generator's ground truth.
+func (d *Dataset) ExtractedInstance(groupSize, workload int, atmCfg topics.ATMConfig) (*core.Instance, *topics.ATMResult, error) {
+	if len(d.PaperPubs) != len(d.Papers) {
+		return nil, nil, fmt.Errorf("corpus: dataset lacks abstracts for the extraction pipeline")
+	}
+	tc, err := d.BuildTopicCorpus(d.Year)
+	if err != nil {
+		return nil, nil, err
+	}
+	model, err := topics.FitATM(tc, atmCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	reviewers := make([]core.Reviewer, len(d.Reviewers))
+	for i, r := range d.Reviewers {
+		reviewers[i] = r
+		reviewers[i].Topics = core.Vector(model.AuthorTopic[i]).Clone()
+	}
+	papers := make([]core.Paper, len(d.Papers))
+	for i, p := range d.Papers {
+		vec, err := topics.InferDocument(d.PaperPubs[i].Abstract, tc.Vocab, model.TopicWord, topics.InferConfig{})
+		if err != nil {
+			return nil, nil, err
+		}
+		papers[i] = p
+		papers[i].Topics = core.Vector(vec)
+	}
+	in := core.NewInstance(papers, reviewers, groupSize, workload)
+	if workload == 0 {
+		in.Workload = in.MinWorkload()
+	}
+	return in, model, nil
+}

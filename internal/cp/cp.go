@@ -1,0 +1,210 @@
+// Package cp is a small finite-domain constraint-programming solver:
+// integer variables with explicit domains, propagating constraints
+// (all-different, strictly-increasing chains) and a depth-first
+// branch-and-bound search that maximises a user objective.
+//
+// It stands in for the commercial CP solver (IBM CPLEX CP Optimizer) that the
+// paper compares against in Section 5.1. As the paper observes, generic
+// constraint programming lacks a tight, problem-specific upper bound for the
+// group-coverage objective; this solver therefore supports an optional bound
+// callback but the JRA model in internal/jra deliberately supplies only a
+// loose one, mirroring that observation.
+package cp
+
+import (
+	"errors"
+	"sort"
+)
+
+// Model is a constraint satisfaction/optimisation model.
+type Model struct {
+	domains     [][]int
+	constraints []Constraint
+}
+
+// Constraint restricts the joint values of the model variables. Feasible is
+// called with a partial assignment (unassigned entries are -1 sentinel via
+// the assigned mask) and must return false only when the partial assignment
+// can provably not be extended to a solution.
+type Constraint interface {
+	Feasible(values []int, assigned []bool) bool
+}
+
+// Objective scores a complete assignment; the solver maximises it.
+type Objective func(values []int) float64
+
+// Bound optionally overestimates the best objective reachable from a partial
+// assignment. Returning +Inf (or any large value) keeps the node alive; tight
+// bounds prune. A nil bound disables pruning entirely.
+type Bound func(values []int, assigned []bool) float64
+
+// Solution of a CP optimisation run.
+type Solution struct {
+	Values    []int
+	Objective float64
+	// Nodes is the number of search nodes visited.
+	Nodes int
+	// FirstFeasibleNodes is the number of nodes visited until the first
+	// feasible complete assignment was found (the paper reports "time to
+	// first feasible" for the CP baseline).
+	FirstFeasibleNodes int
+}
+
+// ErrNoSolution is returned when the model admits no complete assignment.
+var ErrNoSolution = errors.New("cp: no solution")
+
+// NewModel creates an empty model.
+func NewModel() *Model { return &Model{} }
+
+// AddVar adds a variable with the given domain and returns its index.
+func (m *Model) AddVar(domain []int) int {
+	d := append([]int(nil), domain...)
+	sort.Ints(d)
+	m.domains = append(m.domains, d)
+	return len(m.domains) - 1
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.domains) }
+
+// Add registers a constraint.
+func (m *Model) Add(c Constraint) { m.constraints = append(m.constraints, c) }
+
+// AllDifferent forces the listed variables to take pairwise distinct values.
+type AllDifferent struct{ Vars []int }
+
+// Feasible implements Constraint with pairwise checks over assigned variables.
+func (c AllDifferent) Feasible(values []int, assigned []bool) bool {
+	seen := make(map[int]bool, len(c.Vars))
+	for _, v := range c.Vars {
+		if !assigned[v] {
+			continue
+		}
+		if seen[values[v]] {
+			return false
+		}
+		seen[values[v]] = true
+	}
+	return true
+}
+
+// StrictlyIncreasing forces consecutive listed variables to take strictly
+// increasing values; the canonical symmetry-breaking constraint for selecting
+// a set with ordered slots.
+type StrictlyIncreasing struct{ Vars []int }
+
+// Feasible implements Constraint over adjacent assigned pairs.
+func (c StrictlyIncreasing) Feasible(values []int, assigned []bool) bool {
+	for i := 1; i < len(c.Vars); i++ {
+		a, b := c.Vars[i-1], c.Vars[i]
+		if assigned[a] && assigned[b] && values[a] >= values[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// Forbidden excludes a specific value from a variable's domain dynamically
+// (e.g. conflicts of interest).
+type Forbidden struct {
+	Var   int
+	Value int
+}
+
+// Feasible implements Constraint.
+func (c Forbidden) Feasible(values []int, assigned []bool) bool {
+	return !assigned[c.Var] || values[c.Var] != c.Value
+}
+
+// Options for the search.
+type Options struct {
+	// Objective to maximise. Required for Maximize.
+	Objective Objective
+	// Bound prunes partial assignments; nil disables pruning.
+	Bound Bound
+	// ValueOrder optionally orders the domain values tried for a variable,
+	// best first. Nil keeps the ascending domain order.
+	ValueOrder func(variable int, domain []int) []int
+	// MaxNodes caps the search (0 = 10,000,000).
+	MaxNodes int
+}
+
+// ErrNodeLimit is returned when the node budget is exhausted; the best
+// incumbent found so far (if any) is still returned.
+var ErrNodeLimit = errors.New("cp: node limit exceeded")
+
+// Maximize searches for the complete assignment maximising the objective.
+func (m *Model) Maximize(opts Options) (*Solution, error) {
+	if opts.Objective == nil {
+		return nil, errors.New("cp: Objective is required")
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 10_000_000
+	}
+	n := m.NumVars()
+	values := make([]int, n)
+	assigned := make([]bool, n)
+	best := &Solution{Objective: -1e308}
+	found := false
+	nodes := 0
+	firstFeasible := 0
+
+	var dfs func(depth int) error
+	dfs = func(depth int) error {
+		if nodes >= maxNodes {
+			return ErrNodeLimit
+		}
+		if depth == n {
+			obj := opts.Objective(values)
+			if !found {
+				firstFeasible = nodes
+			}
+			if !found || obj > best.Objective {
+				best.Values = append([]int(nil), values...)
+				best.Objective = obj
+			}
+			found = true
+			return nil
+		}
+		domain := m.domains[depth]
+		if opts.ValueOrder != nil {
+			domain = opts.ValueOrder(depth, domain)
+		}
+		for _, v := range domain {
+			values[depth] = v
+			assigned[depth] = true
+			nodes++
+			ok := true
+			for _, c := range m.constraints {
+				if !c.Feasible(values, assigned) {
+					ok = false
+					break
+				}
+			}
+			if ok && found && opts.Bound != nil {
+				if opts.Bound(values, assigned) <= best.Objective+1e-12 {
+					ok = false
+				}
+			}
+			if ok {
+				if err := dfs(depth + 1); err != nil {
+					assigned[depth] = false
+					return err
+				}
+			}
+			assigned[depth] = false
+		}
+		return nil
+	}
+	err := dfs(0)
+	if err != nil && !found {
+		return nil, err
+	}
+	if !found {
+		return nil, ErrNoSolution
+	}
+	best.Nodes = nodes
+	best.FirstFeasibleNodes = firstFeasible
+	return best, err
+}

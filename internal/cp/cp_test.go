@@ -1,0 +1,208 @@
+package cp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaximizeSimpleSelection(t *testing.T) {
+	// Pick 2 distinct, increasing indices out of 4 maximising weights.
+	weights := []float64{0.1, 0.9, 0.5, 0.7}
+	m := NewModel()
+	dom := []int{0, 1, 2, 3}
+	v0 := m.AddVar(dom)
+	v1 := m.AddVar(dom)
+	m.Add(AllDifferent{Vars: []int{v0, v1}})
+	m.Add(StrictlyIncreasing{Vars: []int{v0, v1}})
+	sol, err := m.Maximize(Options{Objective: func(vals []int) float64 {
+		return weights[vals[0]] + weights[vals[1]]
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-1.6) > 1e-9 {
+		t.Fatalf("objective = %v, want 1.6", sol.Objective)
+	}
+	if sol.Values[0] != 1 || sol.Values[1] != 3 {
+		t.Fatalf("values = %v", sol.Values)
+	}
+	if sol.Nodes <= 0 || sol.FirstFeasibleNodes <= 0 || sol.FirstFeasibleNodes > sol.Nodes {
+		t.Fatalf("node accounting wrong: %+v", sol)
+	}
+}
+
+func TestForbiddenConstraint(t *testing.T) {
+	m := NewModel()
+	v := m.AddVar([]int{0, 1, 2})
+	m.Add(Forbidden{Var: v, Value: 2})
+	sol, err := m.Maximize(Options{Objective: func(vals []int) float64 { return float64(vals[0]) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Values[0] != 1 {
+		t.Fatalf("values = %v, want [1]", sol.Values)
+	}
+}
+
+func TestNoSolution(t *testing.T) {
+	m := NewModel()
+	v0 := m.AddVar([]int{0})
+	v1 := m.AddVar([]int{0})
+	m.Add(AllDifferent{Vars: []int{v0, v1}})
+	if _, err := m.Maximize(Options{Objective: func([]int) float64 { return 0 }}); err != ErrNoSolution {
+		t.Fatalf("err = %v, want ErrNoSolution", err)
+	}
+}
+
+func TestObjectiveRequired(t *testing.T) {
+	m := NewModel()
+	m.AddVar([]int{0})
+	if _, err := m.Maximize(Options{}); err == nil {
+		t.Fatal("missing objective accepted")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	m := NewModel()
+	dom := make([]int, 30)
+	for i := range dom {
+		dom[i] = i
+	}
+	for i := 0; i < 4; i++ {
+		m.AddVar(dom)
+	}
+	m.Add(AllDifferent{Vars: []int{0, 1, 2, 3}})
+	_, err := m.Maximize(Options{
+		Objective: func(vals []int) float64 { return float64(vals[0]) },
+		MaxNodes:  5,
+	})
+	if err != ErrNodeLimit {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+func TestBoundPruningPreservesOptimum(t *testing.T) {
+	weights := []float64{0.3, 0.8, 0.2, 0.9, 0.1}
+	build := func() (*Model, Options) {
+		m := NewModel()
+		dom := []int{0, 1, 2, 3, 4}
+		v0 := m.AddVar(dom)
+		v1 := m.AddVar(dom)
+		m.Add(AllDifferent{Vars: []int{v0, v1}})
+		m.Add(StrictlyIncreasing{Vars: []int{v0, v1}})
+		opts := Options{Objective: func(vals []int) float64 {
+			return weights[vals[0]] + weights[vals[1]]
+		}}
+		return m, opts
+	}
+	m1, o1 := build()
+	plain, err := m1.Maximize(o1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, o2 := build()
+	o2.Bound = func(values []int, assigned []bool) float64 {
+		// Assigned weights plus the best possible remaining weight.
+		s := 0.0
+		unassigned := 0
+		for i := range assigned {
+			if i < 2 && assigned[i] {
+				s += weights[values[i]]
+			} else if i < 2 {
+				unassigned++
+			}
+		}
+		return s + float64(unassigned)*0.9
+	}
+	pruned, err := m2.Maximize(o2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Objective-pruned.Objective) > 1e-9 {
+		t.Fatalf("bound changed the optimum: %v vs %v", plain.Objective, pruned.Objective)
+	}
+	if pruned.Nodes > plain.Nodes {
+		t.Fatalf("bound did not prune: %d > %d nodes", pruned.Nodes, plain.Nodes)
+	}
+}
+
+func TestValueOrderAffectsFirstFeasible(t *testing.T) {
+	m := NewModel()
+	dom := []int{0, 1, 2, 3, 4, 5}
+	m.AddVar(dom)
+	sol, err := m.Maximize(Options{
+		Objective: func(vals []int) float64 { return float64(vals[0]) },
+		ValueOrder: func(_ int, d []int) []int {
+			out := append([]int(nil), d...)
+			for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+				out[i], out[j] = out[j], out[i]
+			}
+			return out
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.FirstFeasibleNodes != 1 {
+		t.Fatalf("best-first value order should hit feasible at node 1, got %d", sol.FirstFeasibleNodes)
+	}
+	if sol.Objective != 5 {
+		t.Fatalf("objective = %v", sol.Objective)
+	}
+}
+
+// Property: CP optimum for "choose k of n" equals brute-force enumeration.
+func TestCPMatchesBruteForceSelection(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(5)
+		k := 1 + rng.Intn(3)
+		if k > n {
+			k = n
+		}
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = rng.Float64()
+		}
+		m := NewModel()
+		dom := make([]int, n)
+		for i := range dom {
+			dom[i] = i
+		}
+		vars := make([]int, k)
+		for i := 0; i < k; i++ {
+			vars[i] = m.AddVar(dom)
+		}
+		m.Add(AllDifferent{Vars: vars})
+		m.Add(StrictlyIncreasing{Vars: vars})
+		sol, err := m.Maximize(Options{Objective: func(vals []int) float64 {
+			s := 0.0
+			for _, v := range vals {
+				s += weights[v]
+			}
+			return s
+		}})
+		if err != nil {
+			return false
+		}
+		// Brute force: sum of k largest weights.
+		sorted := append([]float64(nil), weights...)
+		for i := 0; i < len(sorted); i++ {
+			for j := i + 1; j < len(sorted); j++ {
+				if sorted[j] > sorted[i] {
+					sorted[i], sorted[j] = sorted[j], sorted[i]
+				}
+			}
+		}
+		want := 0.0
+		for i := 0; i < k; i++ {
+			want += sorted[i]
+		}
+		return math.Abs(sol.Objective-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

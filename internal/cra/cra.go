@@ -1,0 +1,98 @@
+// Package cra implements the Conference Reviewer Assignment algorithms of
+// Section 4 of the paper and the baselines used in its evaluation
+// (Section 5.2):
+//
+//   - Greedy         — the pairwise greedy of Long et al. (1/3-approximation)
+//   - BRGG           — Best Reviewer Group Greedy (best group per iteration)
+//   - SDGA           — Stage Deepening Greedy Algorithm (the paper's
+//     1/2 ⋯ (1−1/e)-approximation, Section 4.2/4.3)
+//   - SRA            — Stochastic Refinement (Section 4.4), plus a classic
+//     Local Search refiner for comparison (Figure 12)
+//   - StableMatching — capacitated Gale–Shapley baseline (SM)
+//   - PairILP        — exact optimiser of the pair-additive ARAP objective
+//     (the "ILP" baseline of the experiments)
+//
+// All algorithms consume a core.Instance and produce a core.Assignment that
+// satisfies the WGRAP constraints of Definition 3.
+package cra
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Algorithm computes a full conference assignment.
+type Algorithm interface {
+	// Name identifies the algorithm in experiment output.
+	Name() string
+	// Assign computes an assignment satisfying the instance constraints.
+	Assign(in *core.Instance) (*core.Assignment, error)
+}
+
+// Refiner improves an existing assignment without violating constraints.
+type Refiner interface {
+	// Name identifies the refiner in experiment output.
+	Name() string
+	// Refine returns an assignment with a coverage score at least as high as
+	// the input. The input assignment is not modified.
+	Refine(in *core.Instance, a *core.Assignment) (*core.Assignment, error)
+}
+
+// ErrInsufficientCapacity is returned when the reviewer pool cannot possibly
+// satisfy the group size constraint of every paper.
+var ErrInsufficientCapacity = errors.New("cra: insufficient reviewer capacity")
+
+// prepare validates the instance and returns the effective workload (callers
+// may leave Workload at zero to mean "minimum balanced workload", the default
+// setting of the experiments).
+func prepare(in *core.Instance) (*core.Instance, error) {
+	work := in
+	if in.Workload == 0 {
+		clone := *in
+		clone.Workload = in.MinWorkload()
+		work = &clone
+	}
+	if err := work.Validate(); err != nil {
+		return nil, fmt.Errorf("cra: %w", err)
+	}
+	return work, nil
+}
+
+// remainingCapacity returns δr minus the current load for every reviewer.
+func remainingCapacity(in *core.Instance, a *core.Assignment) []int {
+	loads := a.ReviewerLoads(in.NumReviewers())
+	rem := make([]int, len(loads))
+	for r, l := range loads {
+		rem[r] = in.Workload - l
+	}
+	return rem
+}
+
+// feasiblePair reports whether reviewer r can still be added to paper p.
+func feasiblePair(in *core.Instance, a *core.Assignment, rem []int, r, p int) bool {
+	return rem[r] > 0 &&
+		len(a.Groups[p]) < in.GroupSize &&
+		!a.Contains(p, r) &&
+		!in.IsConflict(r, p)
+}
+
+// WithRefiner composes an assignment algorithm with a refinement step (e.g.
+// SDGA followed by stochastic refinement, the paper's SDGA-SRA).
+type WithRefiner struct {
+	Base    Algorithm
+	Refiner Refiner
+}
+
+// Name implements Algorithm.
+func (w WithRefiner) Name() string { return w.Base.Name() + "-" + w.Refiner.Name() }
+
+// Assign implements Algorithm.
+func (w WithRefiner) Assign(in *core.Instance) (*core.Assignment, error) {
+	a, err := w.Base.Assign(in)
+	if err != nil {
+		return nil, err
+	}
+	return w.Refiner.Refine(in, a)
+}

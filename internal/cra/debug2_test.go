@@ -1,0 +1,22 @@
+package cra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDebugSeedGreedy(t *testing.T) {
+	seed := int64(284869796476506422)
+	rng := rand.New(rand.NewSource(seed))
+	in := randomConference(rng, 3+rng.Intn(10), 4+rng.Intn(6), 2+rng.Intn(6), 2)
+	a1, err1 := Greedy{}.Assign(in)
+	a2, err2 := Greedy{Naive: true}.Assign(in)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	t.Logf("P=%d R=%d T=%d workload=%d", in.NumPapers(), in.NumReviewers(), in.NumTopics(), in.Workload)
+	t.Logf("heap score=%v naive score=%v", in.AssignmentScore(a1), in.AssignmentScore(a2))
+	for p := range a1.Groups {
+		t.Logf("p%d heap=%v naive=%v", p, a1.Sorted().Groups[p], a2.Sorted().Groups[p])
+	}
+}

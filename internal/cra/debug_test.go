@@ -1,0 +1,45 @@
+package cra
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDebugSeeds reproduces previously failing quick-check seeds directly so
+// regressions surface with full detail.
+func TestDebugSeedSDGASolvers(t *testing.T) {
+	seed := int64(8687629866177144313)
+	rng := rand.New(rand.NewSource(seed))
+	in := randomConference(rng, 4+rng.Intn(10), 4+rng.Intn(6), 3+rng.Intn(6), 2+rng.Intn(2))
+	a1, err1 := SDGA{Solver: StageFlow}.Assign(in)
+	a2, err2 := SDGA{Solver: StageHungarian}.Assign(in)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	t.Logf("P=%d R=%d T=%d delta=%d workload=%d", in.NumPapers(), in.NumReviewers(), in.NumTopics(), in.GroupSize, in.Workload)
+	t.Logf("flow score=%v hungarian score=%v", in.AssignmentScore(a1), in.AssignmentScore(a2))
+}
+
+func TestDebugSeedSRA(t *testing.T) {
+	seed := int64(6659235318012465962)
+	rng := rand.New(rand.NewSource(seed))
+	in := randomConference(rng, 4+rng.Intn(10), 5+rng.Intn(6), 3+rng.Intn(6), 2+rng.Intn(2))
+	base, err := SDGA{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []ProbabilityModel{ProbCoverageDecay, ProbCoverage, ProbUniform} {
+		refined, err := (SRA{Omega: 3, MaxRounds: 15, Model: model, Seed: seed}).Refine(in, base)
+		if err != nil {
+			t.Fatalf("model %v: %v", model, err)
+		}
+		work := *in
+		work.Workload = in.MinWorkload()
+		if err := work.ValidateAssignment(refined); err != nil {
+			t.Errorf("model %v: invalid: %v", model, err)
+		}
+		if in.AssignmentScore(refined) < in.AssignmentScore(base)-1e-9 {
+			t.Errorf("model %v: score decreased", model)
+		}
+	}
+}

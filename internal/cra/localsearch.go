@@ -1,0 +1,173 @@
+package cra
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// LocalSearch is the classic local-search refiner the paper compares SRA
+// against (Figure 12): it repeatedly proposes a random move — either
+// replacing one assigned reviewer with an unassigned one, or swapping the
+// reviewers of two papers — and accepts the move only when it increases the
+// coverage score. Because it never accepts non-improving moves it tends to
+// get stuck in a local maximum, which is the behaviour the paper reports.
+type LocalSearch struct {
+	// MaxMoves caps the number of proposed moves (default 100,000).
+	MaxMoves int
+	// Patience stops the search after this many consecutive rejected moves
+	// (default 5,000).
+	Patience int
+	// TimeBudget optionally bounds the wall-clock time (0 = none).
+	TimeBudget time.Duration
+	// Seed makes the search reproducible (default 1).
+	Seed int64
+	// OnImprove, when set, is called after every accepted move with the move
+	// number, the current score and the elapsed time.
+	OnImprove func(move int, score float64, elapsed time.Duration)
+}
+
+// Name implements Refiner.
+func (LocalSearch) Name() string { return "LS" }
+
+func (l LocalSearch) withDefaults() LocalSearch {
+	if l.MaxMoves <= 0 {
+		l.MaxMoves = 100000
+	}
+	if l.Patience <= 0 {
+		l.Patience = 5000
+	}
+	if l.Seed == 0 {
+		l.Seed = 1
+	}
+	return l
+}
+
+// Refine implements Refiner.
+func (l LocalSearch) Refine(instance *core.Instance, start *core.Assignment) (*core.Assignment, error) {
+	l = l.withDefaults()
+	in, err := prepare(instance)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.ValidateAssignment(start); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(l.Seed))
+	a := start.Clone()
+	rem := remainingCapacity(in, a)
+	paperScores := in.PaperScores(a)
+	score := 0.0
+	for _, s := range paperScores {
+		score += s
+	}
+	startTime := time.Now()
+	rejected := 0
+
+	for move := 0; move < l.MaxMoves && rejected < l.Patience; move++ {
+		if l.TimeBudget > 0 && time.Since(startTime) > l.TimeBudget {
+			break
+		}
+		improved := false
+		if rng.Intn(2) == 0 {
+			improved = l.tryReplace(in, a, rem, paperScores, rng)
+		} else {
+			improved = l.trySwap(in, a, paperScores, rng)
+		}
+		if improved {
+			rejected = 0
+			score = 0
+			for _, s := range paperScores {
+				score += s
+			}
+			if l.OnImprove != nil {
+				l.OnImprove(move, score, time.Since(startTime))
+			}
+		} else {
+			rejected++
+		}
+	}
+	return a, nil
+}
+
+// tryReplace substitutes one assigned reviewer of a random paper with a
+// random reviewer that has spare capacity; keeps the move if it improves the
+// paper's score.
+func (l LocalSearch) tryReplace(in *core.Instance, a *core.Assignment, rem []int, paperScores []float64, rng *rand.Rand) bool {
+	P, R := in.NumPapers(), in.NumReviewers()
+	p := rng.Intn(P)
+	g := a.Groups[p]
+	if len(g) == 0 {
+		return false
+	}
+	out := g[rng.Intn(len(g))]
+	incoming := rng.Intn(R)
+	if rem[incoming] <= 0 || incoming == out || a.Contains(p, incoming) || in.IsConflict(incoming, p) {
+		return false
+	}
+	candidate := append([]int(nil), g...)
+	for i, r := range candidate {
+		if r == out {
+			candidate[i] = incoming
+			break
+		}
+	}
+	newScore := in.GroupScore(p, candidate)
+	if newScore <= paperScores[p]+1e-12 {
+		return false
+	}
+	a.Remove(p, out)
+	a.Assign(p, incoming)
+	rem[out]++
+	rem[incoming]--
+	paperScores[p] = newScore
+	return true
+}
+
+// trySwap exchanges one reviewer between two random papers; keeps the move if
+// the summed score of the two papers improves.
+func (l LocalSearch) trySwap(in *core.Instance, a *core.Assignment, paperScores []float64, rng *rand.Rand) bool {
+	P := in.NumPapers()
+	if P < 2 {
+		return false
+	}
+	p1 := rng.Intn(P)
+	p2 := rng.Intn(P)
+	if p1 == p2 {
+		return false
+	}
+	g1, g2 := a.Groups[p1], a.Groups[p2]
+	if len(g1) == 0 || len(g2) == 0 {
+		return false
+	}
+	r1 := g1[rng.Intn(len(g1))]
+	r2 := g2[rng.Intn(len(g2))]
+	if r1 == r2 ||
+		a.Contains(p1, r2) || a.Contains(p2, r1) ||
+		in.IsConflict(r2, p1) || in.IsConflict(r1, p2) {
+		return false
+	}
+	swap := func(g []int, from, to int) []int {
+		out := append([]int(nil), g...)
+		for i, r := range out {
+			if r == from {
+				out[i] = to
+				break
+			}
+		}
+		return out
+	}
+	n1 := in.GroupScore(p1, swap(g1, r1, r2))
+	n2 := in.GroupScore(p2, swap(g2, r2, r1))
+	if n1+n2 <= paperScores[p1]+paperScores[p2]+1e-12 {
+		return false
+	}
+	a.Remove(p1, r1)
+	a.Remove(p2, r2)
+	a.Assign(p1, r2)
+	a.Assign(p2, r1)
+	paperScores[p1] = n1
+	paperScores[p2] = n2
+	return true
+}

@@ -1,0 +1,198 @@
+package cra
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+)
+
+// ProbabilityModel selects how the stochastic refinement estimates the
+// probability P(r|p) that pair (r, p) belongs to the optimal assignment.
+type ProbabilityModel int
+
+// Probability models (Section 4.4).
+const (
+	// ProbCoverageDecay is Equation 10: coverage-based with an exponential
+	// decay towards the uniform floor 1/R as refinement iterations pass.
+	// Default.
+	ProbCoverageDecay ProbabilityModel = iota
+	// ProbCoverage is Equation 9: coverage-based, no decay.
+	ProbCoverage
+	// ProbUniform treats all reviewers as equally likely (the strawman
+	// discussed before Equation 9).
+	ProbUniform
+)
+
+// SRA is the Stochastic Refinement Algorithm of Section 4.4 (Algorithm 3).
+// Starting from an existing assignment (typically produced by SDGA) it
+// repeatedly removes one reviewer from every paper — reviewers with a low
+// estimated probability of belonging to the optimal assignment are removed
+// preferentially — and re-completes the assignment with one Stage-WGRAP
+// linear assignment. The best assignment seen is retained, so refinement
+// never lowers the coverage score. The process stops when the score has not
+// improved for Omega consecutive rounds, when MaxRounds is reached, or when
+// the optional TimeBudget is exhausted.
+type SRA struct {
+	// Omega is the convergence threshold ω (default 10, the paper's setting).
+	Omega int
+	// Lambda is the decay rate λ of Equation 10 (default 0.1).
+	Lambda float64
+	// MaxRounds caps the number of refinement rounds (default 1000).
+	MaxRounds int
+	// TimeBudget optionally bounds the wall-clock refinement time (0 = none).
+	TimeBudget time.Duration
+	// Model selects the probability model (default Equation 10).
+	Model ProbabilityModel
+	// Seed makes the stochastic process reproducible (default 1).
+	Seed int64
+	// OnRound, when set, is called after every refinement round with the
+	// 1-based round number, the best score so far and the elapsed time; the
+	// refinement-progress experiment (Figure 12) uses it to record a trace.
+	OnRound func(round int, bestScore float64, elapsed time.Duration)
+}
+
+// Name implements Refiner.
+func (SRA) Name() string { return "SRA" }
+
+func (s SRA) withDefaults() SRA {
+	if s.Omega <= 0 {
+		s.Omega = 10
+	}
+	if s.Lambda <= 0 {
+		s.Lambda = 0.1
+	}
+	if s.MaxRounds <= 0 {
+		s.MaxRounds = 1000
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Refine implements Refiner.
+func (s SRA) Refine(instance *core.Instance, start *core.Assignment) (*core.Assignment, error) {
+	s = s.withDefaults()
+	in, err := prepare(instance)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.ValidateAssignment(start); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	P, R := in.NumPapers(), in.NumReviewers()
+
+	// Pre-compute all pair coverage scores and the per-reviewer totals of the
+	// probability model (the denominator of Equation 9). O(P·R), as stated in
+	// the paper.
+	pairScore := make([][]float64, P)
+	reviewerTotal := make([]float64, R)
+	for p := 0; p < P; p++ {
+		pairScore[p] = make([]float64, R)
+		for r := 0; r < R; r++ {
+			c := in.PairScore(r, p)
+			pairScore[p][r] = c
+			reviewerTotal[r] += c
+		}
+	}
+	prob := func(r, p int, iteration int) float64 {
+		switch s.Model {
+		case ProbUniform:
+			return 1 / float64(R)
+		case ProbCoverage:
+			if reviewerTotal[r] == 0 {
+				return 1 / float64(R)
+			}
+			return pairScore[p][r] / reviewerTotal[r]
+		default: // ProbCoverageDecay, Equation 10
+			base := 0.0
+			if reviewerTotal[r] > 0 {
+				base = pairScore[p][r] / reviewerTotal[r]
+			}
+			v := math.Exp(-s.Lambda*float64(iteration)) * base
+			if floor := 1 / float64(R); v < floor {
+				v = floor
+			}
+			return v
+		}
+	}
+
+	best := start.Clone()
+	bestScore := in.AssignmentScore(best)
+	current := start.Clone()
+	stale := 0
+	startTime := time.Now()
+
+	for iter := 1; iter <= s.MaxRounds && stale < s.Omega; iter++ {
+		if s.TimeBudget > 0 && time.Since(startTime) > s.TimeBudget {
+			break
+		}
+		// Removal phase: drop one reviewer from every paper, preferring pairs
+		// with a low probability of being "correct".
+		trial := current.Clone()
+		rem := remainingCapacity(in, trial)
+		for p := 0; p < P; p++ {
+			g := trial.Groups[p]
+			if len(g) == 0 {
+				continue
+			}
+			weights := make([]float64, len(g))
+			for i, r := range g {
+				weights[i] = 1 - prob(r, p, iter)
+				if weights[i] < 0 {
+					weights[i] = 0
+				}
+			}
+			victim := g[categorical(rng, weights)]
+			trial.Remove(p, victim)
+			rem[victim]++
+		}
+		// Completion phase: one Stage-WGRAP linear assignment adds a reviewer
+		// back to every paper (Figure 8(c)).
+		if err := fillMissingSlots(in, trial, rem); err != nil {
+			// The stochastic removal produced an infeasible completion
+			// (possible with many conflicts); skip this round.
+			stale++
+			continue
+		}
+		score := in.AssignmentScore(trial)
+		if score > bestScore+1e-12 {
+			bestScore = score
+			best = trial.Clone()
+			stale = 0
+		} else {
+			stale++
+		}
+		// Continue refining from the trial even if it did not improve: the
+		// stochastic walk may escape local maxima; the best is kept separately.
+		current = trial
+		if s.OnRound != nil {
+			s.OnRound(iter, bestScore, time.Since(startTime))
+		}
+	}
+	return best, nil
+}
+
+// categorical draws an index proportionally to the weights, falling back to a
+// uniform draw when all weights vanish.
+func categorical(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		return rng.Intn(len(weights))
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

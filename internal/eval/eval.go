@@ -1,0 +1,199 @@
+// Package eval implements the quality metrics of the paper's experimental
+// study (Section 5.2 and Appendix C): the ideal assignment and optimality
+// ratio, the superiority ratio between two assignments, the lowest per-paper
+// coverage score, and the per-paper case-study breakdown of Figures 19/20.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/jra"
+)
+
+// IdealAssignment assigns to every paper its best possible set of δp
+// reviewers while ignoring the workload constraint, as the paper constructs
+// the ideal assignment AI whose score upper-bounds the optimum (c(AI) ≥
+// c(O)). Each per-paper group is solved exactly with the BBA solver so the
+// bound is rigorous; conflicts of interest are still respected.
+func IdealAssignment(in *core.Instance) *core.Assignment {
+	solver := jra.BranchAndBound{}
+	a := core.NewAssignment(in.NumPapers())
+	for p := 0; p < in.NumPapers(); p++ {
+		res, err := solver.Solve(in.JournalInstance(p))
+		if err != nil {
+			// Not enough conflict-free candidates for a full group; fall back
+			// to the best achievable smaller group, built greedily.
+			g := make(core.Vector, in.NumTopics())
+			chosen := make(map[int]bool, in.GroupSize)
+			for len(chosen) < in.GroupSize {
+				best, bestGain := -1, -1.0
+				for r := 0; r < in.NumReviewers(); r++ {
+					if chosen[r] || in.IsConflict(r, p) {
+						continue
+					}
+					if gain := in.GainWithVector(p, g, r); gain > bestGain {
+						best, bestGain = r, gain
+					}
+				}
+				if best == -1 {
+					break
+				}
+				chosen[best] = true
+				a.Assign(p, best)
+				g.MaxInPlace(in.Reviewers[best].Topics)
+			}
+			continue
+		}
+		for _, r := range res.Group {
+			a.Assign(p, r)
+		}
+	}
+	return a
+}
+
+// OptimalityRatio returns c(A)/c(AI): the assignment's score relative to the
+// ideal (workload-free) assignment. Because c(AI) ≥ c(O), the ratio is a
+// lower bound on the true approximation ratio c(A)/c(O).
+func OptimalityRatio(in *core.Instance, a *core.Assignment) float64 {
+	ideal := in.AssignmentScore(IdealAssignment(in))
+	if ideal == 0 {
+		return 1
+	}
+	return in.AssignmentScore(a) / ideal
+}
+
+// Superiority holds the superiority ratio of assignment X over assignment Y.
+type Superiority struct {
+	// BetterOrEqual is the fraction of papers whose coverage under X is at
+	// least their coverage under Y (the full bar of Figure 11).
+	BetterOrEqual float64
+	// Ties is the fraction of papers with equal coverage under X and Y (the
+	// dark portion of the bar).
+	Ties float64
+}
+
+// SuperiorityRatio compares two assignments paper by paper (Section 5.2):
+// ratio(X, Y) = |{p : c(AX[p], p) ≥ c(AY[p], p)}| / P.
+func SuperiorityRatio(in *core.Instance, x, y *core.Assignment) Superiority {
+	sx := in.PaperScores(x)
+	sy := in.PaperScores(y)
+	better, ties := 0, 0
+	for p := range sx {
+		switch {
+		case sx[p] > sy[p]+1e-12:
+			better++
+		case sx[p] >= sy[p]-1e-12:
+			ties++
+		}
+	}
+	n := float64(len(sx))
+	if n == 0 {
+		return Superiority{}
+	}
+	return Superiority{
+		BetterOrEqual: float64(better+ties) / n,
+		Ties:          float64(ties) / n,
+	}
+}
+
+// LowestCoverage returns the minimum per-paper coverage score of the
+// assignment (Table 7), i.e. the quality of the worst-served paper.
+func LowestCoverage(in *core.Instance, a *core.Assignment) float64 {
+	scores := in.PaperScores(a)
+	if len(scores) == 0 {
+		return 0
+	}
+	min := scores[0]
+	for _, s := range scores[1:] {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// AverageCoverage returns the mean per-paper coverage score.
+func AverageCoverage(in *core.Instance, a *core.Assignment) float64 {
+	if in.NumPapers() == 0 {
+		return 0
+	}
+	return in.AssignmentScore(a) / float64(in.NumPapers())
+}
+
+// ImprovedPapers counts papers whose coverage is strictly higher under X than
+// under Y (the "389 out of 617 papers" style statistic of Section 5.2).
+func ImprovedPapers(in *core.Instance, x, y *core.Assignment) int {
+	sx := in.PaperScores(x)
+	sy := in.PaperScores(y)
+	n := 0
+	for p := range sx {
+		if sx[p] > sy[p]+1e-12 {
+			n++
+		}
+	}
+	return n
+}
+
+// CaseStudy is the per-paper breakdown of Figures 19 and 20: the paper's most
+// relevant topics, the assigned reviewers, and how well the group covers each
+// of those topics.
+type CaseStudy struct {
+	Paper     core.Paper
+	Method    string
+	Reviewers []core.Reviewer
+	// Topics are the indices of the paper's top topics, most relevant first.
+	Topics []int
+	// PaperWeight[i] is the paper's weight on Topics[i].
+	PaperWeight []float64
+	// GroupWeight[i] is the group expertise on Topics[i] (clipped to the
+	// paper weight, i.e. the achieved coverage per topic).
+	GroupWeight []float64
+	// Score is the overall weighted coverage of the group for the paper.
+	Score float64
+}
+
+// NewCaseStudy builds the case-study breakdown for paper p under the given
+// assignment, reporting the topK most relevant topics.
+func NewCaseStudy(in *core.Instance, a *core.Assignment, p int, method string, topK int) CaseStudy {
+	group := a.Groups[p]
+	gvec := in.GroupVector(group)
+	top := in.Papers[p].Topics.TopTopics(topK)
+	cs := CaseStudy{
+		Paper:  in.Papers[p],
+		Method: method,
+		Topics: top,
+		Score:  in.GroupScore(p, group),
+	}
+	for _, r := range group {
+		cs.Reviewers = append(cs.Reviewers, in.Reviewers[r])
+	}
+	for _, t := range top {
+		cs.PaperWeight = append(cs.PaperWeight, in.Papers[p].Topics[t])
+		w := gvec[t]
+		if pw := in.Papers[p].Topics[t]; w > pw {
+			w = pw
+		}
+		cs.GroupWeight = append(cs.GroupWeight, w)
+	}
+	return cs
+}
+
+// String renders the case study as a small text table with one row per topic.
+func (cs CaseStudy) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (score %.2f)\n", cs.Method, cs.Score)
+	fmt.Fprintf(&sb, "  paper: %s\n", cs.Paper.Title)
+	names := make([]string, len(cs.Reviewers))
+	for i, r := range cs.Reviewers {
+		names[i] = r.Name
+	}
+	sort.Strings(names)
+	fmt.Fprintf(&sb, "  reviewers: %s\n", strings.Join(names, ", "))
+	for i, t := range cs.Topics {
+		fmt.Fprintf(&sb, "  topic t%-2d  paper %.3f  covered %.3f\n", t, cs.PaperWeight[i], cs.GroupWeight[i])
+	}
+	return sb.String()
+}

@@ -1,0 +1,204 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/cra"
+)
+
+func randVec(rng *rand.Rand, t int) core.Vector {
+	v := make(core.Vector, t)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v.Normalized()
+}
+
+func randomInstance(rng *rand.Rand, p, r, t, delta int) *core.Instance {
+	papers := make([]core.Paper, p)
+	for i := range papers {
+		papers[i] = core.Paper{ID: "p", Title: "paper", Topics: randVec(rng, t)}
+	}
+	reviewers := make([]core.Reviewer, r)
+	for i := range reviewers {
+		reviewers[i] = core.Reviewer{ID: "r", Name: "rev", Topics: randVec(rng, t)}
+	}
+	in := core.NewInstance(papers, reviewers, delta, 0)
+	in.Workload = in.MinWorkload()
+	return in
+}
+
+func TestIdealAssignmentIgnoresWorkload(t *testing.T) {
+	// One excellent reviewer, several poor ones: the ideal assignment gives
+	// the excellent reviewer to every paper even though that breaks δr.
+	papers := []core.Paper{
+		{Topics: core.Vector{1, 0}},
+		{Topics: core.Vector{1, 0}},
+		{Topics: core.Vector{1, 0}},
+	}
+	reviewers := []core.Reviewer{
+		{Topics: core.Vector{1, 0}},
+		{Topics: core.Vector{0, 1}},
+		{Topics: core.Vector{0, 1}},
+		{Topics: core.Vector{0, 1}},
+	}
+	in := core.NewInstance(papers, reviewers, 1, 1)
+	ideal := IdealAssignment(in)
+	for p := range papers {
+		if len(ideal.Groups[p]) != 1 || ideal.Groups[p][0] != 0 {
+			t.Fatalf("paper %d did not get the best reviewer: %v", p, ideal.Groups[p])
+		}
+	}
+	if score := in.AssignmentScore(ideal); math.Abs(score-3) > 1e-9 {
+		t.Fatalf("ideal score = %v, want 3", score)
+	}
+}
+
+func TestIdealAssignmentRespectsConflicts(t *testing.T) {
+	papers := []core.Paper{{Topics: core.Vector{1, 0}}}
+	reviewers := []core.Reviewer{
+		{Topics: core.Vector{1, 0}},
+		{Topics: core.Vector{0.5, 0.5}},
+	}
+	in := core.NewInstance(papers, reviewers, 1, 1)
+	in.AddConflict(0, 0)
+	ideal := IdealAssignment(in)
+	if ideal.Groups[0][0] != 1 {
+		t.Fatalf("conflicting reviewer chosen: %v", ideal.Groups[0])
+	}
+}
+
+// Property: the ideal assignment's score upper-bounds any feasible
+// assignment's score, so the optimality ratio is in (0, 1].
+func TestOptimalityRatioBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 2+rng.Intn(8), 4+rng.Intn(6), 3+rng.Intn(6), 2)
+		a, err := cra.SDGA{}.Assign(in)
+		if err != nil {
+			return false
+		}
+		ratio := OptimalityRatio(in, a)
+		return ratio > 0 && ratio <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuperiorityRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := randomInstance(rng, 6, 6, 4, 2)
+	x, err := cra.SDGA{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Against itself: everything ties.
+	self := SuperiorityRatio(in, x, x)
+	if self.BetterOrEqual != 1 || self.Ties != 1 {
+		t.Fatalf("self comparison = %+v", self)
+	}
+	y, err := cra.StableMatching{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := SuperiorityRatio(in, x, y)
+	if s.BetterOrEqual < 0 || s.BetterOrEqual > 1 || s.Ties > s.BetterOrEqual {
+		t.Fatalf("superiority out of range: %+v", s)
+	}
+	// X over Y and Y over X must cover all papers at least once (ties count
+	// in both directions).
+	s2 := SuperiorityRatio(in, y, x)
+	if s.BetterOrEqual+s2.BetterOrEqual < 1-1e-9 {
+		t.Fatalf("superiority ratios inconsistent: %v + %v < 1", s.BetterOrEqual, s2.BetterOrEqual)
+	}
+}
+
+func TestSuperiorityEmptyInstance(t *testing.T) {
+	in := core.NewInstance(nil, nil, 1, 1)
+	s := SuperiorityRatio(in, core.NewAssignment(0), core.NewAssignment(0))
+	if s.BetterOrEqual != 0 || s.Ties != 0 {
+		t.Fatalf("empty superiority = %+v", s)
+	}
+}
+
+func TestLowestAndAverageCoverage(t *testing.T) {
+	papers := []core.Paper{
+		{Topics: core.Vector{1, 0}},
+		{Topics: core.Vector{0, 1}},
+	}
+	reviewers := []core.Reviewer{
+		{Topics: core.Vector{1, 0}},
+		{Topics: core.Vector{0.5, 0.5}},
+	}
+	in := core.NewInstance(papers, reviewers, 1, 1)
+	a := core.NewAssignment(2)
+	a.Assign(0, 0) // perfect: 1.0
+	a.Assign(1, 1) // half: 0.5
+	if got := LowestCoverage(in, a); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("LowestCoverage = %v", got)
+	}
+	if got := AverageCoverage(in, a); math.Abs(got-0.75) > 1e-9 {
+		t.Fatalf("AverageCoverage = %v", got)
+	}
+	if LowestCoverage(core.NewInstance(nil, nil, 1, 1), core.NewAssignment(0)) != 0 {
+		t.Fatal("empty LowestCoverage should be 0")
+	}
+	if AverageCoverage(core.NewInstance(nil, nil, 1, 1), core.NewAssignment(0)) != 0 {
+		t.Fatal("empty AverageCoverage should be 0")
+	}
+}
+
+func TestImprovedPapers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := randomInstance(rng, 8, 6, 5, 2)
+	base, err := cra.SDGA{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refined, err := (cra.SRA{Omega: 5, MaxRounds: 40}).Refine(in, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := ImprovedPapers(in, refined, base); n < 0 || n > in.NumPapers() {
+		t.Fatalf("ImprovedPapers = %d", n)
+	}
+	if ImprovedPapers(in, base, base) != 0 {
+		t.Fatal("an assignment cannot improve on itself")
+	}
+}
+
+func TestCaseStudy(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := randomInstance(rng, 4, 5, 6, 2)
+	in.Papers[1].Title = "The Space Complexity of Processing XML Twig Queries"
+	in.Reviewers[0].Name = "Christoph Koch"
+	a, err := cra.SDGA{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCaseStudy(in, a, 1, "SDGA", 5)
+	if len(cs.Topics) != 5 || len(cs.PaperWeight) != 5 || len(cs.GroupWeight) != 5 {
+		t.Fatalf("case study sizes wrong: %+v", cs)
+	}
+	for i := range cs.Topics {
+		if cs.GroupWeight[i] > cs.PaperWeight[i]+1e-12 {
+			t.Fatal("covered weight exceeds the paper weight")
+		}
+		if i > 0 && cs.PaperWeight[i] > cs.PaperWeight[i-1]+1e-12 {
+			t.Fatal("topics not sorted by paper weight")
+		}
+	}
+	if math.Abs(cs.Score-in.GroupScore(1, a.Groups[1])) > 1e-12 {
+		t.Fatal("case study score mismatch")
+	}
+	text := cs.String()
+	if !strings.Contains(text, "SDGA") || !strings.Contains(text, "XML Twig") {
+		t.Fatalf("String() missing expected content:\n%s", text)
+	}
+}

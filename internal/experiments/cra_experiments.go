@@ -1,0 +1,347 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/cra"
+	"repro/internal/eval"
+)
+
+// conference identifies one simulated conference of Table 3.
+type conference struct {
+	area corpus.Area
+	year int
+}
+
+func (c conference) String() string { return fmt.Sprintf("%s%02d", c.area, c.year%100) }
+
+// craMethods returns the six methods of the CRA experiments in the paper's
+// order: SM, ILP, BRGG, Greedy, SDGA and SDGA-SRA.
+func craMethods(seed int64) []cra.Algorithm {
+	return []cra.Algorithm{
+		cra.StableMatching{},
+		cra.PairILP{},
+		cra.BRGG{},
+		cra.Greedy{},
+		cra.SDGA{},
+		cra.WithRefiner{Base: cra.SDGA{}, Refiner: cra.SRA{Omega: 10, Seed: seed}},
+	}
+}
+
+// loadDataset builds the scaled dataset of a conference.
+func loadDataset(cfg Config, c conference) (*corpus.Dataset, error) {
+	gen := corpus.NewGenerator(cfg.generatorConfig())
+	return gen.Dataset(c.area, c.year)
+}
+
+// craRun holds one (conference, δp, method) measurement.
+type craRun struct {
+	assignment *core.Assignment
+	elapsed    time.Duration
+}
+
+// runConference executes every method on one conference and group size.
+func runConference(cfg Config, d *corpus.Dataset, delta int) (*core.Instance, map[string]craRun, error) {
+	in := d.Instance(delta, 0)
+	out := make(map[string]craRun)
+	for _, alg := range craMethods(cfg.Seed) {
+		start := time.Now()
+		a, err := alg.Assign(in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s on %s: %w", alg.Name(), d.Area, err)
+		}
+		out[alg.Name()] = craRun{assignment: a, elapsed: time.Since(start)}
+	}
+	return in, out, nil
+}
+
+// methodOrder is the column order used by the CRA tables.
+var methodOrder = []string{"SM", "ILP", "BRGG", "Greedy", "SDGA", "SDGA-SRA"}
+
+// Table4 reports the response time of the six CRA methods on the Databases
+// and Data Mining conferences of 2008 for δp ∈ {3, 5} (Table 4 of the paper).
+func Table4(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	deltas := []int{3, 5}
+	if cfg.Quick {
+		deltas = []int{3}
+	}
+	t := NewTable("Table 4: CRA response time (seconds)", append([]string{"dataset", "δp"}, methodOrder...)...)
+	for _, c := range []conference{{corpus.Databases, 2008}, {corpus.DataMining, 2008}} {
+		d, err := loadDataset(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		for _, delta := range deltas {
+			_, runs, err := runConference(cfg, d, delta)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{c.String(), fmt.Sprintf("%d", delta)}
+			for _, m := range methodOrder {
+				row = append(row, formatDuration(runs[m].elapsed))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return &Result{Name: "table4", Description: "CRA response times", Tables: []*Table{t}}, nil
+}
+
+// qualityTable builds the optimality-ratio table of one conference across the
+// configured group sizes (Figures 10, 17 and 18).
+func qualityTable(cfg Config, c conference) (*Table, error) {
+	d, err := loadDataset(cfg, c)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(fmt.Sprintf("Optimality ratio — %s", c), append([]string{"δp"}, methodOrder...)...)
+	for _, delta := range cfg.GroupSizes {
+		in, runs, err := runConference(cfg, d, delta)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", delta)}
+		for _, m := range methodOrder {
+			row = append(row, formatRatio(eval.OptimalityRatio(in, runs[m].assignment)))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// superiorityTable builds the superiority-ratio table of SDGA-SRA over the
+// four baselines (Figure 11).
+func superiorityTable(cfg Config, c conference) (*Table, error) {
+	d, err := loadDataset(cfg, c)
+	if err != nil {
+		return nil, err
+	}
+	baselines := []string{"SM", "ILP", "BRGG", "Greedy"}
+	cols := []string{"δp"}
+	for _, b := range baselines {
+		cols = append(cols, "vs "+b, "ties "+b)
+	}
+	t := NewTable(fmt.Sprintf("Superiority ratio of SDGA-SRA — %s", c), cols...)
+	for _, delta := range cfg.GroupSizes {
+		in, runs, err := runConference(cfg, d, delta)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprintf("%d", delta)}
+		best := runs["SDGA-SRA"].assignment
+		for _, b := range baselines {
+			s := eval.SuperiorityRatio(in, best, runs[b].assignment)
+			row = append(row, formatRatio(s.BetterOrEqual), formatRatio(s.Ties))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Figure10 reports the optimality ratio on the Databases and Data Mining
+// conferences of 2008.
+func Figure10(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	var tables []*Table
+	for _, c := range []conference{{corpus.Databases, 2008}, {corpus.DataMining, 2008}} {
+		t, err := qualityTable(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return &Result{Name: "figure10", Description: "optimality ratio, 2008 datasets", Tables: tables}, nil
+}
+
+// Figure11 reports the superiority ratio of SDGA-SRA over the baselines on
+// the 2008 Databases and Data Mining conferences.
+func Figure11(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	var tables []*Table
+	for _, c := range []conference{{corpus.Databases, 2008}, {corpus.DataMining, 2008}} {
+		t, err := superiorityTable(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+	}
+	return &Result{Name: "figure11", Description: "superiority ratio, 2008 datasets", Tables: tables}, nil
+}
+
+// Figure17 reports the optimality and superiority ratios on Theory 2008.
+func Figure17(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	c := conference{corpus.Theory, 2008}
+	q, err := qualityTable(cfg, c)
+	if err != nil {
+		return nil, err
+	}
+	s, err := superiorityTable(cfg, c)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Name: "figure17", Description: "CRA quality, Theory 2008", Tables: []*Table{q, s}}, nil
+}
+
+// Figure18 reports the optimality and superiority ratios on the three 2009
+// conferences.
+func Figure18(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	confs := []conference{{corpus.Theory, 2009}, {corpus.Databases, 2009}, {corpus.DataMining, 2009}}
+	if cfg.Quick {
+		confs = confs[:1]
+	}
+	var tables []*Table
+	for _, c := range confs {
+		q, err := qualityTable(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		s, err := superiorityTable(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, q, s)
+	}
+	return &Result{Name: "figure18", Description: "CRA quality, 2009 datasets", Tables: tables}, nil
+}
+
+// Table7 reports the lowest per-paper coverage score of every method on all
+// six conferences (Table 7 of Appendix C).
+func Table7(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	confs := []conference{
+		{corpus.Databases, 2008}, {corpus.DataMining, 2008}, {corpus.Theory, 2008},
+		{corpus.Databases, 2009}, {corpus.DataMining, 2009}, {corpus.Theory, 2009},
+	}
+	if cfg.Quick {
+		confs = confs[:2]
+	}
+	cols := append([]string{"dataset", "δp"}, "SM", "ILP", "BRGG", "Greedy", "SDGA-SRA")
+	t := NewTable("Table 7: lowest per-paper coverage score", cols...)
+	for _, c := range confs {
+		d, err := loadDataset(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		for _, delta := range cfg.GroupSizes {
+			in, runs, err := runConference(cfg, d, delta)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{c.String(), fmt.Sprintf("%d", delta)}
+			for _, m := range []string{"SM", "ILP", "BRGG", "Greedy", "SDGA-SRA"} {
+				row = append(row, fmt.Sprintf("%.2f", eval.LowestCoverage(in, runs[m].assignment)))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return &Result{Name: "table7", Description: "lowest coverage scores", Tables: []*Table{t}}, nil
+}
+
+// CaseStudies reproduces the per-paper breakdowns of Figures 19 and 20: for
+// the papers where SDGA-SRA improves most over Greedy, report the assigned
+// reviewers and the per-topic coverage of each method's group.
+func CaseStudies(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	d, err := loadDataset(cfg, conference{corpus.Databases, 2008})
+	if err != nil {
+		return nil, err
+	}
+	delta := cfg.GroupSizes[0]
+	in, runs, err := runConference(cfg, d, delta)
+	if err != nil {
+		return nil, err
+	}
+	best := runs["SDGA-SRA"].assignment
+	greedy := runs["Greedy"].assignment
+	bestScores := in.PaperScores(best)
+	greedyScores := in.PaperScores(greedy)
+	// Pick the two papers with the largest improvement (the paper picks an
+	// anonymisation paper and an XML paper by hand).
+	pick := []int{0, 0}
+	for p := range bestScores {
+		if bestScores[p]-greedyScores[p] > bestScores[pick[0]]-greedyScores[pick[0]] {
+			pick[1] = pick[0]
+			pick[0] = p
+		} else if p != pick[0] && bestScores[p]-greedyScores[p] > bestScores[pick[1]]-greedyScores[pick[1]] {
+			pick[1] = p
+		}
+	}
+	var tables []*Table
+	for i, p := range pick {
+		t := NewTable(fmt.Sprintf("Case study %d: %q", i+1, in.Papers[p].Title),
+			"method", "score", "reviewers", "top-topic coverage")
+		for _, m := range []string{"ILP", "BRGG", "Greedy", "SDGA-SRA"} {
+			cs := eval.NewCaseStudy(in, runs[m].assignment, p, m, 5)
+			names := ""
+			for j, r := range cs.Reviewers {
+				if j > 0 {
+					names += ", "
+				}
+				names += r.Name
+			}
+			coverage := ""
+			for j, topic := range cs.Topics {
+				if j > 0 {
+					coverage += " "
+				}
+				coverage += fmt.Sprintf("t%d:%.2f/%.2f", topic, cs.GroupWeight[j], cs.PaperWeight[j])
+			}
+			t.AddRow(m, fmt.Sprintf("%.2f", cs.Score), names, coverage)
+		}
+		tables = append(tables, t)
+	}
+	return &Result{Name: "casestudies", Description: "per-paper case studies", Tables: tables}, nil
+}
+
+// Figure21 evaluates the alternative scoring functions of Appendix B (cR, cP,
+// cD) and the h-index scaling of Equation 15 on the Databases 2008 dataset.
+func Figure21(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	d, err := loadDataset(cfg, conference{corpus.Databases, 2008})
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name  string
+		score core.ScoreFunc
+		scale bool
+	}{
+		{"reviewer coverage cR", core.ReviewerCoverage, false},
+		{"paper coverage cP", core.PaperCoverage, false},
+		{"dot-product cD", core.DotProduct, false},
+		{"h-index scaled (weighted c)", core.WeightedCoverage, true},
+	}
+	if cfg.Quick {
+		variants = variants[:2]
+	}
+	var tables []*Table
+	for _, v := range variants {
+		papers := d.Papers
+		reviewers := d.Reviewers
+		if v.scale {
+			reviewers = corpus.ScaleByHIndex(reviewers)
+		}
+		t := NewTable(fmt.Sprintf("Figure 21: optimality ratio under %s", v.name), append([]string{"δp"}, methodOrder...)...)
+		for _, delta := range cfg.GroupSizes {
+			in := core.NewInstance(papers, reviewers, delta, 0)
+			in.Workload = in.MinWorkload()
+			in.Score = v.score
+			row := []string{fmt.Sprintf("%d", delta)}
+			for _, alg := range craMethods(cfg.Seed) {
+				a, err := alg.Assign(in)
+				if err != nil {
+					return nil, fmt.Errorf("%s under %s: %w", alg.Name(), v.name, err)
+				}
+				row = append(row, formatRatio(eval.OptimalityRatio(in, a)))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return &Result{Name: "figure21", Description: "alternative scoring functions and h-index scaling", Tables: tables}, nil
+}

@@ -1,0 +1,269 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5 and Appendix C) on the synthetic corpus. Each
+// experiment is a Runner that produces one or more text tables; the
+// wgrap-experiments command and the root-level benchmarks drive them.
+//
+// Absolute numbers differ from the paper (different hardware, language and —
+// most importantly — synthetic rather than DBLP data); EXPERIMENTS.md
+// compares the shapes: which method wins, by roughly what factor, and where
+// the crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// Config controls the scale of every experiment.
+type Config struct {
+	// Scale multiplies the Table 3 dataset sizes (default 0.2). The paper's
+	// full sizes correspond to Scale = 1, which is far slower, particularly
+	// for the BRGG baseline.
+	Scale float64
+	// Seed drives every random choice (default 1).
+	Seed int64
+	// Quick trims parameter grids so the whole suite runs in seconds; used
+	// by unit tests and smoke runs.
+	Quick bool
+	// GroupSizes is the δp grid for the CRA experiments (default {3,4,5};
+	// {3} when Quick).
+	GroupSizes []int
+	// JRAPoolSizes is the R grid for the JRA scalability experiments
+	// (default {50,100,150,200}; {15,25} when Quick).
+	JRAPoolSizes []int
+	// JRAGroupSizes is the δp grid for the JRA scalability experiments
+	// (default {3,4,5,6}; {2,3} when Quick).
+	JRAGroupSizes []int
+	// BFSMaxCombos skips BFS cells whose combination count exceeds this
+	// budget, mirroring the ">24 hours" entries of the paper (default 5e6).
+	BFSMaxCombos float64
+	// ILPMaxReviewers skips ILP cells with larger pools: the dense-simplex
+	// substrate makes larger MILPs impractically slow (default 25).
+	ILPMaxReviewers int
+	// RefinementBudget is the wall-clock budget of the Figure 12 refinement
+	// trace (default 5s; 500ms when Quick).
+	RefinementBudget time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.2
+		if c.Quick {
+			c.Scale = 0.04
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.GroupSizes) == 0 {
+		c.GroupSizes = []int{3, 4, 5}
+		if c.Quick {
+			c.GroupSizes = []int{3}
+		}
+	}
+	if len(c.JRAPoolSizes) == 0 {
+		c.JRAPoolSizes = []int{20, 40, 100, 200}
+		if c.Quick {
+			c.JRAPoolSizes = []int{15, 25}
+		}
+	}
+	if len(c.JRAGroupSizes) == 0 {
+		c.JRAGroupSizes = []int{3, 4, 5, 6}
+		if c.Quick {
+			c.JRAGroupSizes = []int{2, 3}
+		}
+	}
+	if c.BFSMaxCombos == 0 {
+		c.BFSMaxCombos = 5e6
+		if c.Quick {
+			c.BFSMaxCombos = 1e5
+		}
+	}
+	if c.ILPMaxReviewers == 0 {
+		c.ILPMaxReviewers = 40
+		if c.Quick {
+			c.ILPMaxReviewers = 15
+		}
+	}
+	if c.RefinementBudget == 0 {
+		c.RefinementBudget = 5 * time.Second
+		if c.Quick {
+			c.RefinementBudget = 500 * time.Millisecond
+		}
+	}
+	return c
+}
+
+// generatorConfig maps the experiment configuration to the corpus generator.
+func (c Config) generatorConfig() corpus.Config {
+	authors := 400
+	if c.Quick {
+		authors = 60
+	}
+	return corpus.Config{Scale: c.Scale, Seed: c.Seed, AuthorsPerArea: authors}
+}
+
+// Table is a simple text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; missing cells are blank, extras are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			fmt.Fprintf(&sb, "%-*s", widths[i]+2, cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	Name        string
+	Description string
+	Tables      []*Table
+}
+
+// String concatenates the tables.
+func (r *Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s ==\n\n", r.Name, r.Description)
+	for _, t := range r.Tables {
+		sb.WriteString(t.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Runner is a named experiment.
+type Runner struct {
+	// Name is the table/figure identifier used by the paper, e.g. "figure10".
+	Name string
+	// Description summarises what the experiment measures.
+	Description string
+	// Run executes the experiment.
+	Run func(cfg Config) (*Result, error)
+}
+
+// Registry lists every experiment in the order the paper presents them.
+func Registry() []Runner {
+	return []Runner{
+		{Name: "table6", Description: "Toy example of the four scoring functions (Table 6)", Run: Table6},
+		{Name: "figure7", Description: "Approximation ratio of SDGA as a function of δp (Figure 7)", Run: Figure7},
+		{Name: "figure9a", Description: "JRA response time vs group size δp (Figure 9a)", Run: Figure9a},
+		{Name: "figure9b", Description: "JRA response time vs reviewer pool size R (Figure 9b)", Run: Figure9b},
+		{Name: "cp", Description: "Constraint-programming solver vs BBA on a small JRA instance (Section 5.1)", Run: CPComparison},
+		{Name: "figure14", Description: "Additional JRA scalability grids (Figure 14)", Run: Figure14},
+		{Name: "figure15", Description: "Top-k retrieval time of BBA (Figure 15)", Run: Figure15},
+		{Name: "table4", Description: "CRA response time of the six methods (Table 4)", Run: Table4},
+		{Name: "figure10", Description: "Optimality ratio on Databases and Data Mining 2008 (Figure 10)", Run: Figure10},
+		{Name: "figure11", Description: "Superiority ratio of SDGA-SRA over the baselines (Figure 11)", Run: Figure11},
+		{Name: "figure12", Description: "Refinement progress: stochastic refinement vs local search (Figure 12)", Run: Figure12},
+		{Name: "figure16", Description: "Effect of the convergence threshold ω (Figure 16)", Run: Figure16},
+		{Name: "figure17", Description: "CRA quality on Theory 2008 (Figure 17)", Run: Figure17},
+		{Name: "figure18", Description: "CRA quality on the 2009 datasets (Figure 18)", Run: Figure18},
+		{Name: "table7", Description: "Lowest per-paper coverage score (Table 7)", Run: Table7},
+		{Name: "casestudies", Description: "Per-paper case studies (Figures 19 and 20)", Run: CaseStudies},
+		{Name: "figure21", Description: "Alternative scoring functions and h-index scaling (Figure 21)", Run: Figure21},
+	}
+}
+
+// Lookup finds a runner by name (case-insensitive).
+func Lookup(name string) (Runner, bool) {
+	name = strings.ToLower(name)
+	for _, r := range Registry() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// Names returns the registered experiment names in order.
+func Names() []string {
+	var out []string
+	for _, r := range Registry() {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+// RunAll executes every registered experiment and writes the results to w.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, r := range Registry() {
+		res, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %w", r.Name, err)
+		}
+		if _, err := io.WriteString(w, res.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatDuration renders a duration in seconds with millisecond resolution.
+func formatDuration(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}
+
+// formatRatio renders a ratio as a percentage.
+func formatRatio(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// sortedKeys returns the sorted keys of a string-keyed map (deterministic
+// table output).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickCfg is a configuration small enough for unit tests.
+func quickCfg() Config {
+	return Config{
+		Quick:            true,
+		Scale:            0.03,
+		Seed:             3,
+		GroupSizes:       []int{3},
+		JRAPoolSizes:     []int{12, 18},
+		JRAGroupSizes:    []int{2, 3},
+		ILPMaxReviewers:  12,
+		BFSMaxCombos:     1e5,
+		RefinementBudget: 200 * time.Millisecond,
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := NewTable("demo", "a", "bb")
+	tab.AddRow("1")
+	tab.AddRow("22", "3", "ignored")
+	s := tab.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "bb") {
+		t.Fatalf("missing header in:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+	if len(tab.Rows[0]) != 2 || tab.Rows[0][1] != "" {
+		t.Fatalf("short row not padded: %+v", tab.Rows[0])
+	}
+}
+
+func TestRegistryAndLookup(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 17 {
+		t.Fatalf("expected 17 experiments, got %d", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, r := range reg {
+		if r.Name == "" || r.Description == "" || r.Run == nil {
+			t.Fatalf("incomplete runner %+v", r)
+		}
+		if seen[r.Name] {
+			t.Fatalf("duplicate runner name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	if _, ok := Lookup("FIGURE10"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown name resolved")
+	}
+	if len(Names()) != len(reg) {
+		t.Fatal("Names() length mismatch")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 0.2 || c.Seed != 1 || len(c.GroupSizes) != 3 {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	q := Config{Quick: true}.withDefaults()
+	if q.Scale != 0.04 || len(q.GroupSizes) != 1 {
+		t.Fatalf("unexpected quick defaults: %+v", q)
+	}
+}
+
+func TestTable6Values(t *testing.T) {
+	res, err := Table6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.String()
+	// Weighted coverage is the only function preferring r2 (Table 6).
+	if !strings.Contains(out, "weighted coverage c") {
+		t.Fatalf("missing weighted coverage row:\n%s", out)
+	}
+	rows := res.Tables[0].Rows
+	if rows[3][3] != "r2" {
+		t.Fatalf("weighted coverage should prefer r2, got %q", rows[3][3])
+	}
+	for i := 0; i < 3; i++ {
+		if rows[i][3] != "r1" {
+			t.Fatalf("row %d should prefer r1: %v", i, rows[i])
+		}
+	}
+}
+
+func TestFigure7Values(t *testing.T) {
+	res, err := Figure7(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) != 9 {
+		t.Fatalf("expected 9 rows for δp=2..10, got %d", len(rows))
+	}
+	// δp = 2: integral 0.75, general 0.5.
+	if rows[0][1] != "0.7500" || rows[0][2] != "0.5000" {
+		t.Fatalf("δp=2 row wrong: %v", rows[0])
+	}
+	// δp = 3 general case is 5/9 ≈ 0.5556 (quoted in the paper).
+	if rows[1][2] != "0.5556" {
+		t.Fatalf("δp=3 general ratio wrong: %v", rows[1])
+	}
+}
+
+func TestJRAExperimentsQuick(t *testing.T) {
+	cfg := quickCfg()
+	for _, name := range []string{"figure9a", "figure9b", "figure14", "figure15", "cp"} {
+		r, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("runner %s missing", name)
+		}
+		res, err := r.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Tables) == 0 || len(res.Tables[0].Rows) == 0 {
+			t.Fatalf("%s produced no rows", name)
+		}
+	}
+}
+
+func TestCRAExperimentsQuick(t *testing.T) {
+	cfg := quickCfg()
+	for _, name := range []string{"table4", "figure10", "figure11", "table7", "casestudies", "figure21"} {
+		r, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("runner %s missing", name)
+		}
+		res, err := r.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Tables) == 0 || len(res.Tables[0].Rows) == 0 {
+			t.Fatalf("%s produced no rows", name)
+		}
+		if !strings.Contains(res.String(), res.Tables[0].Title) {
+			t.Fatalf("%s result string missing its table", name)
+		}
+	}
+}
+
+func TestRefinementExperimentsQuick(t *testing.T) {
+	cfg := quickCfg()
+	for _, name := range []string{"figure12", "figure16"} {
+		r, _ := Lookup(name)
+		res, err := r.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Tables) == 0 || len(res.Tables[0].Rows) == 0 {
+			t.Fatalf("%s produced no rows", name)
+		}
+	}
+}
+
+func TestFigureQualityOrdering(t *testing.T) {
+	// SDGA-SRA should never be worse than SDGA on the same dataset, and both
+	// should produce ratios within (0, 1].
+	cfg := quickCfg()
+	res, err := Figure10(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range res.Tables {
+		for _, row := range tab.Rows {
+			sdga := parsePercent(t, row[5])
+			sra := parsePercent(t, row[6])
+			if sdga <= 0 || sdga > 100.5 || sra <= 0 || sra > 100.5 {
+				t.Fatalf("ratios out of range: %v", row)
+			}
+			if sra+1e-9 < sdga-2 { // allow tiny noise, SRA must not collapse
+				t.Fatalf("SDGA-SRA much worse than SDGA: %v", row)
+			}
+		}
+	}
+}
+
+func parsePercent(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cannot parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is slow; skipped in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := quickCfg()
+	if err := RunAll(cfg, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range Names() {
+		if !strings.Contains(out, name) {
+			t.Fatalf("RunAll output missing experiment %s", name)
+		}
+	}
+}

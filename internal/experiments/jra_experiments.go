@@ -1,0 +1,282 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/jra"
+)
+
+// Table6 reproduces the toy example comparing the four scoring functions
+// (Appendix B, Table 6): one paper and two reviewers, scored by reviewer
+// coverage, paper coverage, dot-product and weighted coverage.
+func Table6(cfg Config) (*Result, error) {
+	p := core.Vector{0.6, 0.4}
+	r1 := core.Vector{0.9, 0.1}
+	r2 := core.Vector{0.5, 0.5}
+	t := NewTable("Table 6: scoring functions on the toy example", "function", "c(r1,p)", "c(r2,p)", "prefers")
+	rows := []struct {
+		name string
+		fn   core.ScoreFunc
+	}{
+		{"reviewer coverage cR", core.ReviewerCoverage},
+		{"paper coverage cP", core.PaperCoverage},
+		{"dot-product cD", core.DotProduct},
+		{"weighted coverage c", core.WeightedCoverage},
+	}
+	for _, row := range rows {
+		s1, s2 := row.fn(r1, p), row.fn(r2, p)
+		pref := "r1"
+		if s2 > s1 {
+			pref = "r2"
+		}
+		t.AddRow(row.name, fmt.Sprintf("%.2f", s1), fmt.Sprintf("%.2f", s2), pref)
+	}
+	return &Result{Name: "table6", Description: "scoring function toy example", Tables: []*Table{t}}, nil
+}
+
+// Figure7 tabulates the analytic approximation ratio of SDGA as a function of
+// the group size δp: 1−(1−1/δp)^δp for the integral case and
+// 1−(1−1/δp)^(δp−1) for the general case, against the 1/3 bound of Greedy.
+func Figure7(cfg Config) (*Result, error) {
+	t := NewTable("Figure 7: approximation ratio vs δp",
+		"δp", "integral case", "general case", "greedy (1/3)", "1-1/e")
+	for d := 2; d <= 10; d++ {
+		integral := 1 - math.Pow(1-1/float64(d), float64(d))
+		general := 1 - math.Pow(1-1/float64(d), float64(d-1))
+		t.AddRow(fmt.Sprintf("%d", d),
+			fmt.Sprintf("%.4f", integral),
+			fmt.Sprintf("%.4f", general),
+			fmt.Sprintf("%.4f", 1.0/3),
+			fmt.Sprintf("%.4f", 1-1/math.E))
+	}
+	return &Result{Name: "figure7", Description: "analytic approximation ratios", Tables: []*Table{t}}, nil
+}
+
+// jraPool builds the JRA candidate pool of Section 5.1 (authors with at least
+// three publications in 2005-2009) and a set of target papers.
+func jraPool(cfg Config) ([]core.Reviewer, []core.Paper, error) {
+	gen := corpus.NewGenerator(cfg.generatorConfig())
+	pool := gen.ReviewerPool(3, 2005, 2009)
+	if len(pool) == 0 {
+		return nil, nil, fmt.Errorf("experiments: empty JRA pool")
+	}
+	// Target papers: random submissions from all three areas of 2008.
+	var papers []core.Paper
+	for _, area := range corpus.Areas {
+		d, err := gen.Dataset(area, 2008)
+		if err != nil {
+			return nil, nil, err
+		}
+		papers = append(papers, d.Papers...)
+	}
+	return pool, papers, nil
+}
+
+// journalInstance assembles a single-paper instance with R candidates drawn
+// deterministically from the pool.
+func journalInstance(pool []core.Reviewer, paper core.Paper, r, delta int, seed int64) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(pool))
+	if r > len(pool) {
+		r = len(pool)
+	}
+	reviewers := make([]core.Reviewer, r)
+	for i := 0; i < r; i++ {
+		reviewers[i] = pool[idx[i]]
+	}
+	return core.NewInstance([]core.Paper{paper}, reviewers, delta, 1)
+}
+
+// combinations returns C(n, k) as a float (to test against the BFS budget).
+func combinations(n, k int) float64 {
+	if k > n {
+		return 0
+	}
+	c := 1.0
+	for i := 0; i < k; i++ {
+		c *= float64(n-i) / float64(i+1)
+	}
+	return c
+}
+
+// jraCell measures the average response time of a solver over the target
+// papers; papers is truncated to keep each cell affordable.
+func jraCell(solver jra.Solver, pool []core.Reviewer, papers []core.Paper, r, delta int, seed int64) (time.Duration, error) {
+	n := len(papers)
+	if n > 3 {
+		n = 3
+	}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		in := journalInstance(pool, papers[i], r, delta, seed+int64(i))
+		if _, err := solver.Solve(in); err != nil {
+			return 0, err
+		}
+	}
+	return time.Since(start) / time.Duration(n), nil
+}
+
+// runJRAGrid produces one response-time table for a (R, δp) grid, marking
+// cells whose method exceeds its budget as "skipped".
+func runJRAGrid(cfg Config, title string, poolSizes, groupSizes []int) (*Table, error) {
+	pool, papers, err := jraPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	t := NewTable(title, "R", "δp", "BFS", "ILP", "BBA")
+	for _, r := range poolSizes {
+		if r > len(pool) {
+			r = len(pool)
+		}
+		for _, d := range groupSizes {
+			row := []string{fmt.Sprintf("%d", r), fmt.Sprintf("%d", d)}
+			if combinations(r, d) <= cfg.BFSMaxCombos {
+				dur, err := jraCell(jra.BruteForce{}, pool, papers, r, d, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, formatDuration(dur))
+			} else {
+				row = append(row, "skipped(>budget)")
+			}
+			if r <= cfg.ILPMaxReviewers && d <= 4 {
+				dur, err := jraCell(jra.ILP{}, pool, papers, r, d, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, formatDuration(dur))
+			} else {
+				row = append(row, "skipped(>budget)")
+			}
+			dur, err := jraCell(jra.BranchAndBound{}, pool, papers, r, d, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, formatDuration(dur))
+			t.AddRow(row...)
+		}
+	}
+	return t, nil
+}
+
+// Figure9a measures JRA response time as a function of δp with R fixed to the
+// largest configured pool size.
+func Figure9a(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	r := cfg.JRAPoolSizes[len(cfg.JRAPoolSizes)-1]
+	t, err := runJRAGrid(cfg, "Figure 9(a): response time vs δp", []int{r}, cfg.JRAGroupSizes)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Name: "figure9a", Description: "JRA response time vs group size", Tables: []*Table{t}}, nil
+}
+
+// Figure9b measures JRA response time as a function of R with δp fixed to the
+// smallest configured group size.
+func Figure9b(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	d := cfg.JRAGroupSizes[0]
+	t, err := runJRAGrid(cfg, "Figure 9(b): response time vs R", cfg.JRAPoolSizes, []int{d})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Name: "figure9b", Description: "JRA response time vs pool size", Tables: []*Table{t}}, nil
+}
+
+// Figure14 runs the additional scalability grids of Appendix C: response time
+// vs δp at the second-largest pool size and vs R at the second-smallest group
+// size.
+func Figure14(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	rIdx := len(cfg.JRAPoolSizes) - 2
+	if rIdx < 0 {
+		rIdx = 0
+	}
+	dIdx := 1
+	if dIdx >= len(cfg.JRAGroupSizes) {
+		dIdx = 0
+	}
+	t1, err := runJRAGrid(cfg, "Figure 14(a): response time vs δp", []int{cfg.JRAPoolSizes[rIdx]}, cfg.JRAGroupSizes)
+	if err != nil {
+		return nil, err
+	}
+	t2, err := runJRAGrid(cfg, "Figure 14(b): response time vs R", cfg.JRAPoolSizes, []int{cfg.JRAGroupSizes[dIdx]})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Name: "figure14", Description: "additional JRA scalability", Tables: []*Table{t1, t2}}, nil
+}
+
+// Figure15 measures the response time of BBA when retrieving the top-k
+// reviewer groups.
+func Figure15(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	pool, papers, err := jraPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := cfg.JRAPoolSizes[len(cfg.JRAPoolSizes)-1]
+	if r > len(pool) {
+		r = len(pool)
+	}
+	d := cfg.JRAGroupSizes[0]
+	ks := []int{1, 10, 100, 1000}
+	if cfg.Quick {
+		ks = []int{1, 10, 50}
+	}
+	t := NewTable(fmt.Sprintf("Figure 15: top-k retrieval time (R=%d, δp=%d)", r, d), "k", "BBA time")
+	solver := jra.BranchAndBound{}
+	in := journalInstance(pool, papers[0], r, d, cfg.Seed)
+	for _, k := range ks {
+		start := time.Now()
+		if _, err := solver.TopK(in, k); err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", k), formatDuration(time.Since(start)))
+	}
+	return &Result{Name: "figure15", Description: "top-k retrieval with BBA", Tables: []*Table{t}}, nil
+}
+
+// CPComparison reproduces the Section 5.1 comparison against a generic
+// constraint-programming solver on a small instance (the paper uses R=30,
+// δp=3 for CPLEX CP): time to the optimal solution for CP and BBA, plus the
+// CP solver's search-node counts.
+func CPComparison(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	pool, papers, err := jraPool(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r := 30
+	if cfg.Quick {
+		r = 15
+	}
+	if r > len(pool) {
+		r = len(pool)
+	}
+	in := journalInstance(pool, papers[0], r, 3, cfg.Seed)
+
+	t := NewTable(fmt.Sprintf("Section 5.1: CP vs BBA (R=%d, δp=3)", r), "method", "time", "score", "nodes")
+	start := time.Now()
+	cpRes, err := (jra.CP{}).Solve(in)
+	if err != nil {
+		return nil, err
+	}
+	cpTime := time.Since(start)
+
+	start = time.Now()
+	bbaRes, stats, err := (jra.BranchAndBound{}).SolveWithStats(in)
+	if err != nil {
+		return nil, err
+	}
+	bbaTime := time.Since(start)
+
+	t.AddRow("CP", formatDuration(cpTime), fmt.Sprintf("%.4f", cpRes.Score), "-")
+	t.AddRow("BBA", formatDuration(bbaTime), fmt.Sprintf("%.4f", bbaRes.Score), fmt.Sprintf("%d", stats.Nodes))
+	return &Result{Name: "cp", Description: "constraint programming baseline", Tables: []*Table{t}}, nil
+}

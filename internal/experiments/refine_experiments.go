@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/cra"
+	"repro/internal/eval"
+)
+
+// Figure12 traces the optimality ratio of the refinement phase over time:
+// SDGA followed by the stochastic refinement (SDGA-SRA) versus SDGA followed
+// by plain local search (SDGA-LS), on the Databases and Data Mining 2008
+// conferences.
+func Figure12(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	delta := cfg.GroupSizes[0]
+	confs := []conference{{corpus.Databases, 2008}, {corpus.DataMining, 2008}}
+	if cfg.Quick {
+		confs = confs[:1]
+	}
+	var tables []*Table
+	for _, c := range confs {
+		d, err := loadDataset(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		in := d.Instance(delta, 0)
+		base, err := cra.SDGA{}.Assign(in)
+		if err != nil {
+			return nil, err
+		}
+		ideal := in.AssignmentScore(eval.IdealAssignment(in))
+		baseScore := in.AssignmentScore(base)
+
+		// Checkpoints: fractions of the refinement budget.
+		checkpoints := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+		ratioAt := func(trace map[time.Duration]float64) []string {
+			out := make([]string, len(checkpoints))
+			for i, f := range checkpoints {
+				limit := time.Duration(float64(cfg.RefinementBudget) * f)
+				best := baseScore
+				for at, score := range trace {
+					if at <= limit && score > best {
+						best = score
+					}
+				}
+				out[i] = formatRatio(best / ideal)
+			}
+			return out
+		}
+
+		sraTrace := make(map[time.Duration]float64)
+		sra := cra.SRA{
+			Omega:      1 << 30, // run to the time budget, not to convergence
+			MaxRounds:  1 << 30,
+			TimeBudget: cfg.RefinementBudget,
+			Seed:       cfg.Seed,
+			OnRound:    func(_ int, best float64, elapsed time.Duration) { sraTrace[elapsed] = best },
+		}
+		if _, err := sra.Refine(in, base); err != nil {
+			return nil, err
+		}
+
+		lsTrace := make(map[time.Duration]float64)
+		ls := cra.LocalSearch{
+			MaxMoves:   1 << 30,
+			Patience:   1 << 30,
+			TimeBudget: cfg.RefinementBudget,
+			Seed:       cfg.Seed,
+			OnImprove:  func(_ int, score float64, elapsed time.Duration) { lsTrace[elapsed] = score },
+		}
+		if _, err := ls.Refine(in, base); err != nil {
+			return nil, err
+		}
+
+		cols := []string{"method"}
+		for _, f := range checkpoints {
+			cols = append(cols, fmt.Sprintf("%.0f%% budget", f*100))
+		}
+		t := NewTable(fmt.Sprintf("Figure 12: refinement progress — %s (budget %s, δp=%d)", c, cfg.RefinementBudget, delta), cols...)
+		t.AddRow(append([]string{"SDGA-SRA"}, ratioAt(sraTrace)...)...)
+		t.AddRow(append([]string{"SDGA-LS"}, ratioAt(lsTrace)...)...)
+		tables = append(tables, t)
+	}
+	return &Result{Name: "figure12", Description: "stochastic refinement vs local search", Tables: tables}, nil
+}
+
+// Figure16 studies the effect of the convergence threshold ω on the
+// stochastic refinement: larger ω refines longer and yields a (slightly)
+// better optimality ratio.
+func Figure16(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	delta := cfg.GroupSizes[0]
+	omegas := []int{2, 5, 10, 20, 40}
+	if cfg.Quick {
+		omegas = []int{2, 5, 10}
+	}
+	confs := []conference{{corpus.Databases, 2008}, {corpus.DataMining, 2008}}
+	if cfg.Quick {
+		confs = confs[:1]
+	}
+	var tables []*Table
+	for _, c := range confs {
+		d, err := loadDataset(cfg, c)
+		if err != nil {
+			return nil, err
+		}
+		in := d.Instance(delta, 0)
+		base, err := cra.SDGA{}.Assign(in)
+		if err != nil {
+			return nil, err
+		}
+		ideal := in.AssignmentScore(eval.IdealAssignment(in))
+		t := NewTable(fmt.Sprintf("Figure 16: effect of ω — %s (δp=%d)", c, delta), "ω", "optimality ratio", "refinement time")
+		for _, omega := range omegas {
+			sra := cra.SRA{Omega: omega, Seed: cfg.Seed}
+			start := time.Now()
+			refined, err := sra.Refine(in, base)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			t.AddRow(fmt.Sprintf("%d", omega),
+				formatRatio(in.AssignmentScore(refined)/ideal),
+				formatDuration(elapsed))
+		}
+		tables = append(tables, t)
+	}
+	return &Result{Name: "figure16", Description: "effect of the convergence threshold", Tables: tables}, nil
+}

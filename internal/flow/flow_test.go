@@ -1,0 +1,268 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lap"
+)
+
+func TestMinCostFlowSimple(t *testing.T) {
+	// source(0) -> a(1) -> sink(3) and source -> b(2) -> sink, cheaper via b.
+	g := NewGraph(4)
+	e1 := g.AddEdge(0, 1, 2, 1)
+	g.AddEdge(1, 3, 2, 1)
+	e2 := g.AddEdge(0, 2, 2, 0)
+	g.AddEdge(2, 3, 2, 0)
+	flow, cost, err := g.MinCostFlow(0, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 3 {
+		t.Fatalf("flow = %d, want 3", flow)
+	}
+	// Two units via b (cost 0), one via a (cost 2).
+	if math.Abs(cost-2) > 1e-9 {
+		t.Fatalf("cost = %v, want 2", cost)
+	}
+	if g.Flow(e2) != 2 || g.Flow(e1) != 1 {
+		t.Fatalf("edge flows = %d,%d", g.Flow(e1), g.Flow(e2))
+	}
+}
+
+func TestMinCostFlowMaxFlowLimit(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(0, 1, 10, 1)
+	flow, cost, err := g.MinCostFlow(0, 1, 4)
+	if err != nil || flow != 4 || cost != 4 {
+		t.Fatalf("flow=%d cost=%v err=%v", flow, cost, err)
+	}
+}
+
+func TestMinCostFlowDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 1, 1)
+	flow, _, err := g.MinCostFlow(0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flow != 0 {
+		t.Fatalf("flow = %d, want 0", flow)
+	}
+}
+
+func TestMinCostFlowSourceEqualsSink(t *testing.T) {
+	g := NewGraph(1)
+	if _, _, err := g.MinCostFlow(0, 0, 1); err == nil {
+		t.Fatal("source == sink accepted")
+	}
+}
+
+func TestAddEdgePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGraph(2).AddEdge(0, 5, 1, 0)
+}
+
+func TestMinCostFlowNegativeCosts(t *testing.T) {
+	// A negative-cost edge must be preferred.
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1, -5)
+	g.AddEdge(1, 3, 1, 0)
+	g.AddEdge(0, 2, 1, 1)
+	g.AddEdge(2, 3, 1, 0)
+	flow, cost, err := g.MinCostFlow(0, 3, 1)
+	if err != nil || flow != 1 {
+		t.Fatalf("flow=%d err=%v", flow, err)
+	}
+	if cost != -5 {
+		t.Fatalf("cost = %v, want -5", cost)
+	}
+}
+
+func TestMaxProfitTransportBasic(t *testing.T) {
+	profit := [][]float64{
+		{0.9, 0.2, 0.3},
+		{0.8, 0.7, 0.1},
+	}
+	rows, total, err := MaxProfitTransport(profit, []int{1, 1}, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-1.6) > 1e-9 {
+		t.Fatalf("total = %v, want 1.6", total)
+	}
+	if len(rows[0]) != 1 || len(rows[1]) != 1 || rows[0][0] != 0 || rows[1][0] != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestMaxProfitTransportColumnCapacity(t *testing.T) {
+	// Both rows prefer column 0 but it only has capacity 1.
+	profit := [][]float64{
+		{1.0, 0.1},
+		{1.0, 0.5},
+	}
+	rows, total, err := MaxProfitTransport(profit, []int{1, 1}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-1.5) > 1e-9 {
+		t.Fatalf("total = %v, want 1.5", total)
+	}
+	if rows[0][0] == rows[1][0] {
+		t.Fatalf("column capacity violated: %v", rows)
+	}
+}
+
+func TestMaxProfitTransportMultiNeed(t *testing.T) {
+	// A single row needing two distinct columns.
+	profit := [][]float64{{0.5, 0.9, 0.1}}
+	rows, total, err := MaxProfitTransport(profit, []int{2}, []int{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-1.4) > 1e-9 {
+		t.Fatalf("total = %v, want 1.4", total)
+	}
+	if len(rows[0]) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestMaxProfitTransportForbidden(t *testing.T) {
+	profit := [][]float64{
+		{Forbidden, 0.2},
+		{0.9, Forbidden},
+	}
+	rows, _, err := MaxProfitTransport(profit, []int{1, 1}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != 1 || rows[1][0] != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestMaxProfitTransportInfeasible(t *testing.T) {
+	profit := [][]float64{{Forbidden, Forbidden}}
+	if _, _, err := MaxProfitTransport(profit, []int{1}, []int{1, 1}); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	// Not enough column capacity.
+	if _, _, err := MaxProfitTransport([][]float64{{1, 1}}, []int{3}, []int{1, 1}); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMaxProfitTransportValidationErrors(t *testing.T) {
+	if _, _, err := MaxProfitTransport([][]float64{{1}}, []int{1, 2}, []int{1}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, _, err := MaxProfitTransport([][]float64{{1, 2}, {3}}, []int{1, 1}, []int{1, 1}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+	if _, _, err := MaxProfitTransport([][]float64{{1}}, []int{-1}, []int{1}); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if rows, total, err := MaxProfitTransport(nil, nil, nil); err != nil || rows != nil || total != 0 {
+		t.Fatal("empty instance should be trivially solved")
+	}
+}
+
+// Property: with unit demands and capacities the transportation optimum
+// matches the Hungarian algorithm.
+func TestTransportMatchesHungarian(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(4)
+		profit := make([][]float64, n)
+		for i := range profit {
+			profit[i] = make([]float64, m)
+			for j := range profit[i] {
+				profit[i][j] = rng.Float64()
+			}
+		}
+		need := make([]int, n)
+		caps := make([]int, m)
+		for i := range need {
+			need[i] = 1
+		}
+		for j := range caps {
+			caps[j] = 1
+		}
+		_, ft, err1 := MaxProfitTransport(profit, need, caps)
+		_, ht, err2 := lap.MaximizeRect(profit)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(ft-ht) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: solutions respect demands, capacities and forbidden cells.
+func TestTransportFeasibility(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 2 + rng.Intn(6)
+		profit := make([][]float64, n)
+		for i := range profit {
+			profit[i] = make([]float64, m)
+			for j := range profit[i] {
+				if rng.Float64() < 0.1 {
+					profit[i][j] = Forbidden
+				} else {
+					profit[i][j] = rng.Float64()
+				}
+			}
+		}
+		need := make([]int, n)
+		for i := range need {
+			need[i] = 1 + rng.Intn(2)
+		}
+		caps := make([]int, m)
+		for j := range caps {
+			caps[j] = 1 + rng.Intn(2)
+		}
+		rows, _, err := MaxProfitTransport(profit, need, caps)
+		if err == ErrInfeasible {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		colUse := make([]int, m)
+		for i, cols := range rows {
+			if len(cols) != need[i] {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, c := range cols {
+				if seen[c] || math.IsInf(profit[i][c], -1) {
+					return false
+				}
+				seen[c] = true
+				colUse[c]++
+			}
+		}
+		for j, u := range colUse {
+			if u > caps[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package flow
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInfeasible is returned when a transportation instance cannot satisfy the
+// demand of every row.
+var ErrInfeasible = errors.New("flow: demand cannot be satisfied")
+
+// Forbidden marks an impossible row/column pairing in MaxProfitTransport.
+var Forbidden = math.Inf(-1)
+
+// MaxProfitTransport solves the transportation problem used by Stage-WGRAP
+// and the ARAP baseline: every row i (a paper) must be matched to exactly
+// rowNeed[i] distinct columns (reviewers), every column j may serve at most
+// colCap[j] rows, and the sum of profit[i][j] over matched pairs is
+// maximised. Cells equal to Forbidden are never matched (conflicts of
+// interest or reviewers already in the paper's group).
+//
+// It returns, for every row, the list of matched column indices.
+func MaxProfitTransport(profit [][]float64, rowNeed, colCap []int) ([][]int, float64, error) {
+	n := len(profit)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(profit[0])
+	if len(rowNeed) != n || len(colCap) != m {
+		return nil, 0, errors.New("flow: dimension mismatch")
+	}
+	need := 0
+	for i, r := range rowNeed {
+		if len(profit[i]) != m {
+			return nil, 0, errors.New("flow: ragged profit matrix")
+		}
+		if r < 0 {
+			return nil, 0, errors.New("flow: negative row demand")
+		}
+		need += r
+	}
+
+	// Node layout: 0 = source, 1..n = rows, n+1..n+m = columns, n+m+1 = sink.
+	source := 0
+	rowNode := func(i int) int { return 1 + i }
+	colNode := func(j int) int { return 1 + n + j }
+	sink := 1 + n + m
+	g := NewGraph(sink + 1)
+
+	for i := 0; i < n; i++ {
+		g.AddEdge(source, rowNode(i), rowNeed[i], 0)
+	}
+	type pairEdge struct{ row, col, id int }
+	var pairs []pairEdge
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			p := profit[i][j]
+			if math.IsInf(p, -1) {
+				continue
+			}
+			id := g.AddEdge(rowNode(i), colNode(j), 1, -p)
+			pairs = append(pairs, pairEdge{row: i, col: j, id: id})
+		}
+	}
+	for j := 0; j < m; j++ {
+		if colCap[j] > 0 {
+			g.AddEdge(colNode(j), sink, colCap[j], 0)
+		}
+	}
+
+	flowed, cost, err := g.MinCostFlow(source, sink, need)
+	if err != nil {
+		return nil, 0, err
+	}
+	if flowed < need {
+		return nil, 0, ErrInfeasible
+	}
+	out := make([][]int, n)
+	for _, pe := range pairs {
+		if g.Flow(pe.id) > 0 {
+			out[pe.row] = append(out[pe.row], pe.col)
+		}
+	}
+	return out, -cost, nil
+}

@@ -1,0 +1,186 @@
+// Package ilp implements a branch-and-bound integer linear programming solver
+// on top of the LP relaxation provided by internal/lp. It supports binary and
+// general integer variables and is used to build the ILP baseline of the JRA
+// experiments (Section 5.1), mirroring the role of lp_solve in the paper.
+package ilp
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/lp"
+)
+
+// VarKind describes the integrality requirement of a variable.
+type VarKind int
+
+// Variable kinds.
+const (
+	Continuous VarKind = iota
+	Integer
+	Binary
+)
+
+// Problem is a mixed-integer linear program: an lp.Problem plus per-variable
+// integrality requirements.
+type Problem struct {
+	LP    *lp.Problem
+	Kinds []VarKind
+}
+
+// Solution is an integral solution of the MILP.
+type Solution struct {
+	X         []float64
+	Objective float64
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("ilp: infeasible")
+	// ErrNodeLimit is returned when the node budget is exhausted before the
+	// search completes.
+	ErrNodeLimit = errors.New("ilp: node limit exceeded")
+)
+
+// NewProblem creates a MILP with n continuous variables; mark integer or
+// binary variables with SetKind. Binary variables automatically receive an
+// upper bound of 1.
+func NewProblem(n int) *Problem {
+	return &Problem{LP: lp.NewProblem(n), Kinds: make([]VarKind, n)}
+}
+
+// SetKind marks variable i as continuous, integer or binary.
+func (p *Problem) SetKind(i int, k VarKind) {
+	p.Kinds[i] = k
+	if k == Binary {
+		p.LP.SetUpperBound(i, 1)
+	}
+}
+
+// Options control the branch-and-bound search.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes (0 = 1,000,000).
+	MaxNodes int
+	// Tolerance for deciding integrality (default 1e-6).
+	Tolerance float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 1_000_000
+	}
+	if o.Tolerance == 0 {
+		o.Tolerance = 1e-6
+	}
+	return o
+}
+
+// Solve runs best-bound branch-and-bound and returns the optimal integral
+// solution.
+func (p *Problem) Solve(opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	root := p.LP.Clone()
+
+	type node struct {
+		prob  *lp.Problem
+		bound float64
+	}
+	rootSol, err := root.Solve()
+	if err == lp.ErrInfeasible {
+		return nil, ErrInfeasible
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	best := math.Inf(-1)
+	var bestX []float64
+	nodes := 0
+
+	// Depth-first with a stack keeps memory modest; the incumbent prunes.
+	stack := []node{{prob: root, bound: rootSol.Objective}}
+	for len(stack) > 0 {
+		if nodes >= opts.MaxNodes {
+			if bestX == nil {
+				return nil, ErrNodeLimit
+			}
+			return &Solution{X: bestX, Objective: best, Nodes: nodes}, ErrNodeLimit
+		}
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.bound <= best+1e-9 {
+			continue
+		}
+		sol, err := cur.prob.Solve()
+		if err == lp.ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		nodes++
+		if sol.Objective <= best+1e-9 {
+			continue
+		}
+		frac := p.mostFractional(sol.X, opts.Tolerance)
+		if frac == -1 {
+			// Integral solution.
+			if sol.Objective > best {
+				best = sol.Objective
+				bestX = roundIntegral(sol.X, p.Kinds)
+			}
+			continue
+		}
+		v := sol.X[frac]
+		floorV := math.Floor(v)
+		// Branch down: x_frac <= floor(v).
+		down := cur.prob.Clone()
+		row := make([]float64, len(p.Kinds))
+		row[frac] = 1
+		down.AddConstraint(row, lp.LE, floorV)
+		// Branch up: x_frac >= floor(v)+1.
+		up := cur.prob.Clone()
+		row2 := make([]float64, len(p.Kinds))
+		row2[frac] = 1
+		up.AddConstraint(row2, lp.GE, floorV+1)
+		// Explore the more promising side (closer to its bound) last so it is
+		// popped first from the stack.
+		stack = append(stack, node{prob: down, bound: sol.Objective})
+		stack = append(stack, node{prob: up, bound: sol.Objective})
+	}
+	if bestX == nil {
+		return nil, ErrInfeasible
+	}
+	return &Solution{X: bestX, Objective: best, Nodes: nodes}, nil
+}
+
+// mostFractional returns the index of the integer/binary variable whose value
+// is farthest from an integer, or -1 when the point is integral.
+func (p *Problem) mostFractional(x []float64, tol float64) int {
+	best := -1
+	bestDist := tol
+	for i, k := range p.Kinds {
+		if k == Continuous {
+			continue
+		}
+		f := x[i] - math.Floor(x[i])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			bestDist = dist
+			best = i
+		}
+	}
+	return best
+}
+
+func roundIntegral(x []float64, kinds []VarKind) []float64 {
+	out := append([]float64(nil), x...)
+	for i, k := range kinds {
+		if k != Continuous {
+			out[i] = math.Round(out[i])
+		}
+	}
+	return out
+}

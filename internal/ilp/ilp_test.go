@@ -1,0 +1,182 @@
+package ilp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/lp"
+)
+
+func TestBinaryKnapsack(t *testing.T) {
+	// values 6,10,12  weights 1,2,3  capacity 5 -> take items 2,3 (22).
+	p := NewProblem(3)
+	p.LP.Objective = []float64{6, 10, 12}
+	p.LP.AddConstraint([]float64{1, 2, 3}, lp.LE, 5)
+	for i := 0; i < 3; i++ {
+		p.SetKind(i, Binary)
+	}
+	s, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-22) > 1e-6 {
+		t.Fatalf("objective = %v, want 22", s.Objective)
+	}
+	if math.Round(s.X[1]) != 1 || math.Round(s.X[2]) != 1 || math.Round(s.X[0]) != 0 {
+		t.Fatalf("x = %v", s.X)
+	}
+}
+
+func TestIntegerVariable(t *testing.T) {
+	// max x s.t. 2x <= 7, x integer -> x = 3.
+	p := NewProblem(1)
+	p.LP.Objective = []float64{1}
+	p.LP.AddConstraint([]float64{2}, lp.LE, 7)
+	p.SetKind(0, Integer)
+	s, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.X[0]-3) > 1e-6 {
+		t.Fatalf("x = %v, want 3", s.X[0])
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// max 2x + y, x binary, y continuous <= 0.7, x + y <= 1.5.
+	p := NewProblem(2)
+	p.LP.Objective = []float64{2, 1}
+	p.LP.AddConstraint([]float64{1, 1}, lp.LE, 1.5)
+	p.SetKind(0, Binary)
+	p.LP.SetUpperBound(1, 0.7)
+	s, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-2.5) > 1e-6 {
+		t.Fatalf("objective = %v, want 2.5", s.Objective)
+	}
+}
+
+func TestInfeasibleILP(t *testing.T) {
+	p := NewProblem(1)
+	p.LP.Objective = []float64{1}
+	p.LP.AddConstraint([]float64{1}, lp.GE, 2)
+	p.SetKind(0, Binary)
+	if _, err := p.Solve(Options{}); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestEqualityCardinality(t *testing.T) {
+	// Choose exactly 2 of 4 binaries maximising weights.
+	p := NewProblem(4)
+	p.LP.Objective = []float64{0.1, 0.9, 0.5, 0.7}
+	p.LP.AddConstraint([]float64{1, 1, 1, 1}, lp.EQ, 2)
+	for i := 0; i < 4; i++ {
+		p.SetKind(i, Binary)
+	}
+	s, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-1.6) > 1e-6 {
+		t.Fatalf("objective = %v, want 1.6", s.Objective)
+	}
+	count := 0
+	for _, x := range s.X {
+		count += int(math.Round(x))
+	}
+	if count != 2 {
+		t.Fatalf("cardinality = %d, want 2", count)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 25
+	p := NewProblem(n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		p.LP.Objective[i] = 1 + rng.Float64()
+		weights[i] = 1 + rng.Float64()
+		p.SetKind(i, Binary)
+	}
+	p.LP.AddConstraint(weights, lp.LE, 0.5*float64(n))
+	_, err := p.Solve(Options{MaxNodes: 1})
+	if err != ErrNodeLimit && err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+// bruteKnapsack enumerates all subsets. Feasibility uses the same small
+// tolerance as the LP solver, so borderline sums that differ from the
+// capacity only by floating-point rounding are judged consistently.
+func bruteKnapsack(values, weights []float64, capacity float64) float64 {
+	n := len(values)
+	best := 0.0
+	for mask := 0; mask < 1<<n; mask++ {
+		v, w := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				v += values[i]
+				w += weights[i]
+			}
+		}
+		if w <= capacity+1e-9 && v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Property: branch-and-bound equals brute force on random 0/1 knapsacks.
+func TestILPMatchesBruteForceKnapsack(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = math.Round(rng.Float64()*50) / 10
+			weights[i] = math.Round(1+rng.Float64()*50) / 10
+		}
+		capacity := 0.5 * sum(weights)
+		p := NewProblem(n)
+		copy(p.LP.Objective, values)
+		p.LP.AddConstraint(weights, lp.LE, capacity)
+		for i := 0; i < n; i++ {
+			p.SetKind(i, Binary)
+		}
+		s, err := p.Solve(Options{})
+		if err != nil {
+			return false
+		}
+		want := bruteKnapsack(values, weights, capacity)
+		if math.Abs(s.Objective-want) > 1e-5 {
+			return false
+		}
+		// Check integrality and feasibility of the returned point.
+		w := 0.0
+		for i, x := range s.X {
+			if math.Abs(x-math.Round(x)) > 1e-6 {
+				return false
+			}
+			w += x * weights[i]
+		}
+		return w <= capacity+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

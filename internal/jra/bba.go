@@ -1,0 +1,206 @@
+package jra
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// BranchAndBound is the paper's Branch-and-Bound Algorithm (BBA, Algorithm 1)
+// for the Journal Reviewer Assignment problem. The search enumerates reviewer
+// combinations stage by stage; at every node the remaining candidates are
+// explored in descending order of marginal gain (Definition 8, the branching
+// rule) and a per-topic upper bound built from the best remaining candidate
+// expertise (Equation 3, the bounding rule) prunes branches that cannot beat
+// the best group found so far.
+//
+// The zero value is a ready-to-use exact solver. The ablation fields disable
+// one of the two ingredients to quantify their contribution
+// (BenchmarkAblationBBA).
+type BranchAndBound struct {
+	// DisableBounding turns off the upper-bound pruning (branching only).
+	DisableBounding bool
+	// DisableGainOrdering explores candidates in pool order instead of
+	// descending marginal gain (bounding only).
+	DisableGainOrdering bool
+}
+
+// Name implements Solver.
+func (b BranchAndBound) Name() string { return "BBA" }
+
+// Stats reports the work performed by a BBA run.
+type Stats struct {
+	// Nodes is the number of search-tree nodes expanded.
+	Nodes int64
+	// Pruned is the number of branches cut by the upper bound.
+	Pruned int64
+}
+
+// Solve implements Solver; it returns the optimal reviewer group.
+func (b BranchAndBound) Solve(in *core.Instance) (Result, error) {
+	results, _, err := b.solve(in, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
+}
+
+// SolveWithStats returns the optimal group together with search statistics.
+func (b BranchAndBound) SolveWithStats(in *core.Instance) (Result, Stats, error) {
+	results, stats, err := b.solve(in, 1)
+	if err != nil {
+		return Result{}, stats, err
+	}
+	return results[0], stats, err
+}
+
+// TopK returns the k best reviewer groups in descending score order
+// (Section 3 notes BBA extends to top-k by replacing the incumbent with a
+// heap of the k best groups; Figure 15 evaluates this).
+func (b BranchAndBound) TopK(in *core.Instance, k int) ([]Result, error) {
+	if k < 1 {
+		k = 1
+	}
+	results, _, err := b.solve(in, k)
+	return results, err
+}
+
+// resultHeap is a min-heap of results ordered by score, holding the k best
+// groups found so far.
+type resultHeap []Result
+
+func (h resultHeap) Len() int            { return len(h) }
+func (h resultHeap) Less(i, j int) bool  { return h[i].Score < h[j].Score }
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+func (b BranchAndBound) solve(in *core.Instance, k int) ([]Result, Stats, error) {
+	candidates, err := validate(in)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	delta := in.GroupSize
+	paper := in.Papers[0].Topics
+	score := in.ScoreFn()
+	T := in.NumTopics()
+
+	// T sorted lists: candidate indices in descending order of expertise on
+	// each topic (Figure 5(b)). Together with the active mask they give the
+	// "running cursor" upper bound of Equation 3.
+	sortedLists := make([][]int, T)
+	for t := 0; t < T; t++ {
+		lst := append([]int(nil), candidates...)
+		sort.Slice(lst, func(i, j int) bool {
+			return in.Reviewers[lst[i]].Topics[t] > in.Reviewers[lst[j]].Topics[t]
+		})
+		sortedLists[t] = lst
+	}
+	active := make([]bool, in.NumReviewers())
+	for _, r := range candidates {
+		active[r] = true
+	}
+
+	best := &resultHeap{}
+	heap.Init(best)
+	threshold := func() (float64, bool) {
+		if best.Len() < k {
+			return 0, false
+		}
+		return (*best)[0].Score, true
+	}
+	record := func(group []int, s float64) {
+		if best.Len() < k {
+			heap.Push(best, Result{Group: sortedGroup(group), Score: s})
+			return
+		}
+		if s > (*best)[0].Score {
+			(*best)[0] = Result{Group: sortedGroup(group), Score: s}
+			heap.Fix(best, 0)
+		}
+	}
+
+	// upperBound computes Equation 3: for every topic the best value among
+	// the group vector and the best still-active candidate.
+	ubVec := make(core.Vector, T)
+	upperBound := func(g core.Vector) float64 {
+		for t := 0; t < T; t++ {
+			v := g[t]
+			for _, r := range sortedLists[t] {
+				if active[r] {
+					if x := in.Reviewers[r].Topics[t]; x > v {
+						v = x
+					}
+					break
+				}
+			}
+			ubVec[t] = v
+		}
+		return score(ubVec, paper)
+	}
+
+	var stats Stats
+	group := make([]int, 0, delta)
+	groupVecs := make([]core.Vector, delta+1)
+	groupVecs[0] = make(core.Vector, T)
+
+	var recurse func(cands []int, depth int)
+	recurse = func(cands []int, depth int) {
+		if depth == delta {
+			record(group, score(groupVecs[depth], paper))
+			return
+		}
+		// Branching order: descending marginal gain (Definition 8).
+		order := append([]int(nil), cands...)
+		if !b.DisableGainOrdering {
+			gains := make(map[int]float64, len(order))
+			for _, r := range order {
+				gains[r] = in.GainWithVector(0, groupVecs[depth], r)
+			}
+			sort.SliceStable(order, func(i, j int) bool { return gains[order[i]] > gains[order[j]] })
+		}
+		deactivated := make([]int, 0, len(order))
+		defer func() {
+			for _, r := range deactivated {
+				active[r] = true
+			}
+		}()
+		for i, r := range order {
+			if len(order)-i < delta-depth {
+				break // not enough candidates left to complete the group
+			}
+			// Bounding (Equation 3): prune when even the optimistic
+			// completion cannot beat the k-th best score so far.
+			if !b.DisableBounding {
+				if thr, ok := threshold(); ok {
+					if upperBound(groupVecs[depth]) <= thr+1e-12 {
+						stats.Pruned++
+						break
+					}
+				}
+			}
+			stats.Nodes++
+			active[r] = false
+			deactivated = append(deactivated, r)
+			groupVecs[depth+1] = core.Max(groupVecs[depth], in.Reviewers[r].Topics)
+			group = append(group, r)
+			recurse(order[i+1:], depth+1)
+			group = group[:len(group)-1]
+		}
+	}
+	recurse(candidates, 0)
+
+	// Drain the heap into descending order.
+	out := make([]Result, best.Len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(best).(Result)
+	}
+	return out, stats, nil
+}

@@ -1,0 +1,82 @@
+package jra
+
+import (
+	"repro/internal/core"
+)
+
+// BruteForce enumerates every δp-combination of the candidate reviewers and
+// keeps the best one. It is the BFS baseline of Section 5.1 and the ground
+// truth against which BBA is property-tested.
+type BruteForce struct{}
+
+// Name implements Solver.
+func (BruteForce) Name() string { return "BFS" }
+
+// Solve implements Solver by exhaustive enumeration.
+func (BruteForce) Solve(in *core.Instance) (Result, error) {
+	candidates, err := validate(in)
+	if err != nil {
+		return Result{}, err
+	}
+	k := in.GroupSize
+	paper := in.Papers[0].Topics
+	score := in.ScoreFn()
+
+	best := Result{Score: -1}
+	group := make([]int, 0, k)
+	// groupVecs[d] is the aggregated expertise of the first d group members,
+	// maintained incrementally so each node costs O(T).
+	groupVecs := make([]core.Vector, k+1)
+	groupVecs[0] = make(core.Vector, in.NumTopics())
+
+	var recurse func(start, depth int)
+	recurse = func(start, depth int) {
+		if depth == k {
+			s := score(groupVecs[depth], paper)
+			if s > best.Score {
+				best = Result{Group: sortedGroup(group), Score: s}
+			}
+			return
+		}
+		// Not enough candidates left to fill the group.
+		for i := start; i <= len(candidates)-(k-depth); i++ {
+			r := candidates[i]
+			groupVecs[depth+1] = core.Max(groupVecs[depth], in.Reviewers[r].Topics)
+			group = append(group, r)
+			recurse(i+1, depth+1)
+			group = group[:len(group)-1]
+		}
+	}
+	recurse(0, 0)
+	return best, nil
+}
+
+// EnumerateScores returns the score of every δp-combination, used by tests to
+// verify top-k retrieval. The number of combinations grows combinatorially;
+// callers must keep instances small.
+func EnumerateScores(in *core.Instance) ([]Result, error) {
+	candidates, err := validate(in)
+	if err != nil {
+		return nil, err
+	}
+	k := in.GroupSize
+	paper := in.Papers[0].Topics
+	score := in.ScoreFn()
+	var out []Result
+	group := make([]int, 0, k)
+	var recurse func(start int, g core.Vector)
+	recurse = func(start int, g core.Vector) {
+		if len(group) == k {
+			out = append(out, Result{Group: sortedGroup(group), Score: score(g, paper)})
+			return
+		}
+		for i := start; i <= len(candidates)-(k-len(group)); i++ {
+			r := candidates[i]
+			group = append(group, r)
+			recurse(i+1, core.Max(g, in.Reviewers[r].Topics))
+			group = group[:len(group)-1]
+		}
+	}
+	recurse(0, make(core.Vector, in.NumTopics()))
+	return out, nil
+}

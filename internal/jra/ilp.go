@@ -1,0 +1,101 @@
+package jra
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ilp"
+	"repro/internal/lp"
+)
+
+// ILP solves JRA exactly through a mixed-integer linear program, mirroring
+// the lp_solve baseline of Section 5.1.
+//
+// The group objective max_t over selected reviewers is linearised with
+// designated-coverer variables: for every reviewer r and topic t a variable
+// y[r][t] ∈ [0,1] says that r is the reviewer credited with covering t.
+//
+//	maximize  Σ_r Σ_t y[r][t] · min(r[t], p[t]) / Σ_t p[t]
+//	s.t.      Σ_r x[r] = δp
+//	          y[r][t] ≤ x[r]                        ∀ r, t
+//	          Σ_r y[r][t] ≤ 1                       ∀ t
+//	          x[r] ∈ {0,1},  y[r][t] ≥ 0
+//
+// For any fixed selection x the optimal y credits each topic to the best
+// selected reviewer, so the MILP optimum equals the weighted-coverage optimum
+// of Definition 6. Only the x variables need to be integral.
+type ILP struct {
+	// MaxNodes bounds the branch-and-bound search (0 = solver default).
+	MaxNodes int
+}
+
+// Name implements Solver.
+func (ILP) Name() string { return "ILP" }
+
+// Solve implements Solver.
+func (s ILP) Solve(in *core.Instance) (Result, error) {
+	candidates, err := validate(in)
+	if err != nil {
+		return Result{}, err
+	}
+	paper := in.Papers[0].Topics
+	T := in.NumTopics()
+	R := len(candidates)
+	den := paper.Sum()
+	if den == 0 {
+		// Degenerate paper: any group is optimal.
+		return Result{Group: sortedGroup(candidates[:in.GroupSize]), Score: 0}, nil
+	}
+
+	// Variable layout: x[0..R-1], then y[r*T + t] for r in 0..R-1, t in 0..T-1.
+	nVars := R + R*T
+	xVar := func(r int) int { return r }
+	yVar := func(r, t int) int { return R + r*T + t }
+
+	prob := ilp.NewProblem(nVars)
+	for i := 0; i < R; i++ {
+		prob.SetKind(xVar(i), ilp.Binary)
+	}
+	for i := 0; i < R; i++ {
+		rev := in.Reviewers[candidates[i]].Topics
+		for t := 0; t < T; t++ {
+			prob.LP.Objective[yVar(i, t)] = math.Min(rev[t], paper[t]) / den
+			prob.LP.SetUpperBound(yVar(i, t), 1)
+		}
+	}
+	// Σ_r x[r] = δp.
+	row := make([]float64, nVars)
+	for i := 0; i < R; i++ {
+		row[xVar(i)] = 1
+	}
+	prob.LP.AddConstraint(row, lp.EQ, float64(in.GroupSize))
+	// y[r][t] ≤ x[r].
+	for i := 0; i < R; i++ {
+		for t := 0; t < T; t++ {
+			row := make([]float64, nVars)
+			row[yVar(i, t)] = 1
+			row[xVar(i)] = -1
+			prob.LP.AddConstraint(row, lp.LE, 0)
+		}
+	}
+	// Σ_r y[r][t] ≤ 1 for every topic.
+	for t := 0; t < T; t++ {
+		row := make([]float64, nVars)
+		for i := 0; i < R; i++ {
+			row[yVar(i, t)] = 1
+		}
+		prob.LP.AddConstraint(row, lp.LE, 1)
+	}
+
+	sol, err := prob.Solve(ilp.Options{MaxNodes: s.MaxNodes})
+	if err != nil {
+		return Result{}, err
+	}
+	group := make([]int, 0, in.GroupSize)
+	for i := 0; i < R; i++ {
+		if math.Round(sol.X[xVar(i)]) == 1 {
+			group = append(group, candidates[i])
+		}
+	}
+	return Result{Group: sortedGroup(group), Score: in.GroupScore(0, group)}, nil
+}

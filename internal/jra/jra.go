@@ -1,0 +1,72 @@
+// Package jra solves the Journal Reviewer Assignment problem (Section 3 of
+// the paper): given one paper and a pool of R candidate reviewers, find the
+// group of exactly δp reviewers maximising the weighted coverage of the
+// paper's topics.
+//
+// Four exact solvers are provided, matching the paper's evaluation:
+//
+//   - BruteForce enumerates every δp-combination (the BFS baseline).
+//   - BranchAndBound is the paper's BBA: marginal-gain prioritised branching
+//     with a per-topic upper bound derived from the best remaining
+//     candidates (Equations 2 and 3); it also supports top-k retrieval.
+//   - ILP solves the designated-coverer MILP formulation with the
+//     branch-and-bound ILP solver of internal/ilp (the lp_solve baseline).
+//   - CP solves a constraint-programming model with internal/cp (the CPLEX
+//     CP Optimizer baseline).
+package jra
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Result is a solved journal assignment: the chosen reviewer group (indices
+// into the instance's reviewer pool) and its coverage score.
+type Result struct {
+	Group []int
+	Score float64
+}
+
+// Solver finds the best reviewer group for a single-paper instance.
+type Solver interface {
+	// Name identifies the solver in experiment output.
+	Name() string
+	// Solve returns the optimal group for the instance's only paper. The
+	// instance must contain exactly one paper and GroupSize = δp.
+	Solve(in *core.Instance) (Result, error)
+}
+
+// ErrNotJournal is returned when a solver receives an instance with more than
+// one paper.
+var ErrNotJournal = errors.New("jra: instance must contain exactly one paper")
+
+// validate checks the common preconditions of the JRA solvers and returns the
+// candidate reviewers (non-conflicting, valid indices).
+func validate(in *core.Instance) ([]int, error) {
+	if in.NumPapers() != 1 {
+		return nil, ErrNotJournal
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	candidates := make([]int, 0, in.NumReviewers())
+	for r := 0; r < in.NumReviewers(); r++ {
+		if !in.IsConflict(r, 0) {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) < in.GroupSize {
+		return nil, fmt.Errorf("jra: only %d non-conflicting candidates for group size %d", len(candidates), in.GroupSize)
+	}
+	return candidates, nil
+}
+
+// sortedGroup returns a sorted copy of the group for deterministic output.
+func sortedGroup(g []int) []int {
+	out := append([]int(nil), g...)
+	sort.Ints(out)
+	return out
+}

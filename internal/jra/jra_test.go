@@ -1,0 +1,334 @@
+package jra
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// paperExample is the running example of Section 3 (Figure 5): one paper and
+// three reviewers; the optimal pair is {r1, r2} with coverage 0.9.
+func paperExample() *core.Instance {
+	papers := []core.Paper{{ID: "p", Topics: core.Vector{0.35, 0.45, 0.2}}}
+	reviewers := []core.Reviewer{
+		{ID: "r1", Topics: core.Vector{0.15, 0.75, 0.1}},
+		{ID: "r2", Topics: core.Vector{0.75, 0.15, 0.1}},
+		{ID: "r3", Topics: core.Vector{0.1, 0.35, 0.55}},
+	}
+	return core.NewInstance(papers, reviewers, 2, 1)
+}
+
+// randomJournal builds a random single-paper instance.
+func randomJournal(rng *rand.Rand, r, t, delta int) *core.Instance {
+	papers := []core.Paper{{Topics: randVec(rng, t)}}
+	reviewers := make([]core.Reviewer, r)
+	for i := range reviewers {
+		reviewers[i] = core.Reviewer{Topics: randVec(rng, t)}
+	}
+	return core.NewInstance(papers, reviewers, delta, 1)
+}
+
+func randVec(rng *rand.Rand, t int) core.Vector {
+	v := make(core.Vector, t)
+	for i := range v {
+		v[i] = rng.Float64()
+	}
+	return v.Normalized()
+}
+
+func sameGroup(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]int(nil), a...)
+	bs := append([]int(nil), b...)
+	sort.Ints(as)
+	sort.Ints(bs)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSolvers() []Solver {
+	return []Solver{BruteForce{}, BranchAndBound{}, ILP{}, CP{}}
+}
+
+func TestSolversOnPaperExample(t *testing.T) {
+	in := paperExample()
+	for _, s := range allSolvers() {
+		res, err := s.Solve(in)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if math.Abs(res.Score-0.9) > 1e-9 {
+			t.Errorf("%s: score = %v, want 0.9", s.Name(), res.Score)
+		}
+		if !sameGroup(res.Group, []int{0, 1}) {
+			t.Errorf("%s: group = %v, want [0 1]", s.Name(), res.Group)
+		}
+	}
+}
+
+func TestSolversRespectConflicts(t *testing.T) {
+	in := paperExample()
+	in.AddConflict(1, 0) // r2 conflicts with the paper
+	for _, s := range allSolvers() {
+		res, err := s.Solve(in)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		for _, r := range res.Group {
+			if r == 1 {
+				t.Errorf("%s assigned a conflicting reviewer", s.Name())
+			}
+		}
+		// Best conflict-free group is {r1, r3}: covers 0.35? compute:
+		// max(r1,r3) = (0.15, 0.75, 0.55) -> min with p = 0.15+0.45+0.2 = 0.8.
+		if math.Abs(res.Score-0.8) > 1e-9 {
+			t.Errorf("%s: score = %v, want 0.8", s.Name(), res.Score)
+		}
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	multi := core.NewInstance(
+		[]core.Paper{{Topics: core.Vector{1}}, {Topics: core.Vector{1}}},
+		[]core.Reviewer{{Topics: core.Vector{1}}, {Topics: core.Vector{1}}},
+		1, 1)
+	for _, s := range allSolvers() {
+		if _, err := s.Solve(multi); err != ErrNotJournal {
+			t.Errorf("%s: err = %v, want ErrNotJournal", s.Name(), err)
+		}
+	}
+	// Too many conflicts leave fewer candidates than δp.
+	in := paperExample()
+	in.AddConflict(0, 0)
+	in.AddConflict(1, 0)
+	for _, s := range allSolvers() {
+		if _, err := s.Solve(in); err == nil {
+			t.Errorf("%s accepted an instance with too few candidates", s.Name())
+		}
+	}
+}
+
+func TestGroupSizeOne(t *testing.T) {
+	in := paperExample()
+	in.GroupSize = 1
+	for _, s := range allSolvers() {
+		res, err := s.Solve(in)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(res.Group) != 1 || res.Group[0] != 0 || math.Abs(res.Score-0.7) > 1e-9 {
+			t.Errorf("%s: result = %+v, want r1 with 0.7", s.Name(), res)
+		}
+	}
+}
+
+// Property: BBA equals BFS on random instances (the central exactness claim).
+func TestBBAMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := 4 + rng.Intn(8)
+		delta := 2 + rng.Intn(2)
+		in := randomJournal(rng, r, 2+rng.Intn(8), delta)
+		bfs, err1 := BruteForce{}.Solve(in)
+		bba, err2 := BranchAndBound{}.Solve(in)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(bfs.Score-bba.Score) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the BBA ablations (no bounding / no gain ordering) remain exact.
+func TestBBAAblationsRemainExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomJournal(rng, 4+rng.Intn(6), 3+rng.Intn(6), 2)
+		want, err := BruteForce{}.Solve(in)
+		if err != nil {
+			return false
+		}
+		for _, b := range []BranchAndBound{
+			{DisableBounding: true},
+			{DisableGainOrdering: true},
+			{DisableBounding: true, DisableGainOrdering: true},
+		} {
+			got, err := b.Solve(in)
+			if err != nil || math.Abs(got.Score-want.Score) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ILP and CP equal BFS on small random instances.
+func TestILPAndCPMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomJournal(rng, 4+rng.Intn(4), 2+rng.Intn(4), 2)
+		want, err := BruteForce{}.Solve(in)
+		if err != nil {
+			return false
+		}
+		ilpRes, err := (ILP{}).Solve(in)
+		if err != nil || math.Abs(ilpRes.Score-want.Score) > 1e-6 {
+			return false
+		}
+		cpRes, err := (CP{}).Solve(in)
+		if err != nil || math.Abs(cpRes.Score-want.Score) > 1e-9 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBBAStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	in := randomJournal(rng, 30, 10, 3)
+	full := BranchAndBound{}
+	noBound := BranchAndBound{DisableBounding: true}
+	_, statsFull, err := full.SolveWithStats(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, statsNoBound, err := noBound.SolveWithStats(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsFull.Nodes >= statsNoBound.Nodes {
+		t.Fatalf("bounding should reduce explored nodes: %d >= %d", statsFull.Nodes, statsNoBound.Nodes)
+	}
+	if statsFull.Pruned == 0 {
+		t.Fatal("expected some pruning on a 30-reviewer instance")
+	}
+}
+
+func TestTopKMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := randomJournal(rng, 9, 6, 3)
+	all, err := EnumerateScores(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Score > all[j].Score })
+	for _, k := range []int{1, 3, 10, 25} {
+		got, err := (BranchAndBound{}).TopK(in, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := k
+		if want > len(all) {
+			want = len(all)
+		}
+		if len(got) != want {
+			t.Fatalf("TopK(%d) returned %d results", k, len(got))
+		}
+		for i := range got {
+			if math.Abs(got[i].Score-all[i].Score) > 1e-9 {
+				t.Fatalf("TopK(%d)[%d] score = %v, want %v", k, i, got[i].Score, all[i].Score)
+			}
+			if i > 0 && got[i].Score > got[i-1].Score+1e-12 {
+				t.Fatalf("TopK results not sorted: %v", got)
+			}
+		}
+	}
+}
+
+func TestTopKWithKBelowOne(t *testing.T) {
+	in := paperExample()
+	got, err := (BranchAndBound{}).TopK(in, 0)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("TopK(0) = %v, %v", got, err)
+	}
+}
+
+func TestEnumerateScoresCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in := randomJournal(rng, 7, 4, 3)
+	all, err := EnumerateScores(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C(7,3) = 35 combinations.
+	if len(all) != 35 {
+		t.Fatalf("len = %d, want 35", len(all))
+	}
+}
+
+// Property: results of every solver are valid groups (distinct reviewers,
+// correct size, no conflicts) and scores match the group they report.
+func TestResultsAreConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomJournal(rng, 5+rng.Intn(5), 3+rng.Intn(5), 2)
+		// Random conflict.
+		if rng.Intn(2) == 0 {
+			in.AddConflict(rng.Intn(in.NumReviewers()), 0)
+		}
+		for _, s := range allSolvers() {
+			res, err := s.Solve(in)
+			if err != nil {
+				// Only acceptable if conflicts removed too many candidates.
+				continue
+			}
+			if len(res.Group) != in.GroupSize {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, r := range res.Group {
+				if seen[r] || in.IsConflict(r, 0) {
+					return false
+				}
+				seen[r] = true
+			}
+			if math.Abs(res.Score-in.GroupScore(0, res.Group)) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BBA must remain exact under the alternative scoring functions of Appendix B
+// because they are all submodular and monotone.
+func TestBBAWithAlternativeScoringFunctions(t *testing.T) {
+	for name, fn := range core.ScoringFunctions {
+		fn := fn
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			in := randomJournal(rng, 5+rng.Intn(6), 3+rng.Intn(5), 2)
+			in.Score = fn
+			bfs, err1 := BruteForce{}.Solve(in)
+			bba, err2 := BranchAndBound{}.Solve(in)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			return math.Abs(bfs.Score-bba.Score) < 1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

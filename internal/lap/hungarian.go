@@ -1,0 +1,173 @@
+// Package lap solves the linear assignment problem with the Hungarian
+// (Kuhn–Munkres) algorithm in O(n^3). The Stage Deepening Greedy Algorithm of
+// the paper (Section 4.2) solves one linear assignment per stage; this
+// package is its workhorse when the per-stage reviewer workload is 1, and the
+// building block of the rectangular/duplicated formulations used otherwise.
+package lap
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrInfeasible is returned when no perfect matching of the rows exists, i.e.
+// some row can only be matched to forbidden columns.
+var ErrInfeasible = errors.New("lap: no feasible assignment")
+
+// Forbidden marks an impossible pairing in a profit matrix: cells set to
+// negative infinity are never selected.
+var Forbidden = math.Inf(-1)
+
+// MaximizeRect solves the rectangular linear assignment problem: given an
+// n×m profit matrix with n <= m, it returns for every row the column
+// assigned to it (each column used at most once) so that the total profit is
+// maximised, together with the total profit. Cells set to Forbidden are never
+// selected. When n > m the call fails with ErrInfeasible.
+func MaximizeRect(profit [][]float64) ([]int, float64, error) {
+	n := len(profit)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(profit[0])
+	if n > m {
+		return nil, 0, ErrInfeasible
+	}
+	// Convert to a minimisation problem on costs. Forbidden cells get a huge
+	// but finite cost so the dual updates stay finite; we verify afterwards
+	// that no forbidden cell was selected.
+	maxVal := 0.0
+	for i := range profit {
+		if len(profit[i]) != m {
+			return nil, 0, errors.New("lap: ragged profit matrix")
+		}
+		for _, v := range profit[i] {
+			if v > maxVal && !isForbidden(v) {
+				maxVal = v
+			}
+		}
+	}
+	big := (maxVal + 1) * float64(m+1)
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, m)
+		for j := range cost[i] {
+			v := profit[i][j]
+			if isForbidden(v) {
+				cost[i][j] = big
+			} else {
+				cost[i][j] = maxVal - v
+			}
+		}
+	}
+	rowTo, err := minimizeRect(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	total := 0.0
+	for i, j := range rowTo {
+		if isForbidden(profit[i][j]) {
+			return nil, 0, ErrInfeasible
+		}
+		total += profit[i][j]
+	}
+	return rowTo, total, nil
+}
+
+// Minimize solves the square linear assignment problem on a cost matrix,
+// returning the column assigned to each row and the total cost.
+func Minimize(cost [][]float64) ([]int, float64, error) {
+	n := len(cost)
+	for i := range cost {
+		if len(cost[i]) != n {
+			return nil, 0, errors.New("lap: Minimize requires a square matrix")
+		}
+	}
+	rowTo, err := minimizeRect(cost)
+	if err != nil {
+		return nil, 0, err
+	}
+	total := 0.0
+	for i, j := range rowTo {
+		total += cost[i][j]
+	}
+	return rowTo, total, nil
+}
+
+func isForbidden(v float64) bool { return math.IsInf(v, -1) }
+
+// minimizeRect is the Jonker–Volgenant style shortest augmenting path
+// implementation of the Hungarian algorithm for an n×m cost matrix (n <= m).
+// It returns, for every row, the assigned column.
+func minimizeRect(cost [][]float64) ([]int, error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, nil
+	}
+	m := len(cost[0])
+	if n > m {
+		return nil, ErrInfeasible
+	}
+	const inf = math.MaxFloat64
+	// 1-based potentials as in the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, m+1)
+	p := make([]int, m+1) // p[j] = row matched to column j (0 = none)
+	way := make([]int, m+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, m+1)
+		used := make([]bool, m+1)
+		for j := 0; j <= m; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 == -1 || delta == inf {
+				return nil, ErrInfeasible
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+	rowTo := make([]int, n)
+	for j := 1; j <= m; j++ {
+		if p[j] > 0 {
+			rowTo[p[j]-1] = j - 1
+		}
+	}
+	return rowTo, nil
+}

@@ -1,0 +1,208 @@
+package lap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeSmall(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	rows, total, err := Minimize(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: r0->c1 (1), r1->c0 (2), r2->c2 (2) = 5.
+	if total != 5 {
+		t.Fatalf("total = %v, want 5", total)
+	}
+	want := []int{1, 0, 2}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", rows, want)
+		}
+	}
+}
+
+func TestMinimizeRejectsNonSquare(t *testing.T) {
+	if _, _, err := Minimize([][]float64{{1, 2}}); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+}
+
+func TestMaximizeRectBasic(t *testing.T) {
+	profit := [][]float64{
+		{0.9, 0.1, 0.5, 0.3},
+		{0.8, 0.7, 0.1, 0.2},
+	}
+	rows, total, err := MaximizeRect(profit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-1.6) > 1e-9 {
+		t.Fatalf("total = %v, want 1.6", total)
+	}
+	if rows[0] != 0 || rows[1] != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestMaximizeRectEmpty(t *testing.T) {
+	rows, total, err := MaximizeRect(nil)
+	if err != nil || rows != nil || total != 0 {
+		t.Fatalf("empty input: rows=%v total=%v err=%v", rows, total, err)
+	}
+}
+
+func TestMaximizeRectMoreRowsThanCols(t *testing.T) {
+	if _, _, err := MaximizeRect([][]float64{{1}, {2}}); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMaximizeRectRagged(t *testing.T) {
+	if _, _, err := MaximizeRect([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged matrix accepted")
+	}
+}
+
+func TestMaximizeRectForbidden(t *testing.T) {
+	profit := [][]float64{
+		{Forbidden, 5, 1},
+		{Forbidden, Forbidden, 2},
+	}
+	rows, total, err := MaximizeRect(profit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0] != 1 || rows[1] != 2 || total != 7 {
+		t.Fatalf("rows=%v total=%v", rows, total)
+	}
+}
+
+func TestMaximizeRectAllForbiddenRow(t *testing.T) {
+	profit := [][]float64{
+		{Forbidden, Forbidden},
+		{1, 2},
+	}
+	if _, _, err := MaximizeRect(profit); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+// bruteMax finds the optimal rectangular assignment by enumeration.
+func bruteMax(profit [][]float64, row int, usedCols map[int]bool) (float64, bool) {
+	if row == len(profit) {
+		return 0, true
+	}
+	best := math.Inf(-1)
+	ok := false
+	for c := range profit[row] {
+		if usedCols[c] || isForbidden(profit[row][c]) {
+			continue
+		}
+		usedCols[c] = true
+		sub, feasible := bruteMax(profit, row+1, usedCols)
+		usedCols[c] = false
+		if feasible && profit[row][c]+sub > best {
+			best = profit[row][c] + sub
+			ok = true
+		}
+	}
+	return best, ok
+}
+
+// Property: Hungarian result equals brute force on random small matrices.
+func TestMaximizeRectMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(3)
+		profit := make([][]float64, n)
+		for i := range profit {
+			profit[i] = make([]float64, m)
+			for j := range profit[i] {
+				if rng.Float64() < 0.1 {
+					profit[i][j] = Forbidden
+				} else {
+					profit[i][j] = math.Round(rng.Float64()*100) / 100
+				}
+			}
+		}
+		rows, total, err := MaximizeRect(profit)
+		want, feasible := bruteMax(profit, 0, map[int]bool{})
+		if !feasible {
+			return err == ErrInfeasible
+		}
+		if err != nil {
+			return false
+		}
+		// The assignment must be valid (distinct columns) and optimal.
+		seen := map[int]bool{}
+		check := 0.0
+		for i, c := range rows {
+			if seen[c] {
+				return false
+			}
+			seen[c] = true
+			check += profit[i][c]
+		}
+		return math.Abs(total-want) < 1e-6 && math.Abs(check-total) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: permuting rows does not change the optimal value.
+func TestMaximizeRectPermutationInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := n + rng.Intn(3)
+		profit := make([][]float64, n)
+		for i := range profit {
+			profit[i] = make([]float64, m)
+			for j := range profit[i] {
+				profit[i][j] = rng.Float64()
+			}
+		}
+		_, t1, err1 := MaximizeRect(profit)
+		perm := rng.Perm(n)
+		shuffled := make([][]float64, n)
+		for i, p := range perm {
+			shuffled[i] = profit[p]
+		}
+		_, t2, err2 := MaximizeRect(shuffled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(t1-t2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMaximizeRect200(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 200, 250
+	profit := make([][]float64, n)
+	for i := range profit {
+		profit[i] = make([]float64, m)
+		for j := range profit[i] {
+			profit[i][j] = rng.Float64()
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MaximizeRect(profit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

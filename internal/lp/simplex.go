@@ -1,0 +1,347 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	maximize   cᵀx
+//	subject to A x (<=, =, >=) b,   x >= 0
+//
+// It is the substrate of the ILP baseline used in the paper's JRA experiments
+// (Section 5.1): internal/ilp branches on fractional binaries and calls this
+// solver for every LP relaxation, mirroring the lp_solve-based baseline.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Relation of a constraint row to its right-hand side.
+type Relation int
+
+// Constraint relations.
+const (
+	LE Relation = iota // <=
+	GE                 // >=
+	EQ                 // =
+)
+
+// Constraint is a single row aᵀx (rel) b.
+type Constraint struct {
+	Coeffs []float64
+	Rel    Relation
+	RHS    float64
+}
+
+// Problem is a linear program over n non-negative variables.
+type Problem struct {
+	// Objective holds the coefficients of the maximisation objective.
+	Objective []float64
+	// Constraints holds the rows of the program.
+	Constraints []Constraint
+	// UpperBounds optionally bounds each variable from above (NaN = unbounded).
+	// Bounds are compiled into explicit <= rows.
+	UpperBounds []float64
+}
+
+// Solution of a linear program.
+type Solution struct {
+	// X is the optimal assignment of the variables.
+	X []float64
+	// Objective is the optimal objective value.
+	Objective float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// NewProblem creates a problem with n variables and a zero objective.
+func NewProblem(n int) *Problem {
+	return &Problem{Objective: make([]float64, n)}
+}
+
+// NumVars returns the number of variables.
+func (p *Problem) NumVars() int { return len(p.Objective) }
+
+// AddConstraint appends the row coeffsᵀ x (rel) rhs. The coefficient slice is
+// copied; missing trailing coefficients are treated as zero.
+func (p *Problem) AddConstraint(coeffs []float64, rel Relation, rhs float64) {
+	row := make([]float64, p.NumVars())
+	copy(row, coeffs)
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: row, Rel: rel, RHS: rhs})
+}
+
+// SetUpperBound sets an upper bound for variable i (x_i <= ub).
+func (p *Problem) SetUpperBound(i int, ub float64) {
+	if p.UpperBounds == nil {
+		p.UpperBounds = make([]float64, p.NumVars())
+		for j := range p.UpperBounds {
+			p.UpperBounds[j] = math.NaN()
+		}
+	}
+	p.UpperBounds[i] = ub
+}
+
+// Clone returns a deep copy of the problem; used by the branch-and-bound ILP
+// solver to add branching constraints without disturbing the parent node.
+func (p *Problem) Clone() *Problem {
+	c := &Problem{Objective: append([]float64(nil), p.Objective...)}
+	if p.UpperBounds != nil {
+		c.UpperBounds = append([]float64(nil), p.UpperBounds...)
+	}
+	c.Constraints = make([]Constraint, len(p.Constraints))
+	for i, row := range p.Constraints {
+		c.Constraints[i] = Constraint{
+			Coeffs: append([]float64(nil), row.Coeffs...),
+			Rel:    row.Rel,
+			RHS:    row.RHS,
+		}
+	}
+	return c
+}
+
+// Solve maximises the objective with a two-phase tableau simplex and returns
+// the optimal solution, ErrInfeasible, or ErrUnbounded.
+func (p *Problem) Solve() (*Solution, error) {
+	n := p.NumVars()
+	if n == 0 {
+		return &Solution{}, nil
+	}
+
+	rows := make([]Constraint, 0, len(p.Constraints)+n)
+	rows = append(rows, p.Constraints...)
+	for i, ub := range p.UpperBounds {
+		if !math.IsNaN(ub) {
+			row := make([]float64, n)
+			row[i] = 1
+			rows = append(rows, Constraint{Coeffs: row, Rel: LE, RHS: ub})
+		}
+	}
+	for i := range rows {
+		if len(rows[i].Coeffs) != n {
+			return nil, fmt.Errorf("lp: constraint %d has %d coefficients, want %d", i, len(rows[i].Coeffs), n)
+		}
+		// Normalise to a non-negative right-hand side.
+		if rows[i].RHS < 0 {
+			coeffs := make([]float64, n)
+			for j, v := range rows[i].Coeffs {
+				coeffs[j] = -v
+			}
+			rel := rows[i].Rel
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+			rows[i] = Constraint{Coeffs: coeffs, Rel: rel, RHS: -rows[i].RHS}
+		}
+	}
+
+	m := len(rows)
+	// Count slack/surplus and artificial variables.
+	numSlack := 0
+	numArt := 0
+	for _, r := range rows {
+		switch r.Rel {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	total := n + numSlack + numArt
+	// Build tableau: m rows of [coeffs | rhs].
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	slackIdx := n
+	artIdx := n + numSlack
+	artCols := make([]int, 0, numArt)
+	for i, r := range rows {
+		tab[i] = make([]float64, total+1)
+		copy(tab[i], r.Coeffs)
+		tab[i][total] = r.RHS
+		switch r.Rel {
+		case LE:
+			tab[i][slackIdx] = 1
+			basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			tab[i][slackIdx] = -1
+			slackIdx++
+			tab[i][artIdx] = 1
+			basis[i] = artIdx
+			artCols = append(artCols, artIdx)
+			artIdx++
+		case EQ:
+			tab[i][artIdx] = 1
+			basis[i] = artIdx
+			artCols = append(artCols, artIdx)
+			artIdx++
+		}
+	}
+
+	// Phase 1: minimise the sum of artificial variables.
+	if numArt > 0 {
+		obj := make([]float64, total+1)
+		for _, c := range artCols {
+			obj[c] = -1 // maximise -(sum of artificials)
+		}
+		value, err := runSimplex(tab, basis, obj)
+		if err != nil {
+			return nil, err
+		}
+		if value < -1e-7 {
+			return nil, ErrInfeasible
+		}
+		// Drive any artificial variables out of the basis if possible.
+		for i, b := range basis {
+			if !contains(artCols, b) {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < n+numSlack; j++ {
+				if math.Abs(tab[i][j]) > eps {
+					pivot(tab, basis, i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted && math.Abs(tab[i][total]) > 1e-7 {
+				return nil, ErrInfeasible
+			}
+		}
+	}
+
+	// Phase 2: maximise the real objective.
+	obj := make([]float64, total+1)
+	copy(obj, p.Objective)
+	// Forbid artificial columns from re-entering.
+	for _, c := range artCols {
+		for i := range tab {
+			tab[i][c] = 0
+		}
+	}
+	value, err := runSimplex(tab, basis, obj)
+	if err != nil {
+		return nil, err
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	return &Solution{X: x, Objective: value}, nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// runSimplex maximises objᵀx over the tableau with the given starting basis,
+// mutating tableau and basis, and returns the optimal objective value.
+//
+// An explicit objective row (reduced costs) is maintained alongside the
+// tableau and updated on every pivot, so each iteration is O(m·n) for the
+// pivot plus O(n) for the entering-column choice.
+func runSimplex(tab [][]float64, basis []int, obj []float64) (float64, error) {
+	m := len(tab)
+	if m == 0 {
+		return 0, nil
+	}
+	total := len(tab[0]) - 1
+
+	// zrow[j] = c_B B⁻¹ A_j − c_j; zrow[total] = current objective value.
+	zrow := make([]float64, total+1)
+	for j := 0; j < total; j++ {
+		zrow[j] = -obj[j]
+	}
+	for i := 0; i < m; i++ {
+		if cb := obj[basis[i]]; cb != 0 {
+			for j := 0; j <= total; j++ {
+				zrow[j] += cb * tab[i][j]
+			}
+		}
+	}
+
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			return 0, errors.New("lp: iteration limit exceeded")
+		}
+		// Dantzig rule: the most negative reduced cost enters.
+		enter := -1
+		best := -eps
+		for j := 0; j < total; j++ {
+			if zrow[j] < best-eps {
+				best = zrow[j]
+				enter = j
+			}
+		}
+		if enter == -1 {
+			break // optimal
+		}
+		// Ratio test with a Bland-style tie break to avoid cycling.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > eps {
+				ratio := tab[i][total] / tab[i][enter]
+				if ratio < bestRatio-eps || (math.Abs(ratio-bestRatio) <= eps && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return 0, ErrUnbounded
+		}
+		pivot(tab, basis, leave, enter)
+		// Update the objective row with the same elimination step.
+		if f := zrow[enter]; f != 0 {
+			prow := tab[leave]
+			for j := 0; j <= total; j++ {
+				zrow[j] -= f * prow[j]
+			}
+		}
+	}
+	value := 0.0
+	for i := 0; i < m; i++ {
+		value += obj[basis[i]] * tab[i][total]
+	}
+	return value, nil
+}
+
+// pivot performs a Gauss-Jordan pivot on tab[row][col] and updates the basis.
+func pivot(tab [][]float64, basis []int, row, col int) {
+	p := tab[row][col]
+	for j := range tab[row] {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range tab[i] {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	basis[row] = col
+}

@@ -1,0 +1,273 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solveOrFail(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSolveSimpleLE(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6.
+	p := NewProblem(2)
+	p.Objective = []float64{3, 2}
+	p.AddConstraint([]float64{1, 1}, LE, 4)
+	p.AddConstraint([]float64{1, 3}, LE, 6)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Objective-12) > 1e-6 {
+		t.Fatalf("objective = %v, want 12", s.Objective)
+	}
+	if math.Abs(s.X[0]-4) > 1e-6 || math.Abs(s.X[1]) > 1e-6 {
+		t.Fatalf("x = %v, want [4 0]", s.X)
+	}
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// max x + y s.t. x + y = 2, x <= 1.5.
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	p.AddConstraint([]float64{1, 1}, EQ, 2)
+	p.AddConstraint([]float64{1, 0}, LE, 1.5)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %v, want 2", s.Objective)
+	}
+	if math.Abs(s.X[0]+s.X[1]-2) > 1e-6 {
+		t.Fatalf("equality violated: %v", s.X)
+	}
+}
+
+func TestSolveWithGE(t *testing.T) {
+	// max -x (i.e. minimise x) s.t. x >= 3.
+	p := NewProblem(1)
+	p.Objective = []float64{-1}
+	p.AddConstraint([]float64{1}, GE, 3)
+	p.AddConstraint([]float64{1}, LE, 10)
+	s := solveOrFail(t, p)
+	if math.Abs(s.X[0]-3) > 1e-6 {
+		t.Fatalf("x = %v, want 3", s.X[0])
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	p.AddConstraint([]float64{1}, GE, 5)
+	p.AddConstraint([]float64{1}, LE, 1)
+	if _, err := p.Solve(); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	p.Objective = []float64{1}
+	p.AddConstraint([]float64{1}, GE, 0)
+	if _, err := p.Solve(); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// x - y <= -1 with x,y in [0,5], maximise x.
+	p := NewProblem(2)
+	p.Objective = []float64{1, 0}
+	p.AddConstraint([]float64{1, -1}, LE, -1)
+	p.SetUpperBound(0, 5)
+	p.SetUpperBound(1, 5)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Objective-4) > 1e-6 {
+		t.Fatalf("objective = %v, want 4", s.Objective)
+	}
+	if s.X[0]-s.X[1] > -1+1e-6 {
+		t.Fatalf("constraint violated: %v", s.X)
+	}
+}
+
+func TestUpperBounds(t *testing.T) {
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	p.SetUpperBound(0, 0.5)
+	p.SetUpperBound(1, 0.25)
+	s := solveOrFail(t, p)
+	if math.Abs(s.Objective-0.75) > 1e-6 {
+		t.Fatalf("objective = %v, want 0.75", s.Objective)
+	}
+}
+
+func TestEmptyProblem(t *testing.T) {
+	s, err := NewProblem(0).Solve()
+	if err != nil || s.Objective != 0 {
+		t.Fatalf("empty problem: %v %v", s, err)
+	}
+}
+
+func TestConstraintLengthMismatch(t *testing.T) {
+	p := NewProblem(2)
+	p.Objective = []float64{1, 1}
+	p.Constraints = append(p.Constraints, Constraint{Coeffs: []float64{1}, Rel: LE, RHS: 1})
+	if _, err := p.Solve(); err == nil {
+		t.Fatal("mismatched constraint accepted")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := NewProblem(2)
+	p.Objective = []float64{1, 2}
+	p.AddConstraint([]float64{1, 1}, LE, 3)
+	p.SetUpperBound(0, 1)
+	c := p.Clone()
+	c.Objective[0] = 99
+	c.Constraints[0].RHS = 99
+	c.UpperBounds[0] = 99
+	if p.Objective[0] != 1 || p.Constraints[0].RHS != 3 || p.UpperBounds[0] != 1 {
+		t.Fatal("Clone shares storage with the original")
+	}
+}
+
+// knapsackLP builds the fractional relaxation of a random knapsack.
+func knapsackLP(rng *rand.Rand, n int) (*Problem, []float64, []float64, float64) {
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = 1 + rng.Float64()*9
+		weights[i] = 1 + rng.Float64()*9
+	}
+	capacity := 0.4 * sum(weights)
+	p := NewProblem(n)
+	copy(p.Objective, values)
+	p.AddConstraint(weights, LE, capacity)
+	for i := 0; i < n; i++ {
+		p.SetUpperBound(i, 1)
+	}
+	return p, values, weights, capacity
+}
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Property: the LP optimum of a fractional knapsack equals the greedy
+// density solution, and every returned point is feasible.
+func TestFractionalKnapsackMatchesGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		p, values, weights, capacity := knapsackLP(rng, n)
+		s, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		// Feasibility.
+		w := 0.0
+		for i, x := range s.X {
+			if x < -1e-7 || x > 1+1e-7 {
+				return false
+			}
+			w += x * weights[i]
+		}
+		if w > capacity+1e-6 {
+			return false
+		}
+		// Greedy optimum by value density.
+		idx := rng.Perm(n)
+		_ = idx
+		order := make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if values[order[j]]/weights[order[j]] > values[order[i]]/weights[order[i]] {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		remaining := capacity
+		want := 0.0
+		for _, i := range order {
+			take := math.Min(1, remaining/weights[i])
+			if take <= 0 {
+				break
+			}
+			want += take * values[i]
+			remaining -= take * weights[i]
+		}
+		return math.Abs(s.Objective-want) < 1e-5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the simplex optimum is at least as good as any random feasible
+// point of a random LE-only LP.
+func TestSimplexDominatesRandomFeasiblePoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		p := NewProblem(n)
+		for j := range p.Objective {
+			p.Objective[j] = rng.Float64() * 5
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = 0.2 + rng.Float64()
+			}
+			p.AddConstraint(row, LE, 1+rng.Float64()*5)
+		}
+		for j := 0; j < n; j++ {
+			p.SetUpperBound(j, 3)
+		}
+		s, err := p.Solve()
+		if err != nil {
+			return false
+		}
+		// Sample random feasible points by scaling random directions.
+		for trial := 0; trial < 20; trial++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = rng.Float64() * 3
+			}
+			// Scale down until feasible.
+			scale := 1.0
+			for _, c := range p.Constraints {
+				lhs := 0.0
+				for j := range x {
+					lhs += c.Coeffs[j] * x[j]
+				}
+				if lhs > c.RHS && lhs > 0 {
+					if s := c.RHS / lhs; s < scale {
+						scale = s
+					}
+				}
+			}
+			val := 0.0
+			for j := range x {
+				val += p.Objective[j] * x[j] * scale
+			}
+			if val > s.Objective+1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package randx provides small, deterministic sampling utilities used by the
+// topic models, the synthetic corpus generator and the stochastic refinement
+// algorithm: Dirichlet and categorical sampling, Gamma variates, weighted
+// choice without replacement and Zipf-like long-tailed integers.
+//
+// All functions take an explicit *rand.Rand so that every simulation in the
+// repository is reproducible from a seed.
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Gamma draws a Gamma(shape, 1) variate using the Marsaglia–Tsang method.
+// Shape must be positive.
+func Gamma(rng *rand.Rand, shape float64) float64 {
+	if shape <= 0 {
+		panic("randx: Gamma shape must be positive")
+	}
+	if shape < 1 {
+		// Boosting: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := rng.Float64()
+		return Gamma(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Dirichlet draws a sample from a symmetric Dirichlet distribution with
+// concentration alpha over dim dimensions. The result sums to one.
+func Dirichlet(rng *rand.Rand, alpha float64, dim int) []float64 {
+	alphas := make([]float64, dim)
+	for i := range alphas {
+		alphas[i] = alpha
+	}
+	return DirichletVec(rng, alphas)
+}
+
+// DirichletVec draws a sample from a Dirichlet distribution with the given
+// per-dimension concentrations. The result sums to one.
+func DirichletVec(rng *rand.Rand, alphas []float64) []float64 {
+	out := make([]float64, len(alphas))
+	sum := 0.0
+	for i, a := range alphas {
+		out[i] = Gamma(rng, a)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Degenerate draw (can happen for tiny alphas); fall back to uniform.
+		for i := range out {
+			out[i] = 1 / float64(len(out))
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// Categorical draws an index in [0, len(weights)) with probability
+// proportional to the weights. Non-positive total weight yields a uniform
+// draw.
+func Categorical(rng *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return rng.Intn(len(weights))
+	}
+	u := rng.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// WeightedChoiceWithoutReplacement draws k distinct indices from
+// [0, len(weights)) where the probability of drawing an index is proportional
+// to its (positive) weight among the remaining indices. If fewer than k
+// indices have positive weight the remainder is filled uniformly from the
+// unused indices.
+func WeightedChoiceWithoutReplacement(rng *rand.Rand, weights []float64, k int) []int {
+	n := len(weights)
+	if k > n {
+		k = n
+	}
+	w := append([]float64(nil), weights...)
+	chosen := make([]int, 0, k)
+	used := make([]bool, n)
+	for len(chosen) < k {
+		total := 0.0
+		for i, x := range w {
+			if !used[i] && x > 0 {
+				total += x
+			}
+		}
+		if total <= 0 {
+			// Fill uniformly from the unused indices.
+			rest := make([]int, 0, n)
+			for i := range w {
+				if !used[i] {
+					rest = append(rest, i)
+				}
+			}
+			rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+			chosen = append(chosen, rest[:k-len(chosen)]...)
+			break
+		}
+		u := rng.Float64() * total
+		acc := 0.0
+		pick := -1
+		for i, x := range w {
+			if used[i] || x <= 0 {
+				continue
+			}
+			acc += x
+			if u < acc {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			for i := n - 1; i >= 0; i-- {
+				if !used[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		used[pick] = true
+		chosen = append(chosen, pick)
+	}
+	sort.Ints(chosen)
+	return chosen
+}
+
+// LongTailInt draws a positive integer from a discrete power-law-like
+// distribution with the given exponent and maximum; used for synthetic
+// h-indices and publication counts.
+func LongTailInt(rng *rand.Rand, exponent float64, max int) int {
+	if max < 1 {
+		return 1
+	}
+	// Inverse-CDF sampling over {1..max} with P(x) ∝ x^(-exponent).
+	weights := make([]float64, max)
+	for i := 1; i <= max; i++ {
+		weights[i-1] = math.Pow(float64(i), -exponent)
+	}
+	return 1 + Categorical(rng, weights)
+}
+
+// Perm returns a random permutation of [0, n) using the supplied generator.
+func Perm(rng *rand.Rand, n int) []int { return rng.Perm(n) }

@@ -1,0 +1,169 @@
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGammaPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range []float64{0.1, 0.5, 1, 2, 10} {
+		for i := 0; i < 100; i++ {
+			if g := Gamma(rng, shape); g <= 0 || math.IsNaN(g) {
+				t.Fatalf("Gamma(%v) = %v", shape, g)
+			}
+		}
+	}
+}
+
+func TestGammaMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n = 20000
+	shape := 3.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += Gamma(rng, shape)
+	}
+	mean := sum / n
+	if math.Abs(mean-shape) > 0.1 {
+		t.Fatalf("Gamma(3) sample mean = %v, want ≈3", mean)
+	}
+}
+
+func TestGammaPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive shape")
+		}
+	}()
+	Gamma(rand.New(rand.NewSource(1)), 0)
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(30)
+		alpha := 0.05 + rng.Float64()*3
+		d := Dirichlet(rng, alpha, dim)
+		sum := 0.0
+		for _, x := range d {
+			if x < 0 {
+				return false
+			}
+			sum += x
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirichletVecSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphas := []float64{10, 0.1, 0.1}
+	sum0 := 0.0
+	const n = 500
+	for i := 0; i < n; i++ {
+		d := DirichletVec(rng, alphas)
+		sum0 += d[0]
+	}
+	if sum0/n < 0.8 {
+		t.Fatalf("dimension with alpha=10 should dominate, mean share = %v", sum0/n)
+	}
+}
+
+func TestCategoricalDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[Categorical(rng, weights)]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight index drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Fatalf("ratio of counts = %v, want ≈3", ratio)
+	}
+}
+
+func TestCategoricalUniformFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	weights := []float64{0, 0, 0}
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		seen[Categorical(rng, weights)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("uniform fallback did not spread draws")
+	}
+}
+
+func TestWeightedChoiceWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	weights := []float64{5, 1, 0, 2}
+	for i := 0; i < 100; i++ {
+		got := WeightedChoiceWithoutReplacement(rng, weights, 3)
+		if len(got) != 3 {
+			t.Fatalf("got %d indices", len(got))
+		}
+		seen := map[int]bool{}
+		for _, x := range got {
+			if x < 0 || x >= len(weights) || seen[x] {
+				t.Fatalf("bad or duplicate index in %v", got)
+			}
+			seen[x] = true
+		}
+	}
+	// Requesting more than available returns every index exactly once.
+	all := WeightedChoiceWithoutReplacement(rng, weights, 10)
+	if len(all) != 4 {
+		t.Fatalf("want all 4 indices, got %v", all)
+	}
+}
+
+func TestWeightedChoiceZeroWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	got := WeightedChoiceWithoutReplacement(rng, []float64{0, 0, 0, 0}, 2)
+	if len(got) != 2 || got[0] == got[1] {
+		t.Fatalf("zero-weight fallback returned %v", got)
+	}
+}
+
+func TestLongTailInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	low, high := 0, 0
+	for i := 0; i < 5000; i++ {
+		v := LongTailInt(rng, 1.5, 60)
+		if v < 1 || v > 60 {
+			t.Fatalf("LongTailInt out of range: %d", v)
+		}
+		if v <= 5 {
+			low++
+		}
+		if v > 30 {
+			high++
+		}
+	}
+	if low <= high {
+		t.Fatalf("distribution not long-tailed: low=%d high=%d", low, high)
+	}
+	if got := LongTailInt(rng, 2, 0); got != 1 {
+		t.Fatalf("LongTailInt with max<1 = %d, want 1", got)
+	}
+}
+
+func TestPermDeterminism(t *testing.T) {
+	a := Perm(rand.New(rand.NewSource(9)), 10)
+	b := Perm(rand.New(rand.NewSource(9)), 10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give same permutation")
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package topics
+
+import (
+	"errors"
+	"math/rand"
+
+	"repro/internal/randx"
+)
+
+// ATMConfig configures the Author-Topic Model sampler.
+type ATMConfig struct {
+	// Topics is the number of latent topics T (the paper uses 30).
+	Topics int
+	// Alpha is the symmetric Dirichlet prior over an author's topics.
+	Alpha float64
+	// Beta is the symmetric Dirichlet prior over a topic's words.
+	Beta float64
+	// Iterations is the number of Gibbs sweeps (default 200).
+	Iterations int
+	// BurnIn is the number of sweeps before samples contribute to the
+	// estimates (default Iterations/2).
+	BurnIn int
+	// Seed makes sampling reproducible (default 1).
+	Seed int64
+}
+
+func (c ATMConfig) withDefaults() ATMConfig {
+	if c.Topics <= 0 {
+		c.Topics = 30
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 50.0 / float64(c.Topics)
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.01
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 200
+	}
+	if c.BurnIn <= 0 || c.BurnIn >= c.Iterations {
+		c.BurnIn = c.Iterations / 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ATMResult holds the fitted Author-Topic Model.
+type ATMResult struct {
+	// AuthorTopic[a][t] is the probability that author a writes about topic
+	// t; each row sums to one. These rows are the reviewer topic vectors of
+	// Section 2.4.
+	AuthorTopic [][]float64
+	// TopicWord[t][w] is the probability of word w under topic t; each row
+	// sums to one (the topic set T of Appendix A, used by EM inference).
+	TopicWord [][]float64
+	// Config echoes the effective configuration.
+	Config ATMConfig
+}
+
+// FitATM fits the Author-Topic Model of Rosen-Zvi et al. with collapsed Gibbs
+// sampling: every word token is assigned both a latent author (uniform over
+// the document's authors) and a latent topic, and the pair is resampled from
+// its conditional distribution. Counts accumulated after burn-in yield the
+// author-topic and topic-word distributions.
+func FitATM(c *Corpus, cfg ATMConfig) (*ATMResult, error) {
+	cfg = cfg.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	T := cfg.Topics
+	V := c.Vocab.Size()
+	A := c.NumAuthors
+	if A == 0 {
+		return nil, errors.New("topics: corpus has no authors")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Count matrices of the collapsed sampler.
+	authorTopic := make([][]int, A) // n_{a,t}
+	for a := range authorTopic {
+		authorTopic[a] = make([]int, T)
+	}
+	topicWord := make([][]int, T) // n_{t,w}
+	for t := range topicWord {
+		topicWord[t] = make([]int, V)
+	}
+	topicTotal := make([]int, T)  // n_t
+	authorTotal := make([]int, A) // n_a
+
+	// Token state: assigned author and topic per token.
+	type tokenState struct{ author, topic int }
+	states := make([][]tokenState, len(c.Docs))
+	for d, doc := range c.Docs {
+		states[d] = make([]tokenState, len(doc.Words))
+		for i, w := range doc.Words {
+			a := doc.Authors[rng.Intn(len(doc.Authors))]
+			t := rng.Intn(T)
+			states[d][i] = tokenState{author: a, topic: t}
+			authorTopic[a][t]++
+			topicWord[t][w]++
+			topicTotal[t]++
+			authorTotal[a]++
+		}
+	}
+
+	// Accumulators for the post-burn-in estimates.
+	accAuthorTopic := make([][]float64, A)
+	for a := range accAuthorTopic {
+		accAuthorTopic[a] = make([]float64, T)
+	}
+	accTopicWord := make([][]float64, T)
+	for t := range accTopicWord {
+		accTopicWord[t] = make([]float64, V)
+	}
+	samples := 0
+
+	weights := make([]float64, 0, T*4)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for d, doc := range c.Docs {
+			for i, w := range doc.Words {
+				st := states[d][i]
+				// Remove the token from the counts.
+				authorTopic[st.author][st.topic]--
+				topicWord[st.topic][w]--
+				topicTotal[st.topic]--
+				authorTotal[st.author]--
+
+				// Sample a new (author, topic) pair from the conditional.
+				weights = weights[:0]
+				for _, a := range doc.Authors {
+					for t := 0; t < T; t++ {
+						pw := (float64(topicWord[t][w]) + cfg.Beta) / (float64(topicTotal[t]) + cfg.Beta*float64(V))
+						pt := (float64(authorTopic[a][t]) + cfg.Alpha) / (float64(authorTotal[a]) + cfg.Alpha*float64(T))
+						weights = append(weights, pw*pt)
+					}
+				}
+				pick := randx.Categorical(rng, weights)
+				na := doc.Authors[pick/T]
+				nt := pick % T
+
+				states[d][i] = tokenState{author: na, topic: nt}
+				authorTopic[na][nt]++
+				topicWord[nt][w]++
+				topicTotal[nt]++
+				authorTotal[na]++
+			}
+		}
+		if iter >= cfg.BurnIn {
+			samples++
+			for a := 0; a < A; a++ {
+				den := float64(authorTotal[a]) + cfg.Alpha*float64(T)
+				for t := 0; t < T; t++ {
+					accAuthorTopic[a][t] += (float64(authorTopic[a][t]) + cfg.Alpha) / den
+				}
+			}
+			for t := 0; t < T; t++ {
+				den := float64(topicTotal[t]) + cfg.Beta*float64(V)
+				for w := 0; w < V; w++ {
+					accTopicWord[t][w] += (float64(topicWord[t][w]) + cfg.Beta) / den
+				}
+			}
+		}
+	}
+	if samples == 0 {
+		samples = 1
+	}
+	res := &ATMResult{
+		AuthorTopic: accAuthorTopic,
+		TopicWord:   accTopicWord,
+		Config:      cfg,
+	}
+	for a := range res.AuthorTopic {
+		normalize(res.AuthorTopic[a])
+	}
+	for t := range res.TopicWord {
+		normalize(res.TopicWord[t])
+	}
+	return res, nil
+}
+
+// normalize scales a slice so it sums to one (uniform if it sums to zero).
+func normalize(xs []float64) {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	if s == 0 {
+		for i := range xs {
+			xs[i] = 1 / float64(len(xs))
+		}
+		return
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+}

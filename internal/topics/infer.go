@@ -1,0 +1,124 @@
+package topics
+
+import (
+	"errors"
+	"math"
+)
+
+// InferConfig configures the EM inference of a new document's topic vector.
+type InferConfig struct {
+	// Iterations is the number of EM steps (default 50).
+	Iterations int
+	// Tolerance stops early when the topic vector changes by less than this
+	// L1 amount between iterations (default 1e-6).
+	Tolerance float64
+}
+
+func (c InferConfig) withDefaults() InferConfig {
+	if c.Iterations <= 0 {
+		c.Iterations = 50
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 1e-6
+	}
+	return c
+}
+
+// InferDocument estimates the topic vector of a new document (a submitted
+// paper's abstract) given the fitted topic-word distributions, by
+// Expectation-Maximisation on the mixture likelihood of Equation 11:
+//
+//	p = argmax_p Π_i Σ_j p(w_i | t_j) · p[t_j]
+//
+// The E step computes the responsibility of every topic for every word; the
+// M step re-estimates p as the average responsibility. Words that are not in
+// the vocabulary are ignored. The returned vector sums to one; a document
+// with no known words yields the uniform vector.
+func InferDocument(text string, vocab *Vocabulary, topicWord [][]float64, cfg InferConfig) ([]float64, error) {
+	if len(topicWord) == 0 {
+		return nil, errors.New("topics: no topics")
+	}
+	cfg = cfg.withDefaults()
+	T := len(topicWord)
+	words := make([]int, 0)
+	for _, tok := range Tokenize(text) {
+		if id, ok := vocab.ID(tok); ok {
+			words = append(words, id)
+		}
+	}
+	p := make([]float64, T)
+	for t := range p {
+		p[t] = 1 / float64(T)
+	}
+	if len(words) == 0 {
+		return p, nil
+	}
+
+	resp := make([]float64, T)
+	next := make([]float64, T)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for t := range next {
+			next[t] = 0
+		}
+		for _, w := range words {
+			total := 0.0
+			for t := 0; t < T; t++ {
+				resp[t] = topicWord[t][w] * p[t]
+				total += resp[t]
+			}
+			if total <= 0 {
+				continue
+			}
+			for t := 0; t < T; t++ {
+				next[t] += resp[t] / total
+			}
+		}
+		delta := 0.0
+		for t := 0; t < T; t++ {
+			next[t] /= float64(len(words))
+			if d := next[t] - p[t]; d > 0 {
+				delta += d
+			} else {
+				delta -= d
+			}
+		}
+		copy(p, next)
+		if delta < cfg.Tolerance {
+			break
+		}
+	}
+	normalize(p)
+	return p, nil
+}
+
+// Likelihood returns the per-word average log-likelihood of a document under
+// a topic mixture p and the topic-word distributions; used by tests to verify
+// that EM increases the objective of Equation 11.
+func Likelihood(words []int, p []float64, topicWord [][]float64) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, w := range words {
+		mix := 0.0
+		for t := range p {
+			mix += topicWord[t][w] * p[t]
+		}
+		if mix <= 0 {
+			mix = 1e-300
+		}
+		total += math.Log(mix)
+	}
+	return total / float64(len(words))
+}
+
+// WordIDs tokenizes text and maps it onto known vocabulary identifiers.
+func WordIDs(text string, vocab *Vocabulary) []int {
+	out := make([]int, 0)
+	for _, tok := range Tokenize(text) {
+		if id, ok := vocab.ID(tok); ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package topics
+
+import (
+	"math/rand"
+
+	"repro/internal/randx"
+)
+
+// LDAConfig configures the plain Latent Dirichlet Allocation sampler. LDA is
+// the document-topic model the Author-Topic Model generalises (Blei et al.,
+// reference [5] of the paper); it is provided both as a substrate for
+// experimentation and as the simplest way to extract document topic vectors
+// when author information is unavailable.
+type LDAConfig struct {
+	Topics     int
+	Alpha      float64
+	Beta       float64
+	Iterations int
+	BurnIn     int
+	Seed       int64
+}
+
+func (c LDAConfig) withDefaults() LDAConfig {
+	if c.Topics <= 0 {
+		c.Topics = 30
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 50.0 / float64(c.Topics)
+	}
+	if c.Beta <= 0 {
+		c.Beta = 0.01
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 200
+	}
+	if c.BurnIn <= 0 || c.BurnIn >= c.Iterations {
+		c.BurnIn = c.Iterations / 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// LDAResult holds the fitted LDA model.
+type LDAResult struct {
+	// DocTopic[d][t] is the topic distribution of document d.
+	DocTopic [][]float64
+	// TopicWord[t][w] is the word distribution of topic t.
+	TopicWord [][]float64
+	Config    LDAConfig
+}
+
+// FitLDA fits LDA with collapsed Gibbs sampling.
+func FitLDA(c *Corpus, cfg LDAConfig) (*LDAResult, error) {
+	cfg = cfg.withDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	T := cfg.Topics
+	V := c.Vocab.Size()
+	D := len(c.Docs)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	docTopic := make([][]int, D)
+	for d := range docTopic {
+		docTopic[d] = make([]int, T)
+	}
+	topicWord := make([][]int, T)
+	for t := range topicWord {
+		topicWord[t] = make([]int, V)
+	}
+	topicTotal := make([]int, T)
+	docTotal := make([]int, D)
+	assign := make([][]int, D)
+
+	for d, doc := range c.Docs {
+		assign[d] = make([]int, len(doc.Words))
+		for i, w := range doc.Words {
+			t := rng.Intn(T)
+			assign[d][i] = t
+			docTopic[d][t]++
+			topicWord[t][w]++
+			topicTotal[t]++
+			docTotal[d]++
+		}
+	}
+
+	accDocTopic := make([][]float64, D)
+	for d := range accDocTopic {
+		accDocTopic[d] = make([]float64, T)
+	}
+	accTopicWord := make([][]float64, T)
+	for t := range accTopicWord {
+		accTopicWord[t] = make([]float64, V)
+	}
+
+	weights := make([]float64, T)
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		for d, doc := range c.Docs {
+			for i, w := range doc.Words {
+				t := assign[d][i]
+				docTopic[d][t]--
+				topicWord[t][w]--
+				topicTotal[t]--
+				docTotal[d]--
+
+				for k := 0; k < T; k++ {
+					pw := (float64(topicWord[k][w]) + cfg.Beta) / (float64(topicTotal[k]) + cfg.Beta*float64(V))
+					pt := float64(docTopic[d][k]) + cfg.Alpha
+					weights[k] = pw * pt
+				}
+				nt := randx.Categorical(rng, weights)
+				assign[d][i] = nt
+				docTopic[d][nt]++
+				topicWord[nt][w]++
+				topicTotal[nt]++
+				docTotal[d]++
+			}
+		}
+		if iter >= cfg.BurnIn {
+			for d := 0; d < D; d++ {
+				den := float64(docTotal[d]) + cfg.Alpha*float64(T)
+				for t := 0; t < T; t++ {
+					accDocTopic[d][t] += (float64(docTopic[d][t]) + cfg.Alpha) / den
+				}
+			}
+			for t := 0; t < T; t++ {
+				den := float64(topicTotal[t]) + cfg.Beta*float64(V)
+				for w := 0; w < V; w++ {
+					accTopicWord[t][w] += (float64(topicWord[t][w]) + cfg.Beta) / den
+				}
+			}
+		}
+	}
+	res := &LDAResult{DocTopic: accDocTopic, TopicWord: accTopicWord, Config: cfg}
+	for d := range res.DocTopic {
+		normalize(res.DocTopic[d])
+	}
+	for t := range res.TopicWord {
+		normalize(res.TopicWord[t])
+	}
+	return res, nil
+}

@@ -1,0 +1,104 @@
+// Package topics implements the topic-extraction substrate of the paper
+// (Section 2.4 and Appendix A): a vocabulary and tokenizer, the Author-Topic
+// Model fitted with collapsed Gibbs sampling (used to extract reviewer topic
+// vectors and the per-topic word distributions from publication records),
+// Latent Dirichlet Allocation (the classic document-topic model the ATM
+// generalises), and the Expectation-Maximisation inference of Equation 11
+// that maps a new paper's abstract onto the learned topics.
+package topics
+
+import (
+	"sort"
+	"strings"
+	"unicode"
+)
+
+// Vocabulary maps words to dense integer identifiers.
+type Vocabulary struct {
+	words []string
+	index map[string]int
+}
+
+// NewVocabulary creates an empty vocabulary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{index: make(map[string]int)}
+}
+
+// Add returns the identifier of the word, inserting it if needed.
+func (v *Vocabulary) Add(word string) int {
+	if id, ok := v.index[word]; ok {
+		return id
+	}
+	id := len(v.words)
+	v.words = append(v.words, word)
+	v.index[word] = id
+	return id
+}
+
+// ID returns the identifier of a word and whether it is known.
+func (v *Vocabulary) ID(word string) (int, bool) {
+	id, ok := v.index[word]
+	return id, ok
+}
+
+// Word returns the word with the given identifier.
+func (v *Vocabulary) Word(id int) string { return v.words[id] }
+
+// Size returns the number of distinct words.
+func (v *Vocabulary) Size() int { return len(v.words) }
+
+// Words returns a copy of all words in identifier order.
+func (v *Vocabulary) Words() []string { return append([]string(nil), v.words...) }
+
+// stopwords is a small English stop list sufficient for abstracts.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "are": true, "as": true, "at": true,
+	"be": true, "by": true, "for": true, "from": true, "has": true, "have": true,
+	"in": true, "is": true, "it": true, "its": true, "of": true, "on": true,
+	"or": true, "our": true, "that": true, "the": true, "this": true, "to": true,
+	"we": true, "with": true, "which": true, "their": true, "these": true,
+	"can": true, "such": true, "also": true, "than": true, "them": true,
+	"then": true, "there": true, "was": true, "were": true, "will": true,
+	"into": true, "over": true, "under": true, "using": true, "used": true,
+	"use": true, "based": true, "paper": true, "propose": true, "proposed": true,
+	"show": true, "shows": true, "results": true, "approach": true,
+	"problem": true, "problems": true, "new": true, "both": true,
+}
+
+// Tokenize lowercases the text, splits it on non-letter characters, and drops
+// stop words and tokens shorter than three characters.
+func Tokenize(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		if len(f) < 3 || stopwords[f] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// TopWords returns the k most probable words of a topic's word distribution,
+// in descending probability order.
+func TopWords(dist []float64, vocab *Vocabulary, k int) []string {
+	type wp struct {
+		w int
+		p float64
+	}
+	all := make([]wp, len(dist))
+	for w, p := range dist {
+		all[w] = wp{w: w, p: p}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].p > all[j].p })
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = vocab.Word(all[i].w)
+	}
+	return out
+}

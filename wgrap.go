@@ -1,0 +1,216 @@
+// Package wgrap is the public API of the Weighted-coverage Group-based
+// Reviewer Assignment library, a reproduction of "Weighted Coverage based
+// Reviewer Assignment" (Kou, U, Mamoulis, Gong — SIGMOD 2015).
+//
+// The package exposes the paper's data model (topic vectors, reviewers,
+// papers, assignments), the exact Journal Reviewer Assignment solver (the
+// Branch-and-Bound Algorithm, BBA), the approximate Conference Reviewer
+// Assignment algorithms (the Stage Deepening Greedy Algorithm SDGA, its
+// stochastic refinement SRA, and the baselines used in the paper's
+// evaluation), the evaluation metrics, and the topic-extraction pipeline
+// (Author-Topic Model plus EM inference).
+//
+// Quick start:
+//
+//	in := wgrap.NewInstance(papers, reviewers, 3, 0) // δp=3, minimum workload
+//	result, err := wgrap.Assign(in, wgrap.AssignOptions{})
+//	// result.Assignment.Groups[p] lists the reviewers of paper p.
+//
+// For a single (journal) paper:
+//
+//	group, err := wgrap.AssignJournal(in) // exact optimum via BBA
+package wgrap
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cra"
+	"repro/internal/eval"
+	"repro/internal/jra"
+)
+
+// Re-exported core types: the data model of Definition 3.
+type (
+	// Vector is a T-dimensional topic vector.
+	Vector = core.Vector
+	// Paper is a submission with its topic vector.
+	Paper = core.Paper
+	// Reviewer is a candidate reviewer with their expertise vector.
+	Reviewer = core.Reviewer
+	// Instance bundles papers, reviewers, the group size δp, the workload δr,
+	// conflicts of interest and the scoring function.
+	Instance = core.Instance
+	// Assignment maps every paper to its group of reviewers.
+	Assignment = core.Assignment
+	// ScoreFunc scores how well an expertise vector covers a paper vector.
+	ScoreFunc = core.ScoreFunc
+	// JournalResult is the outcome of a journal (single-paper) assignment.
+	JournalResult = jra.Result
+)
+
+// Scoring functions of Definition 1 and Appendix B.
+var (
+	// WeightedCoverage is the paper's default quality measure (Definition 1).
+	WeightedCoverage = core.WeightedCoverage
+	// ReviewerCoverage is the winner-takes-all reviewer-side alternative cR.
+	ReviewerCoverage = core.ReviewerCoverage
+	// PaperCoverage is the paper-side alternative cP.
+	PaperCoverage = core.PaperCoverage
+	// DotProduct is the inner-product alternative cD.
+	DotProduct = core.DotProduct
+)
+
+// NewInstance builds a WGRAP instance. groupSize is δp (reviewers per paper);
+// workload is δr (papers per reviewer), where 0 selects the minimum balanced
+// workload ⌈P·δp/R⌉ used throughout the paper's experiments.
+func NewInstance(papers []Paper, reviewers []Reviewer, groupSize, workload int) *Instance {
+	in := core.NewInstance(papers, reviewers, groupSize, workload)
+	if workload == 0 && len(reviewers) > 0 {
+		in.Workload = in.MinWorkload()
+	}
+	return in
+}
+
+// Method identifies a conference assignment algorithm.
+type Method string
+
+// Conference assignment methods (Section 4 and the baselines of Section 5.2).
+const (
+	// MethodSDGASRA is the paper's recommended pipeline: the Stage Deepening
+	// Greedy Algorithm followed by stochastic refinement. Default.
+	MethodSDGASRA Method = "sdga-sra"
+	// MethodSDGA is the Stage Deepening Greedy Algorithm alone
+	// ((1−1/e)- or 1/2-approximation).
+	MethodSDGA Method = "sdga"
+	// MethodGreedy is the pairwise greedy of Long et al. (1/3-approximation).
+	MethodGreedy Method = "greedy"
+	// MethodBRGG is the Best Reviewer Group Greedy baseline.
+	MethodBRGG Method = "brgg"
+	// MethodStableMatching is the capacitated Gale–Shapley baseline (SM).
+	MethodStableMatching Method = "sm"
+	// MethodPairILP maximises the pair-additive (ARAP) objective exactly.
+	MethodPairILP Method = "ilp"
+)
+
+// Methods lists the available conference assignment methods.
+func Methods() []Method {
+	return []Method{MethodSDGASRA, MethodSDGA, MethodGreedy, MethodBRGG, MethodStableMatching, MethodPairILP}
+}
+
+// AssignOptions configure Assign.
+type AssignOptions struct {
+	// Method selects the algorithm (default MethodSDGASRA).
+	Method Method
+	// Omega is the convergence threshold of the stochastic refinement
+	// (default 10; only used by MethodSDGASRA).
+	Omega int
+	// RefinementBudget optionally caps the wall-clock refinement time.
+	RefinementBudget time.Duration
+	// Seed makes stochastic steps reproducible (default 1).
+	Seed int64
+}
+
+// Result is the outcome of a conference assignment.
+type Result struct {
+	// Assignment holds, for every paper index, the assigned reviewer indices.
+	Assignment *Assignment
+	// Score is the WGRAP objective value (sum of per-paper coverage scores).
+	Score float64
+	// AverageCoverage is Score divided by the number of papers.
+	AverageCoverage float64
+	// LowestCoverage is the coverage score of the worst-served paper.
+	LowestCoverage float64
+	// Elapsed is the wall-clock time of the assignment.
+	Elapsed time.Duration
+	// Method echoes the algorithm used.
+	Method Method
+}
+
+// algorithmFor maps a Method to its implementation.
+func algorithmFor(opts AssignOptions) (cra.Algorithm, error) {
+	method := opts.Method
+	if method == "" {
+		method = MethodSDGASRA
+	}
+	switch method {
+	case MethodSDGASRA:
+		return cra.WithRefiner{
+			Base:    cra.SDGA{},
+			Refiner: cra.SRA{Omega: opts.Omega, TimeBudget: opts.RefinementBudget, Seed: opts.Seed},
+		}, nil
+	case MethodSDGA:
+		return cra.SDGA{}, nil
+	case MethodGreedy:
+		return cra.Greedy{}, nil
+	case MethodBRGG:
+		return cra.BRGG{}, nil
+	case MethodStableMatching:
+		return cra.StableMatching{}, nil
+	case MethodPairILP:
+		return cra.PairILP{}, nil
+	default:
+		return nil, fmt.Errorf("wgrap: unknown method %q", method)
+	}
+}
+
+// Assign computes a conference assignment with the selected method (the
+// general WGRAP of Definition 3).
+func Assign(in *Instance, opts AssignOptions) (*Result, error) {
+	alg, err := algorithmFor(opts)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	a, err := alg.Assign(in)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	method := opts.Method
+	if method == "" {
+		method = MethodSDGASRA
+	}
+	return &Result{
+		Assignment:      a,
+		Score:           in.AssignmentScore(a),
+		AverageCoverage: eval.AverageCoverage(in, a),
+		LowestCoverage:  eval.LowestCoverage(in, a),
+		Elapsed:         elapsed,
+		Method:          method,
+	}, nil
+}
+
+// Refine improves an existing assignment with the stochastic refinement of
+// Section 4.4 and returns the refined copy (never worse than the input).
+func Refine(in *Instance, a *Assignment, opts AssignOptions) (*Assignment, error) {
+	sra := cra.SRA{Omega: opts.Omega, TimeBudget: opts.RefinementBudget, Seed: opts.Seed}
+	return sra.Refine(in, a)
+}
+
+// AssignJournal finds the optimal reviewer group for a single-paper instance
+// (the Journal Reviewer Assignment of Definition 6) with the exact
+// Branch-and-Bound Algorithm.
+func AssignJournal(in *Instance) (JournalResult, error) {
+	return jra.BranchAndBound{}.Solve(in)
+}
+
+// TopReviewerGroups returns the k best reviewer groups for a single-paper
+// instance, best first.
+func TopReviewerGroups(in *Instance, k int) ([]JournalResult, error) {
+	return jra.BranchAndBound{}.TopK(in, k)
+}
+
+// OptimalityRatio returns the assignment's score relative to the ideal
+// (workload-free) assignment, the quality metric of Section 5.2.
+func OptimalityRatio(in *Instance, a *Assignment) float64 {
+	return eval.OptimalityRatio(in, a)
+}
+
+// SuperiorityRatio returns the fraction of papers that are served at least as
+// well by x as by y, together with the fraction of exact ties.
+func SuperiorityRatio(in *Instance, x, y *Assignment) (betterOrEqual, ties float64) {
+	s := eval.SuperiorityRatio(in, x, y)
+	return s.BetterOrEqual, s.Ties
+}
