@@ -7,6 +7,7 @@ package wgrap
 // minutes; run cmd/wgrap-experiments for the larger default scale.
 
 import (
+	"context"
 	"io"
 	"math/rand"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/cra"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/jra"
 )
@@ -257,6 +259,98 @@ func BenchmarkDatasetGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		gen := corpus.NewGenerator(corpus.Config{Scale: 0.05, AuthorsPerArea: 60, Seed: int64(i + 1)})
 		if _, err := gen.Dataset(corpus.Databases, 2008); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Gain-engine benchmarks (the fused, parallel profit-matrix build) -------
+
+// benchGroupVecs builds partially filled per-paper group vectors (one random
+// reviewer each), the state a mid-SDGA stage sees.
+func benchGroupVecs(in *core.Instance, seed int64) []core.Vector {
+	rng := rand.New(rand.NewSource(seed))
+	vecs := make([]core.Vector, in.NumPapers())
+	for p := range vecs {
+		vecs[p] = make(core.Vector, in.NumTopics())
+		vecs[p].MaxInPlace(in.Reviewers[rng.Intn(in.NumReviewers())].Topics)
+	}
+	return vecs
+}
+
+// BenchmarkProfitMatrixPaperScale compares the legacy sequential profit
+// matrix build (fresh [][]float64 + core.GainWithVector per cell, the
+// pre-engine SDGA code path) against the fused, parallel engine build with a
+// reused flat matrix, at the paper's conference scale: P=1000 papers,
+// R=2000 reviewers, T=40 topics.
+func BenchmarkProfitMatrixPaperScale(b *testing.B) {
+	in := benchConferenceInstance(1000, 2000, 40, 3)
+	groupVecs := benchGroupVecs(in, 9)
+
+	b.Run("legacy-sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			profit := make([][]float64, in.NumPapers())
+			for p := 0; p < in.NumPapers(); p++ {
+				profit[p] = make([]float64, in.NumReviewers())
+				for r := 0; r < in.NumReviewers(); r++ {
+					profit[p][r] = in.GainWithVector(p, groupVecs[p], r)
+				}
+			}
+		}
+	})
+
+	b.Run("engine-fused-parallel", func(b *testing.B) {
+		eng := engine.New(in)
+		var m engine.Matrix
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			spec := engine.ProfitSpec{GroupVecs: groupVecs}
+			if err := eng.FillProfit(context.Background(), &m, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkGainOracle measures one marginal-gain evaluation: the generic
+// merged-vector path against the fused single-pass path, for each of the
+// paper's four scoring functions.
+func BenchmarkGainOracle(b *testing.B) {
+	names := []string{"weighted", "reviewer", "paper", "dot-product"}
+	in := benchConferenceInstance(100, 200, 40, 3)
+	groupVecs := benchGroupVecs(in, 10)
+	for _, name := range names {
+		score := core.ScoringFunctions[name]
+		in.Score = score
+		eng := engine.New(in)
+		b.Run(name+"/generic", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				in.GainWithVector(i%100, groupVecs[i%100], i%200)
+			}
+		})
+		b.Run(name+"/fused", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				eng.Gain(i%100, groupVecs[i%100], i%200)
+			}
+		})
+	}
+	in.Score = nil
+}
+
+// BenchmarkSDGALargeConference runs one full SDGA assignment at a larger
+// conference scale than BenchmarkSDGAConference; the end-to-end number the
+// profit-matrix speedup feeds into. (At the paper's full P=1000, R=2000 the
+// runtime is dominated by the per-stage min-cost-flow solve, which is the
+// next scaling target — see ROADMAP.md.)
+func BenchmarkSDGALargeConference(b *testing.B) {
+	in := benchConferenceInstance(300, 600, 40, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (cra.SDGA{}).Assign(in); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,7 +1,10 @@
 package cra
 
 import (
+	"context"
+
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/jra"
 )
 
@@ -17,11 +20,18 @@ type BRGG struct{}
 func (BRGG) Name() string { return "BRGG" }
 
 // Assign implements Algorithm.
-func (BRGG) Assign(instance *core.Instance) (*core.Assignment, error) {
+func (b BRGG) Assign(instance *core.Instance) (*core.Assignment, error) {
+	return b.AssignContext(context.Background(), instance)
+}
+
+// AssignContext implements Algorithm; cancellation is checked between the
+// per-round exact JRA solves.
+func (BRGG) AssignContext(ctx context.Context, instance *core.Instance) (*core.Assignment, error) {
 	in, err := prepare(instance)
 	if err != nil {
 		return nil, err
 	}
+	eng := engine.New(in)
 	P := in.NumPapers()
 	a := core.NewAssignment(P)
 	rem := make([]int, in.NumReviewers())
@@ -45,6 +55,9 @@ func (BRGG) Assign(instance *core.Instance) (*core.Assignment, error) {
 	}
 
 	for round := 0; round < P; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestP := -1
 		var best jra.Result
 		for p := 0; p < P; p++ {
@@ -96,7 +109,7 @@ func (BRGG) Assign(instance *core.Instance) (*core.Assignment, error) {
 			}
 		}
 	}
-	if err := completeAssignment(in, a, rem); err != nil {
+	if err := completeAssignment(ctx, eng, a, rem); err != nil {
 		return nil, err
 	}
 	if err := in.ValidateAssignment(a); err != nil {

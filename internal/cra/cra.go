@@ -17,6 +17,7 @@
 package cra
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -28,7 +29,11 @@ type Algorithm interface {
 	// Name identifies the algorithm in experiment output.
 	Name() string
 	// Assign computes an assignment satisfying the instance constraints.
+	// It is AssignContext with context.Background().
 	Assign(in *core.Instance) (*core.Assignment, error)
+	// AssignContext computes an assignment and aborts early when ctx is
+	// cancelled or its deadline passes, returning the context's error.
+	AssignContext(ctx context.Context, in *core.Instance) (*core.Assignment, error)
 }
 
 // Refiner improves an existing assignment without violating constraints.
@@ -36,8 +41,13 @@ type Refiner interface {
 	// Name identifies the refiner in experiment output.
 	Name() string
 	// Refine returns an assignment with a coverage score at least as high as
-	// the input. The input assignment is not modified.
+	// the input. The input assignment is not modified. It is RefineContext
+	// with context.Background().
 	Refine(in *core.Instance, a *core.Assignment) (*core.Assignment, error)
+	// RefineContext refines under a context. Refiners are anytime
+	// algorithms: when ctx is done they stop and return the best assignment
+	// found so far (never worse than the input) rather than an error.
+	RefineContext(ctx context.Context, in *core.Instance, a *core.Assignment) (*core.Assignment, error)
 }
 
 // ErrInsufficientCapacity is returned when the reviewer pool cannot possibly
@@ -90,9 +100,16 @@ func (w WithRefiner) Name() string { return w.Base.Name() + "-" + w.Refiner.Name
 
 // Assign implements Algorithm.
 func (w WithRefiner) Assign(in *core.Instance) (*core.Assignment, error) {
-	a, err := w.Base.Assign(in)
+	return w.AssignContext(context.Background(), in)
+}
+
+// AssignContext implements Algorithm: the base algorithm runs under ctx and
+// whatever time remains is spent refining (the refiner stops gracefully at
+// the deadline).
+func (w WithRefiner) AssignContext(ctx context.Context, in *core.Instance) (*core.Assignment, error) {
+	a, err := w.Base.AssignContext(ctx, in)
 	if err != nil {
 		return nil, err
 	}
-	return w.Refiner.Refine(in, a)
+	return w.Refiner.RefineContext(ctx, in, a)
 }

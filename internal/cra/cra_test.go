@@ -1,6 +1,7 @@
 package cra
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // sectionFourInstance is the 3×3 example of Section 4.2 where greedy
@@ -300,7 +302,10 @@ func TestStableMatchingPhaseHasNoBlockingPairs(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		in := randomConference(rng, 3+rng.Intn(8), 4+rng.Intn(6), 3+rng.Intn(5), 2)
 		in.Workload = in.MinWorkload()
-		a := deferredAcceptance(in)
+		a, err := deferredAcceptance(context.Background(), engine.New(in))
+		if err != nil {
+			return false
+		}
 		return len(BlockingPairs(in, a)) == 0
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -450,5 +455,65 @@ func TestInvalidInstanceRejected(t *testing.T) {
 		if _, err := alg.Assign(in); err == nil {
 			t.Errorf("%s accepted an empty instance", alg.Name())
 		}
+	}
+}
+
+// --- Regression seeds: previously failing quick-check seeds, pinned so any
+// --- regression surfaces with full detail (folded in from the old scratch
+// --- debug tests).
+
+func TestRegressionSeedSDGASolvers(t *testing.T) {
+	seed := int64(8687629866177144313)
+	rng := rand.New(rand.NewSource(seed))
+	in := randomConference(rng, 4+rng.Intn(10), 4+rng.Intn(6), 3+rng.Intn(6), 2+rng.Intn(2))
+	a1, err1 := SDGA{Solver: StageFlow}.Assign(in)
+	a2, err2 := SDGA{Solver: StageHungarian}.Assign(in)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	work := *in
+	work.Workload = in.MinWorkload()
+	for name, a := range map[string]*core.Assignment{"flow": a1, "hungarian": a2} {
+		if err := work.ValidateAssignment(a); err != nil {
+			t.Errorf("%s: invalid assignment: %v", name, err)
+		}
+	}
+}
+
+func TestRegressionSeedSRA(t *testing.T) {
+	seed := int64(6659235318012465962)
+	rng := rand.New(rand.NewSource(seed))
+	in := randomConference(rng, 4+rng.Intn(10), 5+rng.Intn(6), 3+rng.Intn(6), 2+rng.Intn(2))
+	base, err := SDGA{}.Assign(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []ProbabilityModel{ProbCoverageDecay, ProbCoverage, ProbUniform} {
+		refined, err := (SRA{Omega: 3, MaxRounds: 15, Model: model, Seed: seed}).Refine(in, base)
+		if err != nil {
+			t.Fatalf("model %v: %v", model, err)
+		}
+		work := *in
+		work.Workload = in.MinWorkload()
+		if err := work.ValidateAssignment(refined); err != nil {
+			t.Errorf("model %v: invalid: %v", model, err)
+		}
+		if in.AssignmentScore(refined) < in.AssignmentScore(base)-1e-9 {
+			t.Errorf("model %v: score decreased", model)
+		}
+	}
+}
+
+func TestRegressionSeedGreedy(t *testing.T) {
+	seed := int64(284869796476506422)
+	rng := rand.New(rand.NewSource(seed))
+	in := randomConference(rng, 3+rng.Intn(10), 4+rng.Intn(6), 2+rng.Intn(6), 2)
+	a1, err1 := Greedy{}.Assign(in)
+	a2, err2 := Greedy{Naive: true}.Assign(in)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v %v", err1, err2)
+	}
+	if s1, s2 := in.AssignmentScore(a1), in.AssignmentScore(a2); math.Abs(s1-s2) > 1e-9 {
+		t.Errorf("heap score %v != naive score %v (the two variants must make identical choices)", s1, s2)
 	}
 }

@@ -2,8 +2,10 @@ package cra
 
 import (
 	"container/heap"
+	"context"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Greedy is the incremental greedy algorithm of Long et al. (Section 4.1):
@@ -14,8 +16,10 @@ import (
 // The default implementation keeps the feasible pairs in a lazy max-heap:
 // because the gain function is monotonically non-increasing as the
 // assignment grows (submodularity), a popped pair whose stored gain is stale
-// can simply be re-scored and pushed back. Setting Naive rescans every pair
-// at every iteration instead (the ablation of BenchmarkAblationGreedyHeap).
+// can simply be re-scored and pushed back. The initial P×R pair scores are
+// computed in parallel by the gain oracle; re-scores use its fused,
+// allocation-free gain. Setting Naive rescans every pair at every iteration
+// instead (the ablation of BenchmarkAblationGreedyHeap).
 type Greedy struct {
 	// Naive disables the lazy heap and rescans all pairs each iteration.
 	Naive bool
@@ -60,17 +64,28 @@ func (h *pairHeap) Pop() interface{} {
 
 // Assign implements Algorithm.
 func (g Greedy) Assign(instance *core.Instance) (*core.Assignment, error) {
+	return g.AssignContext(context.Background(), instance)
+}
+
+// AssignContext implements Algorithm.
+func (g Greedy) AssignContext(ctx context.Context, instance *core.Instance) (*core.Assignment, error) {
 	in, err := prepare(instance)
 	if err != nil {
 		return nil, err
 	}
+	eng := engine.New(in)
 	if g.Naive {
-		return greedyNaive(in)
+		return greedyNaive(ctx, eng)
 	}
-	return greedyHeap(in)
+	return greedyHeap(ctx, eng)
 }
 
-func greedyHeap(in *core.Instance) (*core.Assignment, error) {
+// greedyCheckEvery bounds how many heap operations run between context
+// checks; individual iterations are too cheap to check every time.
+const greedyCheckEvery = 1024
+
+func greedyHeap(ctx context.Context, eng *engine.Oracle) (*core.Assignment, error) {
+	in := eng.Instance()
 	P, R := in.NumPapers(), in.NumReviewers()
 	a := core.NewAssignment(P)
 	rem := make([]int, R)
@@ -83,20 +98,31 @@ func greedyHeap(in *core.Instance) (*core.Assignment, error) {
 		groupVecs[p] = make(core.Vector, in.NumTopics())
 	}
 
+	// Initial gains are the plain pair scores; build them in parallel.
+	var m engine.Matrix
+	if err := eng.FillPairScores(ctx, &m); err != nil {
+		return nil, err
+	}
 	h := make(pairHeap, 0, P*R)
 	for p := 0; p < P; p++ {
+		row := m.Row(p)
 		for r := 0; r < R; r++ {
 			if in.IsConflict(r, p) {
 				continue
 			}
-			h = append(h, pairItem{r: r, p: p, gain: in.PairScore(r, p), epoch: 0})
+			h = append(h, pairItem{r: r, p: p, gain: row[r], epoch: 0})
 		}
 	}
 	heap.Init(&h)
 
 	need := P * in.GroupSize
 	assigned := 0
-	for assigned < need && h.Len() > 0 {
+	for ops := 0; assigned < need && h.Len() > 0; ops++ {
+		if ops%greedyCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		top := heap.Pop(&h).(pairItem)
 		p, r := top.p, top.r
 		if rem[r] <= 0 || len(a.Groups[p]) >= in.GroupSize || a.Contains(p, r) {
@@ -104,7 +130,7 @@ func greedyHeap(in *core.Instance) (*core.Assignment, error) {
 		}
 		if top.epoch != len(a.Groups[p]) {
 			// Stale gain: recompute and push back (lazy evaluation).
-			top.gain = in.GainWithVector(p, groupVecs[p], r)
+			top.gain = eng.Gain(p, groupVecs[p], r)
 			top.epoch = len(a.Groups[p])
 			heap.Push(&h, top)
 			continue
@@ -118,14 +144,15 @@ func greedyHeap(in *core.Instance) (*core.Assignment, error) {
 		// Greedy can strand a paper whose remaining candidates are exhausted
 		// (all spare capacity sits with reviewers already in its group);
 		// repair the tail with swaps rather than failing.
-		if err := completeAssignment(in, a, rem); err != nil {
+		if err := completeAssignment(ctx, eng, a, rem); err != nil {
 			return nil, err
 		}
 	}
 	return a, nil
 }
 
-func greedyNaive(in *core.Instance) (*core.Assignment, error) {
+func greedyNaive(ctx context.Context, eng *engine.Oracle) (*core.Assignment, error) {
+	in := eng.Instance()
 	P := in.NumPapers()
 	a := core.NewAssignment(P)
 	rem := make([]int, in.NumReviewers())
@@ -138,6 +165,9 @@ func greedyNaive(in *core.Instance) (*core.Assignment, error) {
 	}
 	need := P * in.GroupSize
 	for assigned := 0; assigned < need; assigned++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestGain := -1.0
 		bestR, bestP := -1, -1
 		for p := 0; p < P; p++ {
@@ -148,13 +178,13 @@ func greedyNaive(in *core.Instance) (*core.Assignment, error) {
 				if rem[r] <= 0 || a.Contains(p, r) || in.IsConflict(r, p) {
 					continue
 				}
-				if gain := in.GainWithVector(p, groupVecs[p], r); gain > bestGain {
+				if gain := eng.Gain(p, groupVecs[p], r); gain > bestGain {
 					bestGain, bestR, bestP = gain, r, p
 				}
 			}
 		}
 		if bestR == -1 {
-			if err := completeAssignment(in, a, rem); err != nil {
+			if err := completeAssignment(ctx, eng, a, rem); err != nil {
 				return nil, err
 			}
 			break

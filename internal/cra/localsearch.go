@@ -1,10 +1,12 @@
 package cra
 
 import (
+	"context"
 	"math/rand"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // LocalSearch is the classic local-search refiner the paper compares SRA
@@ -19,7 +21,8 @@ type LocalSearch struct {
 	// Patience stops the search after this many consecutive rejected moves
 	// (default 5,000).
 	Patience int
-	// TimeBudget optionally bounds the wall-clock time (0 = none).
+	// TimeBudget optionally bounds the wall-clock time (0 = none). It is
+	// folded into the RefineContext deadline; the earlier deadline wins.
 	TimeBudget time.Duration
 	// Seed makes the search reproducible (default 1).
 	Seed int64
@@ -46,6 +49,15 @@ func (l LocalSearch) withDefaults() LocalSearch {
 
 // Refine implements Refiner.
 func (l LocalSearch) Refine(instance *core.Instance, start *core.Assignment) (*core.Assignment, error) {
+	return l.RefineContext(context.Background(), instance, start)
+}
+
+// lsCheckEvery bounds how many proposed moves run between context checks.
+const lsCheckEvery = 64
+
+// RefineContext implements Refiner. Like SRA, local search is an anytime
+// process: when ctx is done the current (best) assignment is returned.
+func (l LocalSearch) RefineContext(ctx context.Context, instance *core.Instance, start *core.Assignment) (*core.Assignment, error) {
 	l = l.withDefaults()
 	in, err := prepare(instance)
 	if err != nil {
@@ -54,10 +66,16 @@ func (l LocalSearch) Refine(instance *core.Instance, start *core.Assignment) (*c
 	if err := in.ValidateAssignment(start); err != nil {
 		return nil, err
 	}
+	if l.TimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, l.TimeBudget)
+		defer cancel()
+	}
+	eng := engine.New(in)
 	rng := rand.New(rand.NewSource(l.Seed))
 	a := start.Clone()
 	rem := remainingCapacity(in, a)
-	paperScores := in.PaperScores(a)
+	paperScores := eng.PaperScores(a)
 	score := 0.0
 	for _, s := range paperScores {
 		score += s
@@ -66,14 +84,14 @@ func (l LocalSearch) Refine(instance *core.Instance, start *core.Assignment) (*c
 	rejected := 0
 
 	for move := 0; move < l.MaxMoves && rejected < l.Patience; move++ {
-		if l.TimeBudget > 0 && time.Since(startTime) > l.TimeBudget {
+		if move%lsCheckEvery == 0 && ctx.Err() != nil {
 			break
 		}
 		improved := false
 		if rng.Intn(2) == 0 {
-			improved = l.tryReplace(in, a, rem, paperScores, rng)
+			improved = l.tryReplace(eng, a, rem, paperScores, rng)
 		} else {
-			improved = l.trySwap(in, a, paperScores, rng)
+			improved = l.trySwap(eng, a, paperScores, rng)
 		}
 		if improved {
 			rejected = 0
@@ -94,7 +112,8 @@ func (l LocalSearch) Refine(instance *core.Instance, start *core.Assignment) (*c
 // tryReplace substitutes one assigned reviewer of a random paper with a
 // random reviewer that has spare capacity; keeps the move if it improves the
 // paper's score.
-func (l LocalSearch) tryReplace(in *core.Instance, a *core.Assignment, rem []int, paperScores []float64, rng *rand.Rand) bool {
+func (l LocalSearch) tryReplace(eng *engine.Oracle, a *core.Assignment, rem []int, paperScores []float64, rng *rand.Rand) bool {
+	in := eng.Instance()
 	P, R := in.NumPapers(), in.NumReviewers()
 	p := rng.Intn(P)
 	g := a.Groups[p]
@@ -113,7 +132,7 @@ func (l LocalSearch) tryReplace(in *core.Instance, a *core.Assignment, rem []int
 			break
 		}
 	}
-	newScore := in.GroupScore(p, candidate)
+	newScore := eng.GroupScore(p, candidate)
 	if newScore <= paperScores[p]+1e-12 {
 		return false
 	}
@@ -127,7 +146,8 @@ func (l LocalSearch) tryReplace(in *core.Instance, a *core.Assignment, rem []int
 
 // trySwap exchanges one reviewer between two random papers; keeps the move if
 // the summed score of the two papers improves.
-func (l LocalSearch) trySwap(in *core.Instance, a *core.Assignment, paperScores []float64, rng *rand.Rand) bool {
+func (l LocalSearch) trySwap(eng *engine.Oracle, a *core.Assignment, paperScores []float64, rng *rand.Rand) bool {
+	in := eng.Instance()
 	P := in.NumPapers()
 	if P < 2 {
 		return false
@@ -158,8 +178,8 @@ func (l LocalSearch) trySwap(in *core.Instance, a *core.Assignment, paperScores 
 		}
 		return out
 	}
-	n1 := in.GroupScore(p1, swap(g1, r1, r2))
-	n2 := in.GroupScore(p2, swap(g2, r2, r1))
+	n1 := eng.GroupScore(p1, swap(g1, r1, r2))
+	n2 := eng.GroupScore(p2, swap(g2, r2, r1))
 	if n1+n2 <= paperScores[p1]+paperScores[p2]+1e-12 {
 		return false
 	}

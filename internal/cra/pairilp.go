@@ -1,7 +1,10 @@
 package cra
 
 import (
+	"context"
+
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/flow"
 )
 
@@ -20,13 +23,19 @@ type PairILP struct{}
 func (PairILP) Name() string { return "ILP" }
 
 // Assign implements Algorithm.
-func (PairILP) Assign(instance *core.Instance) (*core.Assignment, error) {
+func (i PairILP) Assign(instance *core.Instance) (*core.Assignment, error) {
+	return i.AssignContext(context.Background(), instance)
+}
+
+// AssignContext implements Algorithm; the P×R pair-score matrix is built in
+// parallel by the gain oracle.
+func (PairILP) AssignContext(ctx context.Context, instance *core.Instance) (*core.Assignment, error) {
 	in, err := prepare(instance)
 	if err != nil {
 		return nil, err
 	}
+	eng := engine.New(in)
 	P, R := in.NumPapers(), in.NumReviewers()
-	profit := make([][]float64, P)
 	need := make([]int, P)
 	caps := make([]int, R)
 	for r := 0; r < R; r++ {
@@ -34,16 +43,16 @@ func (PairILP) Assign(instance *core.Instance) (*core.Assignment, error) {
 	}
 	for p := 0; p < P; p++ {
 		need[p] = in.GroupSize
-		profit[p] = make([]float64, R)
-		for r := 0; r < R; r++ {
-			if in.IsConflict(r, p) {
-				profit[p][r] = flow.Forbidden
-				continue
-			}
-			profit[p][r] = in.PairScore(r, p)
-		}
 	}
-	rows, _, err := flow.MaxProfitTransport(profit, need, caps)
+	var m engine.Matrix
+	spec := engine.ProfitSpec{
+		Forbidden:      func(p, r int) bool { return in.IsConflict(r, p) },
+		ForbiddenValue: flow.Forbidden,
+	}
+	if err := eng.FillProfit(ctx, &m, spec); err != nil {
+		return nil, err
+	}
+	rows, _, err := flow.MaxProfitTransport(m.Rows(), need, caps)
 	if err != nil {
 		return nil, err
 	}

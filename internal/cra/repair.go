@@ -1,7 +1,10 @@
 package cra
 
 import (
+	"context"
+
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/flow"
 )
 
@@ -9,9 +12,13 @@ import (
 // than δp reviewers, by solving one transportation problem over the open
 // slots: every under-filled paper demands its missing reviewers, reviewers
 // offer their remaining capacity, and the total marginal gain is maximised.
-// It is a no-op for complete assignments.
-func fillMissingSlots(in *core.Instance, a *core.Assignment, rem []int) error {
-	P, R := in.NumPapers(), in.NumReviewers()
+// The profit matrix is built in parallel by the gain oracle into m (reused
+// across calls, e.g. across SRA rounds). It returns, per paper, the
+// reviewers that were added (empty for papers that needed none); it is a
+// no-op for complete assignments.
+func fillMissingSlots(ctx context.Context, eng *engine.Oracle, a *core.Assignment, rem []int, m *engine.Matrix) ([][]int, error) {
+	in := eng.Instance()
+	P := in.NumPapers()
 	need := make([]int, P)
 	total := 0
 	for p := 0; p < P; p++ {
@@ -22,23 +29,25 @@ func fillMissingSlots(in *core.Instance, a *core.Assignment, rem []int) error {
 		total += need[p]
 	}
 	if total == 0 {
-		return nil
+		return make([][]int, P), nil
 	}
-	profit := make([][]float64, P)
+	groupVecs := make([]core.Vector, P)
 	for p := 0; p < P; p++ {
-		profit[p] = make([]float64, R)
-		gv := in.GroupVector(a.Groups[p])
-		for r := 0; r < R; r++ {
-			if need[p] == 0 || rem[r] <= 0 || a.Contains(p, r) || in.IsConflict(r, p) {
-				profit[p][r] = flow.Forbidden
-				continue
-			}
-			profit[p][r] = in.GainWithVector(p, gv, r)
-		}
+		groupVecs[p] = in.GroupVector(a.Groups[p])
 	}
-	rows, _, err := flow.MaxProfitTransport(profit, need, rem)
+	spec := engine.ProfitSpec{
+		GroupVecs: groupVecs,
+		Forbidden: func(p, r int) bool {
+			return need[p] == 0 || rem[r] <= 0 || a.Contains(p, r) || in.IsConflict(r, p)
+		},
+		ForbiddenValue: flow.Forbidden,
+	}
+	if err := eng.FillProfit(ctx, m, spec); err != nil {
+		return nil, err
+	}
+	rows, _, err := flow.MaxProfitTransport(m.Rows(), need, rem)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for p, cols := range rows {
 		for _, r := range cols {
@@ -46,7 +55,7 @@ func fillMissingSlots(in *core.Instance, a *core.Assignment, rem []int) error {
 			rem[r]--
 		}
 	}
-	return nil
+	return rows, nil
 }
 
 // completeAssignment fills every open slot of a partial assignment. It first
@@ -55,18 +64,27 @@ func fillMissingSlots(in *core.Instance, a *core.Assignment, rem []int) error {
 // with spare capacity already sit in the paper's group — it falls back to a
 // swap-based repair: move a loaded reviewer from another paper to the stuck
 // one and backfill the donor paper with a reviewer that still has capacity.
-func completeAssignment(in *core.Instance, a *core.Assignment, rem []int) error {
-	if err := fillMissingSlots(in, a, rem); err == nil {
+func completeAssignment(ctx context.Context, eng *engine.Oracle, a *core.Assignment, rem []int) error {
+	var m engine.Matrix
+	_, err := fillMissingSlots(ctx, eng, a, rem, &m)
+	if err == nil {
 		return nil
 	}
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	in := eng.Instance()
 	P := in.NumPapers()
 	for guard := 0; guard < P*in.GroupSize+1; guard++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		progress := false
 		done := true
 		for p := 0; p < P; p++ {
 			for len(a.Groups[p]) < in.GroupSize {
 				done = false
-				if directFill(in, a, rem, p) || swapFill(in, a, rem, p) {
+				if directFill(eng, a, rem, p) || swapFill(in, a, rem, p) {
 					progress = true
 					continue
 				}
@@ -84,14 +102,15 @@ func completeAssignment(in *core.Instance, a *core.Assignment, rem []int) error 
 }
 
 // directFill adds the highest-gain feasible reviewer to paper p, if any.
-func directFill(in *core.Instance, a *core.Assignment, rem []int, p int) bool {
+func directFill(eng *engine.Oracle, a *core.Assignment, rem []int, p int) bool {
+	in := eng.Instance()
 	gv := in.GroupVector(a.Groups[p])
 	best, bestGain := -1, -1.0
 	for r := 0; r < in.NumReviewers(); r++ {
 		if !feasiblePair(in, a, rem, r, p) {
 			continue
 		}
-		if g := in.GainWithVector(p, gv, r); g > bestGain {
+		if g := eng.Gain(p, gv, r); g > bestGain {
 			best, bestGain = r, g
 		}
 	}

@@ -1,9 +1,11 @@
 package cra
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // stuckInstance builds a partial assignment in which the only reviewer with
@@ -35,7 +37,7 @@ func stuckInstance() (*core.Instance, *core.Assignment, []int) {
 
 func TestCompleteAssignmentUsesSwapRepair(t *testing.T) {
 	in, a, rem := stuckInstance()
-	if err := completeAssignment(in, a, rem); err != nil {
+	if err := completeAssignment(context.Background(), engine.New(in), a, rem); err != nil {
 		t.Fatalf("swap repair failed: %v", err)
 	}
 	// Every paper must now have exactly δp distinct reviewers and loads must
@@ -63,7 +65,7 @@ func TestCompleteAssignmentReportsImpossible(t *testing.T) {
 	a := core.NewAssignment(1)
 	a.Assign(0, 0)
 	rem := []int{1}
-	if err := completeAssignment(in, a, rem); err == nil {
+	if err := completeAssignment(context.Background(), engine.New(in), a, rem); err == nil {
 		t.Fatal("impossible completion did not fail")
 	}
 }
@@ -77,7 +79,7 @@ func TestDirectFillPrefersHighestGain(t *testing.T) {
 	in := core.NewInstance(papers, reviewers, 1, 1)
 	a := core.NewAssignment(1)
 	rem := []int{1, 1}
-	if !directFill(in, a, rem, 0) {
+	if !directFill(engine.New(in), a, rem, 0) {
 		t.Fatal("directFill found no candidate")
 	}
 	if !a.Contains(0, 1) {
@@ -97,7 +99,8 @@ func TestFillMissingSlotsNoOpOnCompleteAssignment(t *testing.T) {
 	full.Assign(1, 2)
 	rem := []int{1, 0, 0}
 	before := full.Clone()
-	if err := fillMissingSlots(in, full, rem); err != nil {
+	var m engine.Matrix
+	if _, err := fillMissingSlots(context.Background(), engine.New(in), full, rem, &m); err != nil {
 		t.Fatal(err)
 	}
 	for p := range before.Groups {

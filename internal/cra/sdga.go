@@ -1,9 +1,11 @@
 package cra
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/flow"
 	"repro/internal/lap"
 )
@@ -29,31 +31,22 @@ const (
 // (Definition 9 and Lemma 2), with the per-stage reviewer workload capped at
 // ⌈δr/δp⌉. SDGA is a (1−1/e)-approximation when δp divides δr and a
 // 1/2-approximation otherwise (Theorems 1 and 2).
+//
+// The per-stage P×R profit matrix is built by the fused gain oracle of
+// internal/engine: rows are filled in parallel and the flat backing buffer is
+// reused across stages.
 type SDGA struct {
 	// Solver selects the per-stage linear assignment engine.
 	Solver StageSolver
 	// PairBonus optionally adds a modular per-pair term to the marginal gain
 	// used by every stage (e.g. reviewer bids, see internal/bids). A modular
 	// bonus keeps the overall objective submodular, so the approximation
-	// guarantee is preserved for the blended objective.
+	// guarantee is preserved for the blended objective. Called concurrently
+	// during the matrix build; it must be safe for concurrent use.
 	PairBonus func(r, p int) float64
 	// GainWeight scales the coverage part of the marginal gain when a
 	// PairBonus is supplied (0 means 1, i.e. plain coverage).
 	GainWeight float64
-}
-
-// stageGain returns the (possibly blended) marginal gain of adding reviewer r
-// to paper p's current group vector.
-func (s SDGA) stageGain(in *core.Instance, groupVec core.Vector, p, r int) float64 {
-	gain := in.GainWithVector(p, groupVec, r)
-	if s.PairBonus == nil {
-		return gain
-	}
-	w := s.GainWeight
-	if w == 0 {
-		w = 1
-	}
-	return w*gain + s.PairBonus(r, p)
 }
 
 // Name implements Algorithm.
@@ -61,10 +54,17 @@ func (SDGA) Name() string { return "SDGA" }
 
 // Assign implements Algorithm.
 func (s SDGA) Assign(instance *core.Instance) (*core.Assignment, error) {
+	return s.AssignContext(context.Background(), instance)
+}
+
+// AssignContext implements Algorithm; cancellation is checked between and
+// inside the δp stage solves.
+func (s SDGA) AssignContext(ctx context.Context, instance *core.Instance) (*core.Assignment, error) {
 	in, err := prepare(instance)
 	if err != nil {
 		return nil, err
 	}
+	eng := engine.New(in)
 	P := in.NumPapers()
 	a := core.NewAssignment(P)
 	groupVecs := make([]core.Vector, P)
@@ -75,8 +75,9 @@ func (s SDGA) Assign(instance *core.Instance) (*core.Assignment, error) {
 	for r := range rem {
 		rem[r] = in.Workload
 	}
+	var m engine.Matrix
 	for stage := 0; stage < in.GroupSize; stage++ {
-		if err := s.runStage(in, a, groupVecs, rem); err != nil {
+		if err := s.runStage(ctx, eng, a, groupVecs, rem, &m); err != nil {
 			return nil, fmt.Errorf("cra: SDGA stage %d: %w", stage+1, err)
 		}
 	}
@@ -84,7 +85,8 @@ func (s SDGA) Assign(instance *core.Instance) (*core.Assignment, error) {
 }
 
 // runStage solves one Stage-WGRAP sub-problem and applies its assignment.
-func (s SDGA) runStage(in *core.Instance, a *core.Assignment, groupVecs []core.Vector, rem []int) error {
+func (s SDGA) runStage(ctx context.Context, eng *engine.Oracle, a *core.Assignment, groupVecs []core.Vector, rem []int, m *engine.Matrix) error {
+	in := eng.Instance()
 	P, R := in.NumPapers(), in.NumReviewers()
 	stageCap := in.StageWorkload()
 
@@ -105,19 +107,27 @@ func (s SDGA) runStage(in *core.Instance, a *core.Assignment, groupVecs []core.V
 		return caps
 	}
 
+	var bonus func(p, r int) float64
+	if s.PairBonus != nil {
+		bonus = func(p, r int) float64 { return s.PairBonus(r, p) }
+	}
+
 	solveStage := func(caps []int) ([]int, error) {
-		// Profit matrix: marginal gain of adding reviewer r to paper p's group.
-		profit := make([][]float64, P)
-		for p := 0; p < P; p++ {
-			profit[p] = make([]float64, R)
-			for r := 0; r < R; r++ {
-				if caps[r] == 0 || a.Contains(p, r) || in.IsConflict(r, p) {
-					profit[p][r] = flow.Forbidden
-					continue
-				}
-				profit[p][r] = s.stageGain(in, groupVecs[p], p, r)
-			}
+		// Profit matrix: marginal gain of adding reviewer r to paper p's
+		// group, built in parallel into the stage-shared flat matrix.
+		spec := engine.ProfitSpec{
+			GroupVecs: groupVecs,
+			Forbidden: func(p, r int) bool {
+				return caps[r] == 0 || a.Contains(p, r) || in.IsConflict(r, p)
+			},
+			ForbiddenValue: flow.Forbidden,
+			Bonus:          bonus,
+			GainWeight:     s.GainWeight,
 		}
+		if err := eng.FillProfit(ctx, m, spec); err != nil {
+			return nil, err
+		}
+		profit := m.Rows()
 		switch s.Solver {
 		case StageHungarian:
 			return stageHungarian(profit, caps)
@@ -139,7 +149,7 @@ func (s SDGA) runStage(in *core.Instance, a *core.Assignment, groupVecs []core.V
 	}
 
 	perPaper, err := solveStage(buildCaps(stageCap))
-	if err != nil && in.Workload > stageCap {
+	if err != nil && ctx.Err() == nil && in.Workload > stageCap {
 		// The equal per-stage partition of Definition 9 can be infeasible in
 		// the general (non-integral) case or in tail stages with conflicts;
 		// fall back to the reviewers' full remaining workload, which keeps

@@ -1,11 +1,13 @@
 package cra
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // ProbabilityModel selects how the stochastic refinement estimates the
@@ -33,7 +35,14 @@ const (
 // linear assignment. The best assignment seen is retained, so refinement
 // never lowers the coverage score. The process stops when the score has not
 // improved for Omega consecutive rounds, when MaxRounds is reached, or when
-// the optional TimeBudget is exhausted.
+// the context passed to RefineContext is done (TimeBudget is folded into the
+// context deadline), always returning the best assignment found.
+//
+// The O(P·R) pair-score precomputation of the probability model runs through
+// the parallel gain oracle, the per-round completion reuses one flat profit
+// matrix, and per-paper scores are re-evaluated only for papers whose group
+// actually changed in the round (delta re-scoring: a round that removes and
+// re-adds the same reviewer leaves the cached score untouched).
 type SRA struct {
 	// Omega is the convergence threshold ω (default 10, the paper's setting).
 	Omega int
@@ -41,7 +50,9 @@ type SRA struct {
 	Lambda float64
 	// MaxRounds caps the number of refinement rounds (default 1000).
 	MaxRounds int
-	// TimeBudget optionally bounds the wall-clock refinement time (0 = none).
+	// TimeBudget optionally bounds the wall-clock refinement time (0 =
+	// none). It is equivalent to calling RefineContext with a deadline of
+	// now+TimeBudget; when both are set the earlier deadline wins.
 	TimeBudget time.Duration
 	// Model selects the probability model (default Equation 10).
 	Model ProbabilityModel
@@ -74,6 +85,13 @@ func (s SRA) withDefaults() SRA {
 
 // Refine implements Refiner.
 func (s SRA) Refine(instance *core.Instance, start *core.Assignment) (*core.Assignment, error) {
+	return s.RefineContext(context.Background(), instance, start)
+}
+
+// RefineContext implements Refiner. Refinement is an anytime process: when
+// ctx is cancelled or its deadline (or TimeBudget) expires, the best
+// assignment found so far is returned with a nil error.
+func (s SRA) RefineContext(ctx context.Context, instance *core.Instance, start *core.Assignment) (*core.Assignment, error) {
 	s = s.withDefaults()
 	in, err := prepare(instance)
 	if err != nil {
@@ -82,19 +100,28 @@ func (s SRA) Refine(instance *core.Instance, start *core.Assignment) (*core.Assi
 	if err := in.ValidateAssignment(start); err != nil {
 		return nil, err
 	}
+	if s.TimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.TimeBudget)
+		defer cancel()
+	}
+	eng := engine.New(in)
 	rng := rand.New(rand.NewSource(s.Seed))
 	P, R := in.NumPapers(), in.NumReviewers()
 
 	// Pre-compute all pair coverage scores and the per-reviewer totals of the
-	// probability model (the denominator of Equation 9). O(P·R), as stated in
-	// the paper.
-	pairScore := make([][]float64, P)
+	// probability model (the denominator of Equation 9). O(P·R) work, filled
+	// in parallel by the oracle, as stated in the paper.
+	var pairs engine.Matrix
+	if err := eng.FillPairScores(ctx, &pairs); err != nil {
+		// Context already exhausted before the first round: anytime
+		// semantics, the input is the best known assignment.
+		return start.Clone(), nil
+	}
+	pairScore := pairs.Rows()
 	reviewerTotal := make([]float64, R)
 	for p := 0; p < P; p++ {
-		pairScore[p] = make([]float64, R)
-		for r := 0; r < R; r++ {
-			c := in.PairScore(r, p)
-			pairScore[p][r] = c
+		for r, c := range pairScore[p] {
 			reviewerTotal[r] += c
 		}
 	}
@@ -121,13 +148,19 @@ func (s SRA) Refine(instance *core.Instance, start *core.Assignment) (*core.Assi
 	}
 
 	best := start.Clone()
-	bestScore := in.AssignmentScore(best)
 	current := start.Clone()
+	// Per-paper scores of the current assignment, kept incrementally.
+	currentScores := eng.PaperScores(current)
+	bestScore := sum(currentScores)
 	stale := 0
 	startTime := time.Now()
 
+	// Reused per-round buffers.
+	var fill engine.Matrix
+	victims := make([]int, P)
+
 	for iter := 1; iter <= s.MaxRounds && stale < s.Omega; iter++ {
-		if s.TimeBudget > 0 && time.Since(startTime) > s.TimeBudget {
+		if ctx.Err() != nil {
 			break
 		}
 		// Removal phase: drop one reviewer from every paper, preferring pairs
@@ -136,6 +169,7 @@ func (s SRA) Refine(instance *core.Instance, start *core.Assignment) (*core.Assi
 		rem := remainingCapacity(in, trial)
 		for p := 0; p < P; p++ {
 			g := trial.Groups[p]
+			victims[p] = -1
 			if len(g) == 0 {
 				continue
 			}
@@ -149,16 +183,34 @@ func (s SRA) Refine(instance *core.Instance, start *core.Assignment) (*core.Assi
 			victim := g[categorical(rng, weights)]
 			trial.Remove(p, victim)
 			rem[victim]++
+			victims[p] = victim
 		}
 		// Completion phase: one Stage-WGRAP linear assignment adds a reviewer
 		// back to every paper (Figure 8(c)).
-		if err := fillMissingSlots(in, trial, rem); err != nil {
+		added, err := fillMissingSlots(ctx, eng, trial, rem, &fill)
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
 			// The stochastic removal produced an infeasible completion
 			// (possible with many conflicts); skip this round.
 			stale++
 			continue
 		}
-		score := in.AssignmentScore(trial)
+		// Delta re-scoring: only papers whose group changed need a fresh
+		// group-score evaluation; a paper that got its removed reviewer back
+		// keeps its cached score.
+		trialScores := append([]float64(nil), currentScores...)
+		for p := 0; p < P; p++ {
+			if len(added[p]) == 1 && added[p][0] == victims[p] {
+				continue
+			}
+			if len(added[p]) == 0 && victims[p] == -1 {
+				continue
+			}
+			trialScores[p] = eng.GroupScore(p, trial.Groups[p])
+		}
+		score := sum(trialScores)
 		if score > bestScore+1e-12 {
 			bestScore = score
 			best = trial.Clone()
@@ -169,11 +221,21 @@ func (s SRA) Refine(instance *core.Instance, start *core.Assignment) (*core.Assi
 		// Continue refining from the trial even if it did not improve: the
 		// stochastic walk may escape local maxima; the best is kept separately.
 		current = trial
+		currentScores = trialScores
 		if s.OnRound != nil {
 			s.OnRound(iter, bestScore, time.Since(startTime))
 		}
 	}
 	return best, nil
+}
+
+// sum adds up a score slice.
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }
 
 // categorical draws an index proportionally to the weights, falling back to a

@@ -1,9 +1,11 @@
 package cra
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // StableMatching is the SM baseline of Section 5.2: a capacitated
@@ -17,18 +19,27 @@ type StableMatching struct{}
 // Name implements Algorithm.
 func (StableMatching) Name() string { return "SM" }
 
-// Assign implements Algorithm. It runs paper-proposing deferred acceptance
-// and then fills any quota the stable phase left open (stability with full
-// quotas is not always achievable; WGRAP's group-size constraint is hard, so
-// the open slots are completed by a maximum-gain fill).
-func (StableMatching) Assign(instance *core.Instance) (*core.Assignment, error) {
+// Assign implements Algorithm.
+func (s StableMatching) Assign(instance *core.Instance) (*core.Assignment, error) {
+	return s.AssignContext(context.Background(), instance)
+}
+
+// AssignContext implements Algorithm. It runs paper-proposing deferred
+// acceptance and then fills any quota the stable phase left open (stability
+// with full quotas is not always achievable; WGRAP's group-size constraint
+// is hard, so the open slots are completed by a maximum-gain fill).
+func (StableMatching) AssignContext(ctx context.Context, instance *core.Instance) (*core.Assignment, error) {
 	in, err := prepare(instance)
 	if err != nil {
 		return nil, err
 	}
-	a := deferredAcceptance(in)
+	eng := engine.New(in)
+	a, err := deferredAcceptance(ctx, eng)
+	if err != nil {
+		return nil, err
+	}
 	rem := remainingCapacity(in, a)
-	if err := completeAssignment(in, a, rem); err != nil {
+	if err := completeAssignment(ctx, eng, a, rem); err != nil {
 		return nil, err
 	}
 	if err := in.ValidateAssignment(a); err != nil {
@@ -38,9 +49,17 @@ func (StableMatching) Assign(instance *core.Instance) (*core.Assignment, error) 
 }
 
 // deferredAcceptance runs the capacitated paper-proposing Gale–Shapley phase
-// and returns the (possibly quota-deficient) stable matching.
-func deferredAcceptance(in *core.Instance) *core.Assignment {
+// and returns the (possibly quota-deficient) stable matching. The P×R pair
+// scores behind both sides' preferences come from one parallel oracle fill.
+func deferredAcceptance(ctx context.Context, eng *engine.Oracle) (*core.Assignment, error) {
+	in := eng.Instance()
 	P, R := in.NumPapers(), in.NumReviewers()
+
+	var pairs engine.Matrix
+	if err := eng.FillPairScores(ctx, &pairs); err != nil {
+		return nil, err
+	}
+	pairScore := pairs.Rows()
 
 	// Paper preference lists: reviewers in descending pair score, skipping
 	// conflicts.
@@ -52,10 +71,7 @@ func deferredAcceptance(in *core.Instance) *core.Assignment {
 				list = append(list, r)
 			}
 		}
-		scores := make([]float64, R)
-		for _, r := range list {
-			scores[r] = in.PairScore(r, p)
-		}
+		scores := pairScore[p]
 		sort.SliceStable(list, func(i, j int) bool { return scores[list[i]] > scores[list[j]] })
 		prefs[p] = list
 	}
@@ -84,7 +100,7 @@ func deferredAcceptance(in *core.Instance) *core.Assignment {
 			// Reviewer over capacity: reject the worst held paper.
 			worst := 0
 			for i := 1; i < len(held[r]); i++ {
-				if in.PairScore(r, held[r][i]) < in.PairScore(r, held[r][worst]) {
+				if pairScore[held[r][i]][r] < pairScore[held[r][worst]][r] {
 					worst = i
 				}
 			}
@@ -103,7 +119,7 @@ func deferredAcceptance(in *core.Instance) *core.Assignment {
 			a.Assign(p, r)
 		}
 	}
-	return a
+	return a, nil
 }
 
 // BlockingPairs returns the reviewer-paper pairs that would both prefer each

@@ -1,0 +1,183 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Matrix is a flat, row-major profit matrix with cached per-row views. The
+// zero value is ready to use; Reset reuses the backing buffer across solver
+// invocations (SDGA rebuilds the matrix every stage, SRA every round), so a
+// steady-state fill performs no allocation.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+	views      [][]float64
+}
+
+// Reset resizes the matrix to rows×cols, reusing the backing storage when it
+// is large enough. Cell contents are unspecified after Reset; fills overwrite
+// every cell.
+func (m *Matrix) Reset(rows, cols int) {
+	n := rows * cols
+	if cap(m.data) < n {
+		m.data = make([]float64, n)
+	} else {
+		m.data = m.data[:n]
+	}
+	if cap(m.views) < rows {
+		m.views = make([][]float64, rows)
+	} else {
+		m.views = m.views[:rows]
+	}
+	for p := 0; p < rows; p++ {
+		m.views[p] = m.data[p*cols : (p+1)*cols : (p+1)*cols]
+	}
+	m.rows, m.cols = rows, cols
+}
+
+// Dims returns the current (rows, cols).
+func (m *Matrix) Dims() (int, int) { return m.rows, m.cols }
+
+// At returns the cell (p, r).
+func (m *Matrix) At(p, r int) float64 { return m.views[p][r] }
+
+// Row returns row p as a slice view into the flat buffer.
+func (m *Matrix) Row(p int) []float64 { return m.views[p] }
+
+// Rows returns all row views; the result aliases the flat buffer and can be
+// handed directly to the [][]float64-based solvers (flow, lap) without
+// copying.
+func (m *Matrix) Rows() [][]float64 { return m.views }
+
+// ProfitSpec describes one profit-matrix build. Cell (p, r) receives the
+// marginal gain of adding reviewer r to paper p's current group (or the
+// plain pair score when GroupVecs is nil), unless the pair is forbidden.
+//
+// Forbidden and Bonus are invoked concurrently from the worker pool and must
+// be safe for concurrent use; in practice they only read solver state that
+// is frozen during the build.
+type ProfitSpec struct {
+	// GroupVecs[p] is paper p's current group expertise vector. A nil slice
+	// means the empty group for every paper, i.e. cells hold pair scores.
+	GroupVecs []core.Vector
+	// Forbidden reports pairs that must never be assigned (conflicts of
+	// interest, exhausted capacity, already-assigned pairs); their cells are
+	// set to ForbiddenValue instead of a gain.
+	Forbidden func(p, r int) bool
+	// ForbiddenValue is the sentinel stored in forbidden cells (callers pass
+	// the marker their downstream solver expects, e.g. flow.Forbidden).
+	ForbiddenValue float64
+	// Bonus optionally adds a modular per-pair term to the gain (e.g.
+	// reviewer bids). When set, the cell is GainWeight·gain + Bonus(p, r).
+	Bonus func(p, r int) float64
+	// GainWeight scales the coverage gain when a Bonus is supplied
+	// (0 means 1, i.e. plain coverage).
+	GainWeight float64
+}
+
+// Fill tiling: cells are produced in rowBlock×colBlock tiles so the
+// colBlock reviewer vectors stay cache-resident while a block of papers is
+// scored against them. An untiled fill re-streams the entire reviewer pool
+// (R·T·8 bytes) for every paper and becomes memory-bound at paper scale.
+const (
+	fillRowBlock = 64
+	fillColBlock = 128
+)
+
+// FillProfit builds the P×R profit matrix described by spec into m. Tiles of
+// rows are filled in parallel with a GOMAXPROCS-sized worker pool. It
+// returns ctx.Err() if the context is cancelled mid-build (the matrix
+// contents are then unspecified).
+func (o *Oracle) FillProfit(ctx context.Context, m *Matrix, spec ProfitSpec) error {
+	P, R := o.in.NumPapers(), o.in.NumReviewers()
+	m.Reset(P, R)
+	w := spec.GainWeight
+	if w == 0 {
+		w = 1
+	}
+	blocks := (P + fillRowBlock - 1) / fillRowBlock
+	return parallelUnits(ctx, blocks, func(b int) {
+		p0 := b * fillRowBlock
+		p1 := p0 + fillRowBlock
+		if p1 > P {
+			p1 = P
+		}
+		for c0 := 0; c0 < R; c0 += fillColBlock {
+			c1 := c0 + fillColBlock
+			if c1 > R {
+				c1 = R
+			}
+			for p := p0; p < p1; p++ {
+				row := m.views[p]
+				var gv core.Vector
+				if spec.GroupVecs != nil {
+					gv = spec.GroupVecs[p]
+				}
+				for r := c0; r < c1; r++ {
+					if spec.Forbidden != nil && spec.Forbidden(p, r) {
+						row[r] = spec.ForbiddenValue
+						continue
+					}
+					var gain float64
+					if gv == nil {
+						gain = o.PairScore(r, p)
+					} else {
+						gain = o.Gain(p, gv, r)
+					}
+					if spec.Bonus != nil {
+						gain = w*gain + spec.Bonus(p, r)
+					}
+					row[r] = gain
+				}
+			}
+		}
+	})
+}
+
+// FillPairScores builds the P×R matrix of pair scores c(r, p) into m in
+// parallel (the precomputation of SRA's probability model and the stable
+// matching preference lists).
+func (o *Oracle) FillPairScores(ctx context.Context, m *Matrix) error {
+	return o.FillProfit(ctx, m, ProfitSpec{})
+}
+
+// parallelUnits runs work(u) for every unit in [0, units) across a
+// GOMAXPROCS-sized worker pool, checking ctx between units. Units are handed
+// out with an atomic counter so uneven unit costs still balance.
+func parallelUnits(ctx context.Context, units int, work func(u int)) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > units {
+		workers = units
+	}
+	if workers <= 1 {
+		for u := 0; u < units; u++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			work(u)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= units || ctx.Err() != nil {
+					return
+				}
+				work(u)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

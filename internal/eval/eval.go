@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/jra"
 )
 
@@ -19,13 +20,21 @@ import (
 // c(O)). Each per-paper group is solved exactly with the BBA solver so the
 // bound is rigorous; conflicts of interest are still respected.
 func IdealAssignment(in *core.Instance) *core.Assignment {
+	return idealAssignment(engine.New(in))
+}
+
+// idealAssignment is IdealAssignment for callers that already hold an oracle
+// over the instance (avoids a duplicate oracle build in OptimalityRatio).
+func idealAssignment(eng *engine.Oracle) *core.Assignment {
+	in := eng.Instance()
 	solver := jra.BranchAndBound{}
 	a := core.NewAssignment(in.NumPapers())
 	for p := 0; p < in.NumPapers(); p++ {
 		res, err := solver.Solve(in.JournalInstance(p))
 		if err != nil {
 			// Not enough conflict-free candidates for a full group; fall back
-			// to the best achievable smaller group, built greedily.
+			// to the best achievable smaller group, built greedily with the
+			// fused gain oracle.
 			g := make(core.Vector, in.NumTopics())
 			chosen := make(map[int]bool, in.GroupSize)
 			for len(chosen) < in.GroupSize {
@@ -34,7 +43,7 @@ func IdealAssignment(in *core.Instance) *core.Assignment {
 					if chosen[r] || in.IsConflict(r, p) {
 						continue
 					}
-					if gain := in.GainWithVector(p, g, r); gain > bestGain {
+					if gain := eng.Gain(p, g, r); gain > bestGain {
 						best, bestGain = r, gain
 					}
 				}
@@ -58,11 +67,12 @@ func IdealAssignment(in *core.Instance) *core.Assignment {
 // ideal (workload-free) assignment. Because c(AI) ≥ c(O), the ratio is a
 // lower bound on the true approximation ratio c(A)/c(O).
 func OptimalityRatio(in *core.Instance, a *core.Assignment) float64 {
-	ideal := in.AssignmentScore(IdealAssignment(in))
+	eng := engine.New(in)
+	ideal := eng.AssignmentScore(idealAssignment(eng))
 	if ideal == 0 {
 		return 1
 	}
-	return in.AssignmentScore(a) / ideal
+	return eng.AssignmentScore(a) / ideal
 }
 
 // Superiority holds the superiority ratio of assignment X over assignment Y.
@@ -78,8 +88,9 @@ type Superiority struct {
 // SuperiorityRatio compares two assignments paper by paper (Section 5.2):
 // ratio(X, Y) = |{p : c(AX[p], p) ≥ c(AY[p], p)}| / P.
 func SuperiorityRatio(in *core.Instance, x, y *core.Assignment) Superiority {
-	sx := in.PaperScores(x)
-	sy := in.PaperScores(y)
+	eng := engine.New(in)
+	sx := eng.PaperScores(x)
+	sy := eng.PaperScores(y)
 	better, ties := 0, 0
 	for p := range sx {
 		switch {

@@ -180,3 +180,32 @@ func sum(xs []float64) float64 {
 	}
 	return s
 }
+
+// TestKnapsackRegressionSeed pins a previously failing quick-check seed
+// (folded in from the old scratch debug test).
+func TestKnapsackRegressionSeed(t *testing.T) {
+	seed := int64(-3442079697925997769)
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(8)
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = math.Round(rng.Float64()*50) / 10
+		weights[i] = math.Round(1+rng.Float64()*50) / 10
+	}
+	capacity := 0.5 * sum(weights)
+	p := NewProblem(n)
+	copy(p.LP.Objective, values)
+	p.LP.AddConstraint(weights, lp.LE, capacity)
+	for i := 0; i < n; i++ {
+		p.SetKind(i, Binary)
+	}
+	s, err := p.Solve(Options{})
+	if err != nil {
+		t.Fatalf("Solve: %v (values=%v weights=%v cap=%v)", err, values, weights, capacity)
+	}
+	want := bruteKnapsack(values, weights, capacity)
+	if math.Abs(s.Objective-want) > 1e-5 {
+		t.Fatalf("objective %v != brute force %v", s.Objective, want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // BranchAndBound is the paper's Branch-and-Bound Algorithm (BBA, Algorithm 1)
@@ -88,8 +89,9 @@ func (b BranchAndBound) solve(in *core.Instance, k int) ([]Result, Stats, error)
 		return nil, Stats{}, err
 	}
 	delta := in.GroupSize
-	paper := in.Papers[0].Topics
-	score := in.ScoreFn()
+	// All gain ordering and bound evaluations go through the fused gain
+	// oracle: no merged-vector materialisation in the search hot loop.
+	eng := engine.New(in)
 	T := in.NumTopics()
 
 	// T sorted lists: candidate indices in descending order of expertise on
@@ -143,28 +145,34 @@ func (b BranchAndBound) solve(in *core.Instance, k int) ([]Result, Stats, error)
 			}
 			ubVec[t] = v
 		}
-		return score(ubVec, paper)
+		return eng.Score(ubVec, 0)
 	}
 
 	var stats Stats
 	group := make([]int, 0, delta)
+	// Depth-indexed group vectors, allocated once and overwritten in place
+	// as the search descends — no per-node vector allocation.
 	groupVecs := make([]core.Vector, delta+1)
-	groupVecs[0] = make(core.Vector, T)
+	for i := range groupVecs {
+		groupVecs[i] = make(core.Vector, T)
+	}
+	// gainBuf is reused at every node; a node only reads it while sorting
+	// its own order, before recursing.
+	gainBuf := make([]float64, in.NumReviewers())
 
 	var recurse func(cands []int, depth int)
 	recurse = func(cands []int, depth int) {
 		if depth == delta {
-			record(group, score(groupVecs[depth], paper))
+			record(group, eng.Score(groupVecs[depth], 0))
 			return
 		}
 		// Branching order: descending marginal gain (Definition 8).
 		order := append([]int(nil), cands...)
 		if !b.DisableGainOrdering {
-			gains := make(map[int]float64, len(order))
 			for _, r := range order {
-				gains[r] = in.GainWithVector(0, groupVecs[depth], r)
+				gainBuf[r] = eng.Gain(0, groupVecs[depth], r)
 			}
-			sort.SliceStable(order, func(i, j int) bool { return gains[order[i]] > gains[order[j]] })
+			sort.SliceStable(order, func(i, j int) bool { return gainBuf[order[i]] > gainBuf[order[j]] })
 		}
 		deactivated := make([]int, 0, len(order))
 		defer func() {
@@ -189,7 +197,8 @@ func (b BranchAndBound) solve(in *core.Instance, k int) ([]Result, Stats, error)
 			stats.Nodes++
 			active[r] = false
 			deactivated = append(deactivated, r)
-			groupVecs[depth+1] = core.Max(groupVecs[depth], in.Reviewers[r].Topics)
+			copy(groupVecs[depth+1], groupVecs[depth])
+			groupVecs[depth+1].MaxInPlace(in.Reviewers[r].Topics)
 			group = append(group, r)
 			recurse(order[i+1:], depth+1)
 			group = group[:len(group)-1]

@@ -19,9 +19,16 @@
 // For a single (journal) paper:
 //
 //	group, err := wgrap.AssignJournal(in) // exact optimum via BBA
+//
+// Long-running assignments are cancellable: AssignContext and RefineContext
+// accept a context.Context whose cancellation or deadline aborts the
+// construction phase and gracefully stops the (anytime) refinement phase.
+// The hot paths — marginal-gain evaluation and profit-matrix construction —
+// run through the fused, parallel gain engine of internal/engine.
 package wgrap
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -106,7 +113,9 @@ type AssignOptions struct {
 	// Omega is the convergence threshold of the stochastic refinement
 	// (default 10; only used by MethodSDGASRA).
 	Omega int
-	// RefinementBudget optionally caps the wall-clock refinement time.
+	// RefinementBudget optionally caps the wall-clock refinement time. With
+	// AssignContext it is unified with the context deadline: the refinement
+	// stops at whichever comes first and returns the best assignment found.
 	RefinementBudget time.Duration
 	// Seed makes stochastic steps reproducible (default 1).
 	Seed int64
@@ -156,14 +165,25 @@ func algorithmFor(opts AssignOptions) (cra.Algorithm, error) {
 }
 
 // Assign computes a conference assignment with the selected method (the
-// general WGRAP of Definition 3).
+// general WGRAP of Definition 3). It is AssignContext with
+// context.Background().
 func Assign(in *Instance, opts AssignOptions) (*Result, error) {
+	return AssignContext(context.Background(), in, opts)
+}
+
+// AssignContext computes a conference assignment under a context, the entry
+// point for serving: cancelling ctx (or letting its deadline pass) aborts
+// the construction phase with the context's error and gracefully stops the
+// refinement phase of MethodSDGASRA, which is an anytime algorithm and
+// returns the best assignment found so far. A ctx deadline and
+// opts.RefinementBudget compose; the earlier one stops the refinement.
+func AssignContext(ctx context.Context, in *Instance, opts AssignOptions) (*Result, error) {
 	alg, err := algorithmFor(opts)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	a, err := alg.Assign(in)
+	a, err := alg.AssignContext(ctx, in)
 	if err != nil {
 		return nil, err
 	}
@@ -184,9 +204,18 @@ func Assign(in *Instance, opts AssignOptions) (*Result, error) {
 
 // Refine improves an existing assignment with the stochastic refinement of
 // Section 4.4 and returns the refined copy (never worse than the input).
+// It is RefineContext with context.Background().
 func Refine(in *Instance, a *Assignment, opts AssignOptions) (*Assignment, error) {
+	return RefineContext(context.Background(), in, a, opts)
+}
+
+// RefineContext improves an existing assignment under a context. Refinement
+// is an anytime process: when ctx is done (or opts.RefinementBudget expires,
+// whichever comes first) the best assignment found so far is returned —
+// never worse than the input.
+func RefineContext(ctx context.Context, in *Instance, a *Assignment, opts AssignOptions) (*Assignment, error) {
 	sra := cra.SRA{Omega: opts.Omega, TimeBudget: opts.RefinementBudget, Seed: opts.Seed}
-	return sra.Refine(in, a)
+	return sra.RefineContext(ctx, in, a)
 }
 
 // AssignJournal finds the optimal reviewer group for a single-paper instance

@@ -1,6 +1,8 @@
 package wgrap
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -177,5 +179,119 @@ func TestScoringFunctionAliases(t *testing.T) {
 	}
 	if math.Abs(PaperCoverage(r, p)-0.4) > 1e-9 {
 		t.Fatal("PaperCoverage alias broken")
+	}
+}
+
+// TestNoMethodAssignsConflictedReviewer is the conflict-of-interest
+// guarantee, table-driven over every public method: whatever the algorithm,
+// a registered conflict pair must never appear in the output.
+func TestNoMethodAssignsConflictedReviewer(t *testing.T) {
+	cases := []struct {
+		name     string
+		seed     int64
+		p, r, tp int
+		delta    int
+		// conflictFrac of all (r, p) pairs become conflicts (feasibility is
+		// preserved by skipping pairs that would leave a paper short).
+		conflictFrac float64
+	}{
+		{name: "sparse-conflicts", seed: 21, p: 10, r: 8, tp: 6, delta: 3, conflictFrac: 0.1},
+		{name: "dense-conflicts", seed: 22, p: 8, r: 9, tp: 5, delta: 2, conflictFrac: 0.3},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(c.seed))
+			papers, reviewers := randomProblem(rng, c.p, c.r, c.tp)
+			in := NewInstance(papers, reviewers, c.delta, 0)
+			// Register random conflicts, never conflicting a paper below
+			// δp+1 available reviewers so every method stays feasible.
+			avail := make([]int, c.p)
+			for p := range avail {
+				avail[p] = c.r
+			}
+			for p := 0; p < c.p; p++ {
+				for r := 0; r < c.r; r++ {
+					if rng.Float64() < c.conflictFrac && avail[p] > c.delta+1 {
+						in.AddConflict(r, p)
+						avail[p]--
+					}
+				}
+			}
+			if len(in.Conflicts()) == 0 {
+				t.Fatal("test instance has no conflicts; raise conflictFrac")
+			}
+			for _, m := range Methods() {
+				res, err := Assign(in, AssignOptions{Method: m, Omega: 3})
+				if err != nil {
+					t.Fatalf("%s: %v", m, err)
+				}
+				for p, g := range res.Assignment.Groups {
+					for _, r := range g {
+						if in.IsConflict(r, p) {
+							t.Errorf("%s assigned conflicted reviewer %d to paper %d", m, r, p)
+						}
+					}
+				}
+				if err := in.ValidateAssignment(res.Assignment); err != nil {
+					t.Errorf("%s: %v", m, err)
+				}
+			}
+		})
+	}
+}
+
+// TestAssignContextCancellation: a pre-cancelled context aborts every
+// construction method with context.Canceled.
+func TestAssignContextCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	papers, reviewers := randomProblem(rng, 12, 8, 6)
+	in := NewInstance(papers, reviewers, 3, 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range []Method{MethodSDGA, MethodGreedy, MethodBRGG, MethodStableMatching, MethodPairILP} {
+		if _, err := AssignContext(ctx, in, AssignOptions{Method: m}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", m, err)
+		}
+	}
+}
+
+// TestRefineContextAnytime: refinement under an already-expired deadline
+// still returns a valid assignment no worse than its input (anytime
+// semantics), and the RefinementBudget path remains equivalent.
+func TestRefineContextAnytime(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	papers, reviewers := randomProblem(rng, 10, 6, 5)
+	in := NewInstance(papers, reviewers, 2, 0)
+	base, err := Assign(in, AssignOptions{Method: MethodGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	refined, err := RefineContext(ctx, in, base.Assignment, AssignOptions{Omega: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.ValidateAssignment(refined); err != nil {
+		t.Fatal(err)
+	}
+	if in.AssignmentScore(refined) < base.Score-1e-9 {
+		t.Fatal("cancelled refinement returned a worse assignment")
+	}
+	// SDGA-SRA under a deadline: refinement stops at the deadline and the
+	// result is still valid. (On a heavily loaded runner the deadline can
+	// expire during construction, which legitimately errors — accept that.)
+	dctx, dcancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer dcancel()
+	res, err := AssignContext(dctx, in, AssignOptions{Method: MethodSDGASRA, Omega: 1000, Seed: 7})
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			t.Skip("deadline expired during construction; anytime path not reached")
+		}
+		t.Fatal(err)
+	}
+	if err := in.ValidateAssignment(res.Assignment); err != nil {
+		t.Fatal(err)
 	}
 }
