@@ -18,6 +18,7 @@ import (
 	"repro/internal/cra"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/flow"
 	"repro/internal/jra"
 )
 
@@ -200,8 +201,9 @@ func BenchmarkAblationGreedyHeap(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationStageSolver compares the min-cost-flow and Hungarian
-// formulations of the Stage-WGRAP sub-problem.
+// BenchmarkAblationStageSolver compares the Stage-WGRAP formulations: the
+// default Dijkstra transport, the legacy SPFA transport and the Hungarian
+// column expansion.
 func BenchmarkAblationStageSolver(b *testing.B) {
 	in := benchConferenceInstance(120, 25, 30, 3)
 	variants := []struct {
@@ -209,6 +211,7 @@ func BenchmarkAblationStageSolver(b *testing.B) {
 		alg  cra.SDGA
 	}{
 		{"flow", cra.SDGA{Solver: cra.StageFlow}},
+		{"flow-legacy-spfa", cra.SDGA{Solver: cra.StageFlow, Transport: flow.Legacy}},
 		{"hungarian", cra.SDGA{Solver: cra.StageHungarian}},
 	}
 	for _, v := range variants {
@@ -339,6 +342,24 @@ func BenchmarkGainOracle(b *testing.B) {
 		})
 	}
 	in.Score = nil
+}
+
+// BenchmarkProfitMatrixCI is the reduced-scale (P=200, R=400) profit-matrix
+// fill recorded by the CI bench job alongside the transport solve of
+// internal/flow (see BENCH_BASELINE.json and cmd/wgrap-bench).
+func BenchmarkProfitMatrixCI(b *testing.B) {
+	in := benchConferenceInstance(200, 400, 40, 3)
+	groupVecs := benchGroupVecs(in, 11)
+	eng := engine.New(in)
+	var m engine.Matrix
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spec := engine.ProfitSpec{GroupVecs: groupVecs}
+		if err := eng.FillProfit(context.Background(), &m, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkSDGALargeConference runs one full SDGA assignment at a larger

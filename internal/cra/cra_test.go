@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/flow"
 )
 
 // sectionFourInstance is the 3×3 example of Section 4.2 where greedy
@@ -54,10 +55,13 @@ func allAlgorithms() []Algorithm {
 	return []Algorithm{
 		StableMatching{},
 		PairILP{},
+		PairILP{Transport: flow.Legacy},
+		PairILP{ViaILP: true},
 		Greedy{},
 		Greedy{Naive: true},
 		BRGG{},
 		SDGA{},
+		SDGA{Transport: flow.Legacy},
 		SDGA{Solver: StageHungarian},
 		WithRefiner{Base: SDGA{}, Refiner: SRA{Omega: 3, MaxRounds: 20}},
 		WithRefiner{Base: SDGA{}, Refiner: LocalSearch{MaxMoves: 500, Patience: 200}},

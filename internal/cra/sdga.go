@@ -38,6 +38,13 @@ const (
 type SDGA struct {
 	// Solver selects the per-stage linear assignment engine.
 	Solver StageSolver
+	// Transport selects the transportation solver behind StageFlow:
+	// flow.Dijkstra (default) shares one flow.Transport across the δp
+	// stages — flat buffers are reused, and the stage-capacity fallback
+	// re-solves incrementally with Resolve instead of rebuilding the stage —
+	// while flow.Legacy is the SPFA path kept for parity tests and the
+	// transport ablation benchmark.
+	Transport flow.Solver
 	// PairBonus optionally adds a modular per-pair term to the marginal gain
 	// used by every stage (e.g. reviewer bids, see internal/bids). A modular
 	// bonus keeps the overall objective submodular, so the approximation
@@ -76,8 +83,9 @@ func (s SDGA) AssignContext(ctx context.Context, instance *core.Instance) (*core
 		rem[r] = in.Workload
 	}
 	var m engine.Matrix
+	tr := flow.NewTransport()
 	for stage := 0; stage < in.GroupSize; stage++ {
-		if err := s.runStage(ctx, eng, a, groupVecs, rem, &m); err != nil {
+		if err := s.runStage(ctx, eng, a, groupVecs, rem, &m, tr); err != nil {
 			return nil, fmt.Errorf("cra: SDGA stage %d: %w", stage+1, err)
 		}
 	}
@@ -85,7 +93,8 @@ func (s SDGA) AssignContext(ctx context.Context, instance *core.Instance) (*core
 }
 
 // runStage solves one Stage-WGRAP sub-problem and applies its assignment.
-func (s SDGA) runStage(ctx context.Context, eng *engine.Oracle, a *core.Assignment, groupVecs []core.Vector, rem []int, m *engine.Matrix) error {
+// tr is the transportation solver shared across all stages of one assignment.
+func (s SDGA) runStage(ctx context.Context, eng *engine.Oracle, a *core.Assignment, groupVecs []core.Vector, rem []int, m *engine.Matrix, tr *flow.Transport) error {
 	in := eng.Instance()
 	P, R := in.NumPapers(), in.NumReviewers()
 	stageCap := in.StageWorkload()
@@ -136,25 +145,44 @@ func (s SDGA) runStage(ctx context.Context, eng *engine.Oracle, a *core.Assignme
 			for p := range need {
 				need[p] = 1
 			}
-			rows, _, err := flow.MaxProfitTransport(profit, need, caps)
+			var rows [][]int
+			var err error
+			if s.Transport == flow.Legacy {
+				rows, _, err = flow.MaxProfitTransportWith(flow.Legacy, profit, need, caps)
+			} else {
+				rows, _, err = tr.Solve(profit, need, caps)
+			}
 			if err != nil {
 				return nil, err
 			}
-			perPaper := make([]int, P)
-			for p, cols := range rows {
-				perPaper[p] = cols[0]
-			}
-			return perPaper, nil
+			return perPaperColumns(rows), nil
 		}
 	}
 
 	perPaper, err := solveStage(buildCaps(stageCap))
 	if err != nil && ctx.Err() == nil && in.Workload > stageCap {
+		if stageFallbackHook != nil {
+			stageFallbackHook()
+		}
 		// The equal per-stage partition of Definition 9 can be infeasible in
 		// the general (non-integral) case or in tail stages with conflicts;
 		// fall back to the reviewers' full remaining workload, which keeps
 		// the overall assignment feasible whenever one exists stage-wise.
-		perPaper, err = solveStage(buildCaps(in.Workload))
+		if s.Solver != StageHungarian && s.Transport != flow.Legacy {
+			// Incremental re-solve: the profit matrix is unchanged — a
+			// reviewer is forbidden exactly when rem[r] == 0, which zeroes
+			// both capacity vectors identically — so only the column
+			// capacities grew and the Transport can warm-start from the
+			// partial flow of the failed tight-capacity solve instead of
+			// refilling the P×R matrix and solving from scratch.
+			var rows [][]int
+			rows, _, err = tr.Resolve(buildCaps(in.Workload))
+			if err == nil {
+				perPaper = perPaperColumns(rows)
+			}
+		} else {
+			perPaper, err = solveStage(buildCaps(in.Workload))
+		}
 	}
 	if err != nil {
 		return err
@@ -166,6 +194,21 @@ func (s SDGA) runStage(ctx context.Context, eng *engine.Oracle, a *core.Assignme
 		rem[r]--
 	}
 	return nil
+}
+
+// stageFallbackHook, when non-nil, is invoked whenever a stage falls back to
+// the reviewers' full remaining workload; tests use it to assert the fallback
+// (and its incremental Resolve) is actually exercised.
+var stageFallbackHook func()
+
+// perPaperColumns flattens a unit-demand transportation plan (one column per
+// row) into the per-paper reviewer slice.
+func perPaperColumns(rows [][]int) []int {
+	perPaper := make([]int, len(rows))
+	for p, cols := range rows {
+		perPaper[p] = cols[0]
+	}
+	return perPaper
 }
 
 // stageHungarian expands each reviewer into caps[r] identical columns and

@@ -1,0 +1,66 @@
+package flow
+
+import "math"
+
+// legacyMaxProfitTransport is the original transportation path: it expands
+// the instance into the generic adjacency-list Graph (source → rows → columns
+// → sink) and runs the SPFA-based successive-shortest-paths solver, one
+// search per unit of flow. Selected with the Legacy solver; the default
+// solver is Transport.
+func legacyMaxProfitTransport(profit [][]float64, rowNeed, colCap []int) ([][]int, float64, error) {
+	if err := validateTransport(profit, rowNeed, colCap); err != nil {
+		return nil, 0, err
+	}
+	n := len(profit)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	m := len(profit[0])
+	need := 0
+	for _, r := range rowNeed {
+		need += r
+	}
+
+	// Node layout: 0 = source, 1..n = rows, n+1..n+m = columns, n+m+1 = sink.
+	source := 0
+	rowNode := func(i int) int { return 1 + i }
+	colNode := func(j int) int { return 1 + n + j }
+	sink := 1 + n + m
+	g := NewGraph(sink + 1)
+
+	for i := 0; i < n; i++ {
+		g.AddEdge(source, rowNode(i), rowNeed[i], 0)
+	}
+	type pairEdge struct{ row, col, id int }
+	var pairs []pairEdge
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			p := profit[i][j]
+			if math.IsInf(p, -1) {
+				continue
+			}
+			id := g.AddEdge(rowNode(i), colNode(j), 1, -p)
+			pairs = append(pairs, pairEdge{row: i, col: j, id: id})
+		}
+	}
+	for j := 0; j < m; j++ {
+		if colCap[j] > 0 {
+			g.AddEdge(colNode(j), sink, colCap[j], 0)
+		}
+	}
+
+	flowed, cost, err := g.MinCostFlow(source, sink, need)
+	if err != nil {
+		return nil, 0, err
+	}
+	if flowed < need {
+		return nil, 0, ErrInfeasible
+	}
+	out := make([][]int, n)
+	for _, pe := range pairs {
+		if g.Flow(pe.id) > 0 {
+			out[pe.row] = append(out[pe.row], pe.col)
+		}
+	}
+	return out, -cost, nil
+}

@@ -1,7 +1,5 @@
-// Package flow implements a min-cost max-flow solver (successive shortest
-// paths with SPFA) and a transportation-problem wrapper on top of it.
-//
-// Two solvers in the repository are built on it:
+// Package flow solves the transportation problems of the reviewer-assignment
+// pipeline:
 //
 //   - the Stage-WGRAP sub-problem of the Stage Deepening Greedy Algorithm
 //     when the per-stage reviewer workload ⌈δr/δp⌉ exceeds one (Section 4.2),
@@ -9,6 +7,15 @@
 //   - the ARAP/ILP baseline of the experiments (Section 5.2), whose
 //     pair-additive objective makes the relaxation integral, so min-cost flow
 //     yields the exact optimum.
+//
+// The default solver is Transport: costs are reduced to non-negative with
+// Johnson-style node potentials, each phase runs one dense Dijkstra over the
+// CSR-stored bipartite residual graph and augments along every tight path it
+// exposes (many units per search), and Solve/Resolve warm-start potentials
+// and residual flow across related instances (SDGA's δp stage re-solves).
+// This file keeps the original generic min-cost max-flow solver (successive
+// shortest paths with SPFA, one search per unit of flow), which still backs
+// the Legacy transportation path used by parity tests and ablations.
 package flow
 
 import (

@@ -1,0 +1,343 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomInstance draws a transportation instance; forbiddenP cells are set to
+// Forbidden.
+func randomInstance(rng *rand.Rand, n, m, maxNeed, maxCap int, forbiddenP float64) ([][]float64, []int, []int) {
+	profit := make([][]float64, n)
+	for i := range profit {
+		profit[i] = make([]float64, m)
+		for j := range profit[i] {
+			if rng.Float64() < forbiddenP {
+				profit[i][j] = Forbidden
+			} else {
+				profit[i][j] = rng.Float64()
+			}
+		}
+	}
+	need := make([]int, n)
+	for i := range need {
+		need[i] = 1 + rng.Intn(maxNeed)
+	}
+	caps := make([]int, m)
+	for j := range caps {
+		caps[j] = rng.Intn(maxCap + 1)
+	}
+	return profit, need, caps
+}
+
+// bruteForceTransport enumerates every feasible plan of a small instance and
+// returns the maximum total profit (ok=false when the instance is infeasible).
+func bruteForceTransport(profit [][]float64, rowNeed, colCap []int) (float64, bool) {
+	n := len(profit)
+	m := 0
+	if n > 0 {
+		m = len(profit[0])
+	}
+	use := make([]int, m)
+	best := math.Inf(-1)
+	found := false
+	var rec func(row int, acc float64)
+	var choose func(row, from, left int, acc float64)
+	rec = func(row int, acc float64) {
+		if row == n {
+			if !found || acc > best {
+				best, found = acc, true
+			}
+			return
+		}
+		choose(row, 0, rowNeed[row], acc)
+	}
+	choose = func(row, from, left int, acc float64) {
+		if left == 0 {
+			rec(row+1, acc)
+			return
+		}
+		for j := from; j <= m-left; j++ {
+			if use[j] >= colCap[j] || math.IsInf(profit[row][j], -1) {
+				continue
+			}
+			use[j]++
+			choose(row, j+1, left-1, acc+profit[row][j])
+			use[j]--
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+// checkFeasible verifies demands, distinctness, capacities and forbidden
+// cells, and returns the plan's total profit.
+func checkFeasible(t *testing.T, profit [][]float64, rowNeed, colCap []int, rows [][]int) float64 {
+	t.Helper()
+	m := 0
+	if len(profit) > 0 {
+		m = len(profit[0])
+	}
+	use := make([]int, m)
+	total := 0.0
+	for i, cols := range rows {
+		if len(cols) != rowNeed[i] {
+			t.Fatalf("row %d matched %d columns, want %d", i, len(cols), rowNeed[i])
+		}
+		seen := map[int]bool{}
+		for _, j := range cols {
+			if seen[j] {
+				t.Fatalf("row %d matched column %d twice", i, j)
+			}
+			seen[j] = true
+			if math.IsInf(profit[i][j], -1) {
+				t.Fatalf("row %d matched forbidden column %d", i, j)
+			}
+			use[j]++
+			total += profit[i][j]
+		}
+	}
+	for j, u := range use {
+		if u > colCap[j] {
+			t.Fatalf("column %d used %d times, capacity %d", j, u, colCap[j])
+		}
+	}
+	return total
+}
+
+// runParity solves with both solvers (and brute force when small enough) and
+// cross-checks objectives and feasibility. Returns whether it was feasible.
+func runParity(t *testing.T, profit [][]float64, need, caps []int, brute bool) bool {
+	t.Helper()
+	dRows, dTotal, dErr := MaxProfitTransportWith(Dijkstra, profit, need, caps)
+	lRows, lTotal, lErr := MaxProfitTransportWith(Legacy, profit, need, caps)
+	if (dErr == nil) != (lErr == nil) {
+		t.Fatalf("solver disagreement: dijkstra err=%v, legacy err=%v", dErr, lErr)
+	}
+	if dErr != nil {
+		if dErr != ErrInfeasible || lErr != ErrInfeasible {
+			t.Fatalf("unexpected errors: dijkstra=%v legacy=%v", dErr, lErr)
+		}
+		if brute {
+			if _, ok := bruteForceTransport(profit, need, caps); ok {
+				t.Fatalf("solvers infeasible but brute force found a plan")
+			}
+		}
+		return false
+	}
+	if got := checkFeasible(t, profit, need, caps, dRows); math.Abs(got-dTotal) > 1e-9 {
+		t.Fatalf("dijkstra reported %v but plan sums to %v", dTotal, got)
+	}
+	checkFeasible(t, profit, need, caps, lRows)
+	if math.Abs(dTotal-lTotal) > 1e-9 {
+		t.Fatalf("objectives differ: dijkstra=%v legacy=%v", dTotal, lTotal)
+	}
+	if brute {
+		bTotal, ok := bruteForceTransport(profit, need, caps)
+		if !ok {
+			t.Fatalf("solvers found a plan but brute force is infeasible")
+		}
+		if math.Abs(dTotal-bTotal) > 1e-9 {
+			t.Fatalf("objectives differ: dijkstra=%v brute=%v", dTotal, bTotal)
+		}
+	}
+	return true
+}
+
+func TestParityRandomSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	feasible := 0
+	for trial := 0; trial < 400; trial++ {
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(5)
+		profit, need, caps := randomInstance(rng, n, m, 2, 2, 0.15)
+		if runParity(t, profit, need, caps, true) {
+			feasible++
+		}
+	}
+	if feasible == 0 {
+		t.Fatal("no feasible instances drawn; parity untested")
+	}
+}
+
+func TestParityForbiddenHeavy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	infeasible := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(4)
+		m := 1 + rng.Intn(5)
+		profit, need, caps := randomInstance(rng, n, m, 2, 2, 0.7)
+		if !runParity(t, profit, need, caps, true) {
+			infeasible++
+		}
+	}
+	if infeasible == 0 {
+		t.Fatal("no infeasible instances drawn; the forbidden-heavy regime is untested")
+	}
+}
+
+func TestParityRandomMedium(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 10 + rng.Intn(20)
+		m := n + rng.Intn(30)
+		profit, need, caps := randomInstance(rng, n, m, 3, 3, 0.1)
+		runParity(t, profit, need, caps, false)
+	}
+}
+
+func TestParityInfeasibleByCapacity(t *testing.T) {
+	// Total capacity below total demand.
+	profit := [][]float64{{1, 1}, {1, 1}}
+	if _, _, err := MaxProfitTransportWith(Dijkstra, profit, []int{2, 2}, []int{1, 1}); err != ErrInfeasible {
+		t.Fatalf("dijkstra err = %v, want ErrInfeasible", err)
+	}
+	if _, _, err := MaxProfitTransportWith(Legacy, profit, []int{2, 2}, []int{1, 1}); err != ErrInfeasible {
+		t.Fatalf("legacy err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestNegativeColumnCapacityRejected(t *testing.T) {
+	profit := [][]float64{{1, 2}}
+	for _, s := range []Solver{Dijkstra, Legacy} {
+		if _, _, err := MaxProfitTransportWith(s, profit, []int{1}, []int{1, -1}); err == nil || err == ErrInfeasible {
+			t.Fatalf("solver %v accepted negative column capacity (err=%v)", s, err)
+		}
+	}
+	var tr Transport
+	if _, _, err := tr.Solve(profit, []int{1}, []int{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.Resolve([]int{1, -1}); err == nil || err == ErrInfeasible {
+		t.Fatalf("Resolve accepted negative column capacity (err=%v)", err)
+	}
+}
+
+func TestResolveBeforeSolve(t *testing.T) {
+	var tr Transport
+	if _, _, err := tr.Resolve([]int{1}); err == nil {
+		t.Fatal("Resolve before Solve accepted")
+	}
+}
+
+// TestResolveMatchesFreshSolve grows and shrinks column capacities and checks
+// that the warm-started Resolve matches a cold Solve of the final instance.
+func TestResolveMatchesFreshSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(6)
+		profit, need, caps := randomInstance(rng, n, m, 2, 2, 0.15)
+		var tr Transport
+		_, _, err := tr.Solve(profit, need, caps)
+		if err != nil && err != ErrInfeasible {
+			t.Fatal(err)
+		}
+		// Perturb capacities in both directions.
+		caps2 := make([]int, m)
+		for j := range caps2 {
+			caps2[j] = caps[j] + rng.Intn(3) - 1
+			if caps2[j] < 0 {
+				caps2[j] = 0
+			}
+		}
+		warmRows, warmTotal, warmErr := tr.Resolve(caps2)
+		freshRows, freshTotal, freshErr := MaxProfitTransport(profit, need, caps2)
+		if (warmErr == nil) != (freshErr == nil) {
+			t.Fatalf("trial %d: warm err=%v, fresh err=%v", trial, warmErr, freshErr)
+		}
+		if warmErr != nil {
+			continue
+		}
+		checkFeasible(t, profit, need, caps2, warmRows)
+		checkFeasible(t, profit, need, caps2, freshRows)
+		if math.Abs(warmTotal-freshTotal) > 1e-9 {
+			t.Fatalf("trial %d: warm=%v fresh=%v", trial, warmTotal, freshTotal)
+		}
+	}
+}
+
+// TestResolveAfterInfeasibleSolve is SDGA's stage fallback: a Solve that fails
+// on tight per-stage capacities is continued by Resolve with the reviewers'
+// full remaining workload.
+func TestResolveAfterInfeasibleSolve(t *testing.T) {
+	profit := [][]float64{
+		{0.9, 0.1},
+		{0.8, Forbidden},
+		{0.7, 0.2},
+	}
+	var tr Transport
+	if _, _, err := tr.Solve(profit, []int{1, 1, 1}, []int{1, 1}); err != ErrInfeasible {
+		t.Fatalf("tight caps err = %v, want ErrInfeasible", err)
+	}
+	rows, total, err := tr.Resolve([]int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := checkFeasible(t, profit, []int{1, 1, 1}, []int{2, 1}, rows)
+	want, ok := bruteForceTransport(profit, []int{1, 1, 1}, []int{2, 1})
+	if !ok || math.Abs(got-want) > 1e-9 || math.Abs(total-want) > 1e-9 {
+		t.Fatalf("resolve total = %v (plan %v), brute force = %v", total, got, want)
+	}
+}
+
+// TestWarmStartAcrossStages re-solves a sequence of related instances through
+// one Transport (SDGA's δp stages) and checks each solve against a cold one.
+func TestWarmStartAcrossStages(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n, m := 12, 20
+	var tr Transport
+	profit, need, caps := randomInstance(rng, n, m, 1, 1, 0.1)
+	for j := range caps {
+		caps[j] = 1
+	}
+	for stage := 0; stage < 4; stage++ {
+		// Stage-to-stage drift: marginal gains shrink as groups fill up.
+		for i := range profit {
+			for j := range profit[i] {
+				if !math.IsInf(profit[i][j], -1) {
+					profit[i][j] *= 0.5 + 0.5*rng.Float64()
+				}
+			}
+		}
+		warmRows, warmTotal, warmErr := tr.Solve(profit, need, caps)
+		freshRows, freshTotal, freshErr := MaxProfitTransport(profit, need, caps)
+		if (warmErr == nil) != (freshErr == nil) {
+			t.Fatalf("stage %d: warm err=%v, fresh err=%v", stage, warmErr, freshErr)
+		}
+		if warmErr != nil {
+			continue
+		}
+		checkFeasible(t, profit, need, caps, warmRows)
+		checkFeasible(t, profit, need, caps, freshRows)
+		if math.Abs(warmTotal-freshTotal) > 1e-9 {
+			t.Fatalf("stage %d: warm=%v fresh=%v", stage, warmTotal, freshTotal)
+		}
+	}
+}
+
+// TestTransportReuseShrinksAllocations exercises dimension changes through one
+// reused solver.
+func TestTransportReuseAcrossShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var tr Transport
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(6)
+		m := 1 + rng.Intn(7)
+		profit, need, caps := randomInstance(rng, n, m, 2, 2, 0.2)
+		rows, total, err := tr.Solve(profit, need, caps)
+		fRows, fTotal, fErr := MaxProfitTransportWith(Legacy, profit, need, caps)
+		if (err == nil) != (fErr == nil) {
+			t.Fatalf("trial %d: err=%v legacy=%v", trial, err, fErr)
+		}
+		if err != nil {
+			continue
+		}
+		checkFeasible(t, profit, need, caps, rows)
+		checkFeasible(t, profit, need, caps, fRows)
+		if math.Abs(total-fTotal) > 1e-9 {
+			t.Fatalf("trial %d: total=%v legacy=%v", trial, total, fTotal)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package flow
 import (
 	"errors"
 	"math"
+	"sort"
 )
 
 // ErrInfeasible is returned when a transportation instance cannot satisfy the
@@ -12,6 +13,53 @@ var ErrInfeasible = errors.New("flow: demand cannot be satisfied")
 // Forbidden marks an impossible row/column pairing in MaxProfitTransport.
 var Forbidden = math.Inf(-1)
 
+// Solver selects the algorithm behind MaxProfitTransport.
+type Solver int
+
+// Transportation solvers.
+const (
+	// Dijkstra is the default solver: Johnson-style node potentials keep
+	// every residual reduced cost non-negative, so each phase can run one
+	// dense Dijkstra over the bipartite residual graph and then augment
+	// along every tight (zero-reduced-cost) path the search exposes — many
+	// units of flow per search instead of one SPFA per unit. Instances are
+	// stored in flat CSR arrays with reusable scratch buffers; see Transport.
+	Dijkstra Solver = iota
+	// Legacy is the original successive-shortest-paths solver: one SPFA per
+	// unit of flow over the generic adjacency-list Graph of this package.
+	// Kept for parity tests and the transport ablation benchmarks.
+	Legacy
+)
+
+// validateTransport checks the shared preconditions of both solvers.
+func validateTransport(profit [][]float64, rowNeed, colCap []int) error {
+	n := len(profit)
+	if n == 0 {
+		if len(rowNeed) != 0 || len(colCap) != 0 {
+			return errors.New("flow: dimension mismatch")
+		}
+		return nil
+	}
+	m := len(profit[0])
+	if len(rowNeed) != n || len(colCap) != m {
+		return errors.New("flow: dimension mismatch")
+	}
+	for i := range profit {
+		if len(profit[i]) != m {
+			return errors.New("flow: ragged profit matrix")
+		}
+		if rowNeed[i] < 0 {
+			return errors.New("flow: negative row demand")
+		}
+	}
+	for _, c := range colCap {
+		if c < 0 {
+			return errors.New("flow: negative column capacity")
+		}
+	}
+	return nil
+}
+
 // MaxProfitTransport solves the transportation problem used by Stage-WGRAP
 // and the ARAP baseline: every row i (a paper) must be matched to exactly
 // rowNeed[i] distinct columns (reviewers), every column j may serve at most
@@ -19,67 +67,620 @@ var Forbidden = math.Inf(-1)
 // maximised. Cells equal to Forbidden are never matched (conflicts of
 // interest or reviewers already in the paper's group).
 //
-// It returns, for every row, the list of matched column indices.
+// It returns, for every row, the sorted list of matched column indices, and
+// uses the default Dijkstra solver; callers that need to re-solve the same
+// instance under changing capacities, or to warm-start a sequence of related
+// instances, should hold a Transport instead.
 func MaxProfitTransport(profit [][]float64, rowNeed, colCap []int) ([][]int, float64, error) {
+	return MaxProfitTransportWith(Dijkstra, profit, rowNeed, colCap)
+}
+
+// MaxProfitTransportWith is MaxProfitTransport with an explicit solver
+// selection.
+func MaxProfitTransportWith(s Solver, profit [][]float64, rowNeed, colCap []int) ([][]int, float64, error) {
+	if s == Legacy {
+		return legacyMaxProfitTransport(profit, rowNeed, colCap)
+	}
+	var t Transport
+	return t.Solve(profit, rowNeed, colCap)
+}
+
+// tightEps is the tolerance under which a residual reduced cost counts as
+// zero (a "tight" edge usable by the augmenting DFS). Potentials are sums of
+// a handful of O(1)-magnitude profits, so float noise sits around 1e-15;
+// 1e-12 leaves three orders of magnitude of slack without admitting paths
+// that are measurably non-shortest.
+const tightEps = 1e-12
+
+// colArc is one unit of flow through a column: the row it serves and the CSR
+// edge that carries it.
+type colArc struct{ row, edge int32 }
+
+// pathStep is one edge of an augmenting path: at even positions the CSR edge
+// row→column being assigned (row is the tail), at odd positions the assigned
+// edge being released (row is its owner).
+type pathStep struct {
+	edge int32
+	row  int32
+}
+
+// Transport is a reusable solver for the Stage-WGRAP / ARAP transportation
+// problem (see MaxProfitTransport for the model). It exists for two reasons
+// beyond raw speed:
+//
+//   - all state — the CSR instance, flow, potentials and search scratch —
+//     lives in flat buffers that are reused across calls, so SDGA's δp stage
+//     re-solves through one Transport run allocation-free apart from their
+//     result slices; and
+//   - it is incremental: Resolve re-solves the current instance after a
+//     column-capacity change, warm-starting from the residual flow and
+//     potentials of the previous solve so only the columns whose residual
+//     capacity changed are re-worked (SDGA's stage-capacity fallback).
+//
+// The zero value is ready to use. A Transport must not be used concurrently.
+type Transport struct {
+	n, m int
+
+	// CSR of the feasible (non-Forbidden) cells: row i's cells are
+	// colIdx[rowStart[i]:rowStart[i+1]], cost holds the negated profit.
+	rowStart []int32
+	colIdx   []int32
+	cost     []float64
+	assigned []bool
+
+	rowNeed []int
+	colCap  []int
+	rowFlow []int
+	deficit int // Σ_i (rowNeed[i] − rowFlow[i])
+
+	// colPairs[j] lists the units currently flowing through column j; its
+	// length is the column's used capacity.
+	colPairs [][]colArc
+
+	// Node potentials (u rows, v columns, potT the implicit sink): every
+	// residual edge keeps reduced cost c + pot(tail) − pot(head) ≥ 0, which
+	// is what lets Dijkstra replace SPFA on a graph whose raw costs are
+	// negative. potT − v[j] is the dual price of column j's capacity: zero
+	// for columns with spare slots, positive for binding ones.
+	u, v   []float64
+	potT   float64
+	solved bool
+
+	// Scratch reused across phases and calls.
+	dist       []float64
+	settled    []bool
+	parentEdge []int32
+	parentNode []int32
+	arcRow     []int32
+	arcCol     []int32
+	onPath     []bool
+	path       []pathStep
+}
+
+// NewTransport returns an empty reusable solver (equivalent to new(Transport)).
+func NewTransport() *Transport { return &Transport{} }
+
+// Solve loads the instance into the solver's flat buffers and computes an
+// optimal transportation plan, returning the per-row matched columns (sorted)
+// and the total profit. On ErrInfeasible the partial maximum flow is
+// retained, so a following Resolve with enlarged capacities continues from
+// it instead of starting over.
+func (t *Transport) Solve(profit [][]float64, rowNeed, colCap []int) ([][]int, float64, error) {
+	if err := validateTransport(profit, rowNeed, colCap); err != nil {
+		return nil, 0, err
+	}
 	n := len(profit)
 	if n == 0 {
+		t.n, t.m = 0, 0
+		t.solved = true
 		return nil, 0, nil
 	}
 	m := len(profit[0])
-	if len(rowNeed) != n || len(colCap) != m {
-		return nil, 0, errors.New("flow: dimension mismatch")
-	}
-	need := 0
-	for i, r := range rowNeed {
-		if len(profit[i]) != m {
-			return nil, 0, errors.New("flow: ragged profit matrix")
-		}
-		if r < 0 {
-			return nil, 0, errors.New("flow: negative row demand")
-		}
-		need += r
-	}
+	t.n, t.m = n, m
 
-	// Node layout: 0 = source, 1..n = rows, n+1..n+m = columns, n+m+1 = sink.
-	source := 0
-	rowNode := func(i int) int { return 1 + i }
-	colNode := func(j int) int { return 1 + n + j }
-	sink := 1 + n + m
-	g := NewGraph(sink + 1)
-
-	for i := 0; i < n; i++ {
-		g.AddEdge(source, rowNode(i), rowNeed[i], 0)
-	}
-	type pairEdge struct{ row, col, id int }
-	var pairs []pairEdge
-	for i := 0; i < n; i++ {
-		for j := 0; j < m; j++ {
-			p := profit[i][j]
+	// CSR build.
+	t.rowStart = growInt32(t.rowStart, n+1)
+	t.colIdx = t.colIdx[:0]
+	t.cost = t.cost[:0]
+	t.rowStart[0] = 0
+	for i, row := range profit {
+		for j, p := range row {
 			if math.IsInf(p, -1) {
 				continue
 			}
-			id := g.AddEdge(rowNode(i), colNode(j), 1, -p)
-			pairs = append(pairs, pairEdge{row: i, col: j, id: id})
+			t.colIdx = append(t.colIdx, int32(j))
+			t.cost = append(t.cost, -p)
 		}
+		t.rowStart[i+1] = int32(len(t.colIdx))
 	}
-	for j := 0; j < m; j++ {
-		if colCap[j] > 0 {
-			g.AddEdge(colNode(j), sink, colCap[j], 0)
-		}
+	t.assigned = growBool(t.assigned, len(t.colIdx))
+	clear(t.assigned)
+
+	t.rowNeed = growInt(t.rowNeed, n)
+	copy(t.rowNeed, rowNeed)
+	t.colCap = growInt(t.colCap, m)
+	copy(t.colCap, colCap)
+	t.rowFlow = growInt(t.rowFlow, n)
+	clear(t.rowFlow)
+	t.deficit = 0
+	for _, need := range rowNeed {
+		t.deficit += need
+	}
+	if cap(t.colPairs) < m {
+		t.colPairs = make([][]colArc, m)
+	}
+	t.colPairs = t.colPairs[:m]
+	for j := range t.colPairs {
+		t.colPairs[j] = t.colPairs[j][:0]
 	}
 
-	flowed, cost, err := g.MinCostFlow(source, sink, need)
-	if err != nil {
+	// Potentials: with zero flow the residual graph has no backward arcs,
+	// so a row's true shortest path is simply its best cell — which is what
+	// cold duals (v = 0, u[i] = max_j profit[i][j], potT = 0) encode. They
+	// make every column sink-tight, letting the greedy pass place most
+	// units before the first Dijkstra. (Retaining the previous instance's
+	// spread-out column duals was measured to serialise the augmentation to
+	// one unit per phase, an order of magnitude slower — after a cost
+	// change, cold duals are the correct warm start.)
+	t.v = growFloat(t.v, m)
+	clear(t.v)
+	t.u = growFloat(t.u, n)
+	t.resetDualsForEmptyFlow()
+	t.solved = true
+
+	if err := t.run(); err != nil {
 		return nil, 0, err
 	}
-	if flowed < need {
-		return nil, 0, ErrInfeasible
+	return t.extract()
+}
+
+// Resolve re-solves the instance of the preceding Solve after a column
+// capacity change, warm-starting from the current residual flow and
+// potentials: columns whose capacity grew simply regain spare slots, columns
+// now over capacity have the surplus units cancelled (the affected rows are
+// fully released and their dual repaired), and only the resulting deficits
+// are re-augmented. Profits and row demands are those of the last Solve.
+func (t *Transport) Resolve(colCap []int) ([][]int, float64, error) {
+	if !t.solved {
+		return nil, 0, errors.New("flow: Resolve called before Solve")
 	}
-	out := make([][]int, n)
-	for _, pe := range pairs {
-		if g.Flow(pe.id) > 0 {
-			out[pe.row] = append(out[pe.row], pe.col)
+	if len(colCap) != t.m {
+		return nil, 0, errors.New("flow: dimension mismatch")
+	}
+	for _, c := range colCap {
+		if c < 0 {
+			return nil, 0, errors.New("flow: negative column capacity")
 		}
 	}
-	return out, -cost, nil
+	if t.n == 0 {
+		return nil, 0, nil
+	}
+	for j, c := range colCap {
+		for len(t.colPairs[j]) > c {
+			a := t.colPairs[j][len(t.colPairs[j])-1]
+			t.releaseRow(int(a.row))
+		}
+		t.colCap[j] = c
+	}
+	// The retained flow is only optimal for its value if the sink-side dual
+	// stays feasible: a column with spare capacity must carry no capacity
+	// price (v[j] ≥ potT). Capacity growth on a previously binding column
+	// (or a release cascade) breaks that — flow already placed elsewhere
+	// would profitably reroute into the freed slots — so in that case the
+	// flow restarts from zero (the CSR instance is kept, so no matrix pass
+	// is repeated — still far cheaper than a cold Solve).
+	for j := range t.colCap {
+		if len(t.colPairs[j]) < t.colCap[j] && t.v[j] < t.potT-tightEps {
+			t.resetFlow()
+			break
+		}
+	}
+	if err := t.run(); err != nil {
+		return nil, 0, err
+	}
+	return t.extract()
+}
+
+// resetDualsForEmptyFlow derives valid potentials for a zero-flow state from
+// the current column duals: u rows cover the pair edges, potT the
+// column→sink edges.
+func (t *Transport) resetDualsForEmptyFlow() {
+	for i := 0; i < t.n; i++ {
+		best := 0.0
+		for e := t.rowStart[i]; e < t.rowStart[i+1]; e++ {
+			if r := t.v[t.colIdx[e]] - t.cost[e]; e == t.rowStart[i] || r > best {
+				best = r
+			}
+		}
+		t.u[i] = best
+	}
+	t.potT = 0
+	seeded := false
+	for j := 0; j < t.m; j++ {
+		if t.colCap[j] > 0 && (!seeded || t.v[j] < t.potT) {
+			t.potT, seeded = t.v[j], true
+		}
+	}
+}
+
+// resetFlow discards the placed flow and restarts from cold duals (see
+// Solve: spread column duals serialise zero-flow augmentation), keeping the
+// CSR instance so no matrix pass is repeated.
+func (t *Transport) resetFlow() {
+	clear(t.assigned)
+	clear(t.rowFlow)
+	for j := range t.colPairs {
+		t.colPairs[j] = t.colPairs[j][:0]
+	}
+	t.deficit = 0
+	for i := 0; i < t.n; i++ {
+		t.deficit += t.rowNeed[i]
+	}
+	clear(t.v[:t.m])
+	t.resetDualsForEmptyFlow()
+}
+
+// releaseRow cancels every unit of flow through row r and repairs its dual.
+// Releasing the whole row (rather than a single pair) keeps the reduced-cost
+// invariant local: with no assigned pairs left, setting u[r] to the row
+// maximum of v[j] + profit makes all of its — now residual — edges
+// non-negative again without touching any other node's potential.
+func (t *Transport) releaseRow(r int) {
+	best := 0.0
+	for e := t.rowStart[r]; e < t.rowStart[r+1]; e++ {
+		if t.assigned[e] {
+			t.assigned[e] = false
+			t.removeArc(int(t.colIdx[e]), e)
+		}
+		if rd := t.v[t.colIdx[e]] - t.cost[e]; e == t.rowStart[r] || rd > best {
+			best = rd
+		}
+	}
+	t.deficit += t.rowFlow[r]
+	t.rowFlow[r] = 0
+	t.u[r] = best
+}
+
+// removeArc deletes the unit carried by edge from column j's list.
+func (t *Transport) removeArc(j int, edge int32) {
+	arcs := t.colPairs[j]
+	for k := range arcs {
+		if arcs[k].edge == edge {
+			arcs[k] = arcs[len(arcs)-1]
+			t.colPairs[j] = arcs[:len(arcs)-1]
+			return
+		}
+	}
+}
+
+// run drives phases until every row demand is met: a greedy tight-edge pass
+// first (with warm potentials it already places most units), then Dijkstra
+// phases, each followed by a blocking-flow augmentation over the tight
+// subgraph. Progress per phase is guaranteed: if floating-point noise leaves
+// the tight DFS empty-handed, one unit is pushed along the Dijkstra parent
+// chain, which the potential update made exactly tight.
+func (t *Transport) run() error {
+	if t.deficit == 0 {
+		return nil
+	}
+	t.augmentTight()
+	for t.deficit > 0 {
+		jStar, ok := t.dijkstra()
+		if !ok {
+			return ErrInfeasible
+		}
+		if t.augmentTight() == 0 {
+			t.augmentParentChain(jStar)
+		}
+	}
+	return nil
+}
+
+// dijkstra runs one dense multi-source Dijkstra from all deficit rows over
+// the residual graph under reduced costs — including the column→sink edges,
+// whose reduced cost v[j] − potT prices each column's remaining capacity —
+// stopping once every node closer than the sink is settled. It then shifts
+// the potentials by min(dist, D) with D the sink distance — the Johnson
+// update that keeps residual reduced costs non-negative and turns every
+// settled shortest path tight. Returns the column through which the sink was
+// reached, or ok=false when the sink is unreachable (the instance is
+// infeasible at the current capacities).
+func (t *Transport) dijkstra() (jStar int, ok bool) {
+	n, m := t.n, t.m
+	total := n + m
+	t.dist = growFloat(t.dist, total)
+	t.settled = growBool(t.settled, total)
+	t.parentEdge = growInt32(t.parentEdge, total)
+	t.parentNode = growInt32(t.parentNode, total)
+	inf := math.Inf(1)
+	for x := 0; x < total; x++ {
+		t.dist[x] = inf
+		t.settled[x] = false
+		t.parentEdge[x] = -1
+		t.parentNode[x] = -1
+	}
+	// The implicit super-source s has cost-0 edges to every deficit row;
+	// potS = max u keeps their reduced costs non-negative.
+	potS := math.Inf(-1)
+	for i := 0; i < n; i++ {
+		if t.rowFlow[i] < t.rowNeed[i] && t.u[i] > potS {
+			potS = t.u[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if t.rowFlow[i] < t.rowNeed[i] {
+			t.dist[i] = potS - t.u[i]
+		}
+	}
+	distT := inf
+	jStar = -1
+	for {
+		best, bd := -1, inf
+		for x := 0; x < total; x++ {
+			if !t.settled[x] && t.dist[x] < bd {
+				bd, best = t.dist[x], x
+			}
+		}
+		if best < 0 || bd > distT {
+			break
+		}
+		t.settled[best] = true
+		if best >= n {
+			j := best - n
+			if len(t.colPairs[j]) < t.colCap[j] {
+				rd := t.v[j] - t.potT
+				if rd < 0 {
+					rd = 0
+				}
+				if nd := bd + rd; nd < distT {
+					distT, jStar = nd, j
+				}
+			}
+			// Residual arcs column → the rows it currently serves.
+			vj := t.v[j]
+			for _, a := range t.colPairs[j] {
+				if t.settled[a.row] {
+					continue
+				}
+				rd := vj - t.cost[a.edge] - t.u[a.row]
+				if rd < 0 {
+					rd = 0
+				}
+				if nd := bd + rd; nd < t.dist[a.row] {
+					t.dist[a.row] = nd
+					t.parentEdge[a.row] = a.edge
+					t.parentNode[a.row] = int32(best)
+				}
+			}
+		} else {
+			r := best
+			ur := t.u[r]
+			for e := t.rowStart[r]; e < t.rowStart[r+1]; e++ {
+				if t.assigned[e] {
+					continue
+				}
+				j := int(t.colIdx[e])
+				if t.settled[n+j] {
+					continue
+				}
+				rd := t.cost[e] + ur - t.v[j]
+				if rd < 0 {
+					rd = 0
+				}
+				if nd := bd + rd; nd < t.dist[n+j] {
+					t.dist[n+j] = nd
+					t.parentEdge[n+j] = e
+					t.parentNode[n+j] = int32(r)
+				}
+			}
+		}
+	}
+	if jStar < 0 {
+		return -1, false
+	}
+	for i := 0; i < n; i++ {
+		t.u[i] += math.Min(t.dist[i], distT)
+	}
+	for j := 0; j < m; j++ {
+		t.v[j] += math.Min(t.dist[n+j], distT)
+	}
+	t.potT += distT
+	return jStar, true
+}
+
+// augmentTight pushes as many units as possible along tight
+// (zero-reduced-cost) residual paths from deficit rows to spare columns — a
+// blocking-flow pass over the admissible subgraph with Dinic-style current
+// arcs. Pushing along tight edges keeps the flow optimal for its value under
+// the unchanged potentials, so any deficit row may augment in any order.
+func (t *Transport) augmentTight() int {
+	n, m := t.n, t.m
+	t.arcRow = growInt32(t.arcRow, n)
+	copy(t.arcRow, t.rowStart[:n])
+	t.arcCol = growInt32(t.arcCol, m)
+	clear(t.arcCol)
+	t.onPath = growBool(t.onPath, n+m)
+	clear(t.onPath)
+	pushed := 0
+	for i := 0; i < n; i++ {
+		for t.rowFlow[i] < t.rowNeed[i] {
+			if !t.dfs(i) {
+				break
+			}
+			pushed++
+		}
+	}
+	return pushed
+}
+
+// dfs searches one tight augmenting path from deficit row start and applies
+// it. Current-arc pointers only advance past permanently unusable prefixes
+// (assigned or non-tight edges); on-path nodes are skipped without advancing
+// so a temporarily blocked edge can be reused by a later search.
+func (t *Transport) dfs(start int) bool {
+	t.path = t.path[:0]
+	t.onPath[start] = true
+	cur := start
+	for {
+		if cur < t.n { // at a row: take a tight unassigned edge forward
+			r := cur
+			next := -1
+			var took int32
+			for k := t.arcRow[r]; k < t.rowStart[r+1]; k++ {
+				e := k
+				j := int(t.colIdx[e])
+				usable := !t.assigned[e] && t.cost[e]+t.u[r]-t.v[j] <= tightEps
+				if !usable {
+					if k == t.arcRow[r] {
+						t.arcRow[r]++
+					}
+					continue
+				}
+				if t.onPath[t.n+j] {
+					continue
+				}
+				next, took = t.n+j, e
+				break
+			}
+			if next >= 0 {
+				t.path = append(t.path, pathStep{edge: took, row: int32(r)})
+				t.onPath[next] = true
+				cur = next
+				continue
+			}
+			t.onPath[r] = false
+			if len(t.path) == 0 {
+				return false
+			}
+			last := t.path[len(t.path)-1] // arc that led here from a column
+			t.path = t.path[:len(t.path)-1]
+			cur = t.n + int(t.colIdx[last.edge])
+			t.arcCol[cur-t.n]++
+		} else { // at a column: tight spare slot, or a tight residual arc back
+			j := cur - t.n
+			if len(t.colPairs[j]) < t.colCap[j] && t.v[j]-t.potT <= tightEps {
+				t.apply(start)
+				return true
+			}
+			next := -1
+			var took colArc
+			for k := t.arcCol[j]; int(k) < len(t.colPairs[j]); k++ {
+				a := t.colPairs[j][k]
+				usable := t.v[j]-t.cost[a.edge]-t.u[a.row] <= tightEps
+				if !usable {
+					if k == t.arcCol[j] {
+						t.arcCol[j]++
+					}
+					continue
+				}
+				if t.onPath[a.row] {
+					continue
+				}
+				next, took = int(a.row), a
+				break
+			}
+			if next >= 0 {
+				t.path = append(t.path, pathStep{edge: took.edge, row: took.row})
+				t.onPath[next] = true
+				cur = next
+				continue
+			}
+			t.onPath[t.n+j] = false
+			if len(t.path) == 0 {
+				return false
+			}
+			last := t.path[len(t.path)-1] // edge that led here from a row
+			t.path = t.path[:len(t.path)-1]
+			cur = int(last.row)
+			t.arcRow[cur]++
+		}
+	}
+}
+
+// apply commits the path accumulated by dfs (or augmentParentChain): even
+// steps assign their edge, odd steps release theirs, and the starting row
+// gains one unit of flow. It also clears the path's on-path marks.
+func (t *Transport) apply(start int) {
+	for k, st := range t.path {
+		j := int(t.colIdx[st.edge])
+		if k%2 == 0 {
+			t.assigned[st.edge] = true
+			t.colPairs[j] = append(t.colPairs[j], colArc{row: st.row, edge: st.edge})
+			t.onPath[t.n+j] = false
+		} else {
+			t.assigned[st.edge] = false
+			t.removeArc(j, st.edge)
+			t.onPath[int(st.row)] = false
+		}
+	}
+	t.onPath[start] = false
+	t.rowFlow[start]++
+	t.deficit--
+}
+
+// augmentParentChain pushes one unit along the Dijkstra shortest-path tree
+// into spare column jStar — the fallback that guarantees phase progress when
+// rounding keeps the tight DFS from reproducing the path.
+func (t *Transport) augmentParentChain(jStar int) {
+	t.path = t.path[:0]
+	x := t.n + jStar
+	for t.parentEdge[x] >= 0 {
+		e, from := t.parentEdge[x], t.parentNode[x]
+		if x >= t.n {
+			t.path = append(t.path, pathStep{edge: e, row: from})
+		} else {
+			t.path = append(t.path, pathStep{edge: e, row: int32(x)})
+		}
+		x = int(from)
+	}
+	for l, r := 0, len(t.path)-1; l < r; l, r = l+1, r-1 {
+		t.path[l], t.path[r] = t.path[r], t.path[l]
+	}
+	t.apply(x)
+}
+
+// extract materialises the per-row column lists and the total profit.
+func (t *Transport) extract() ([][]int, float64, error) {
+	out := make([][]int, t.n)
+	total := 0.0
+	for j, arcs := range t.colPairs[:t.m] {
+		for _, a := range arcs {
+			out[a.row] = append(out[a.row], j)
+			total -= t.cost[a.edge]
+		}
+	}
+	for _, cols := range out {
+		sort.Ints(cols)
+	}
+	return out, total, nil
+}
+
+// growInt32 and friends return s resized to n, reallocating only when the
+// capacity is insufficient; contents are unspecified (callers overwrite).
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
 }

@@ -42,6 +42,9 @@ var (
 	// ErrNodeLimit is returned when the node budget is exhausted before the
 	// search completes.
 	ErrNodeLimit = errors.New("ilp: node limit exceeded")
+	// ErrBadIncumbent is returned when Options.Incumbent violates the
+	// problem's constraints, bounds or integrality requirements.
+	ErrBadIncumbent = errors.New("ilp: incumbent violates the problem")
 )
 
 // NewProblem creates a MILP with n continuous variables; mark integer or
@@ -65,6 +68,12 @@ type Options struct {
 	MaxNodes int
 	// Tolerance for deciding integrality (default 1e-6).
 	Tolerance float64
+	// Incumbent optionally provides a feasible integral starting solution —
+	// typically produced by a combinatorial solver such as internal/flow's
+	// transportation Transport — whose objective becomes the initial pruning
+	// bound, so the search only explores nodes that can beat it. An
+	// incumbent that violates the problem is rejected with ErrBadIncumbent.
+	Incumbent []float64
 }
 
 func (o Options) withDefaults() Options {
@@ -97,6 +106,13 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 
 	best := math.Inf(-1)
 	var bestX []float64
+	if opts.Incumbent != nil {
+		x, obj, err := p.checkIncumbent(opts.Incumbent, opts.Tolerance)
+		if err != nil {
+			return nil, err
+		}
+		best, bestX = obj, x
+	}
 	nodes := 0
 
 	// Depth-first with a stack keeps memory modest; the incumbent prunes.
@@ -154,6 +170,59 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 		return nil, ErrInfeasible
 	}
 	return &Solution{X: bestX, Objective: best, Nodes: nodes}, nil
+}
+
+// checkIncumbent verifies that x is a feasible integral point of the problem
+// and returns its rounded copy and objective value.
+func (p *Problem) checkIncumbent(x []float64, tol float64) ([]float64, float64, error) {
+	if len(x) != p.LP.NumVars() {
+		return nil, 0, ErrBadIncumbent
+	}
+	for i, v := range x {
+		if v < -tol {
+			return nil, 0, ErrBadIncumbent
+		}
+		if p.Kinds[i] != Continuous && math.Abs(v-math.Round(v)) > tol {
+			return nil, 0, ErrBadIncumbent
+		}
+		if ub := upperBound(p.LP, i); v > ub+tol {
+			return nil, 0, ErrBadIncumbent
+		}
+	}
+	rounded := roundIntegral(x, p.Kinds)
+	for _, c := range p.LP.Constraints {
+		lhs := 0.0
+		for i, a := range c.Coeffs {
+			lhs += a * rounded[i]
+		}
+		switch c.Rel {
+		case lp.LE:
+			if lhs > c.RHS+tol {
+				return nil, 0, ErrBadIncumbent
+			}
+		case lp.GE:
+			if lhs < c.RHS-tol {
+				return nil, 0, ErrBadIncumbent
+			}
+		case lp.EQ:
+			if math.Abs(lhs-c.RHS) > tol {
+				return nil, 0, ErrBadIncumbent
+			}
+		}
+	}
+	obj := 0.0
+	for i, c := range p.LP.Objective {
+		obj += c * rounded[i]
+	}
+	return rounded, obj, nil
+}
+
+// upperBound returns variable i's upper bound (+Inf when unbounded).
+func upperBound(prob *lp.Problem, i int) float64 {
+	if prob.UpperBounds == nil || math.IsNaN(prob.UpperBounds[i]) {
+		return math.Inf(1)
+	}
+	return prob.UpperBounds[i]
 }
 
 // mostFractional returns the index of the integer/binary variable whose value

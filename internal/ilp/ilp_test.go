@@ -209,3 +209,63 @@ func TestKnapsackRegressionSeed(t *testing.T) {
 		t.Fatalf("objective %v != brute force %v", s.Objective, want)
 	}
 }
+
+// knapsack22 builds the 3-item knapsack of TestBinaryKnapsack (optimum 22).
+func knapsack22() *Problem {
+	p := NewProblem(3)
+	p.LP.Objective = []float64{6, 10, 12}
+	p.LP.AddConstraint([]float64{1, 2, 3}, lp.LE, 5)
+	for i := 0; i < 3; i++ {
+		p.SetKind(i, Binary)
+	}
+	return p
+}
+
+func TestIncumbentSeedsSearch(t *testing.T) {
+	// Optimal incumbent: the search must return it (or an equal optimum).
+	p := knapsack22()
+	s, err := p.Solve(Options{Incumbent: []float64{0, 1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-22) > 1e-6 {
+		t.Fatalf("objective = %v, want 22", s.Objective)
+	}
+	// Suboptimal but feasible incumbent: must still find the optimum.
+	p = knapsack22()
+	s, err = p.Solve(Options{Incumbent: []float64{1, 1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Objective-22) > 1e-6 {
+		t.Fatalf("objective = %v, want 22", s.Objective)
+	}
+}
+
+func TestIncumbentSurvivesNodeLimit(t *testing.T) {
+	// With a node budget too small to search, the incumbent is returned
+	// alongside ErrNodeLimit instead of failing outright.
+	p := knapsack22()
+	s, err := p.Solve(Options{Incumbent: []float64{1, 1, 0}, MaxNodes: 1})
+	if err != ErrNodeLimit {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+	if s == nil || math.Abs(s.Objective-16) > 1e-6 {
+		t.Fatalf("solution = %+v, want the incumbent objective 16", s)
+	}
+}
+
+func TestIncumbentRejected(t *testing.T) {
+	cases := map[string][]float64{
+		"wrong length":        {1, 0},
+		"violates constraint": {1, 1, 1},
+		"fractional binary":   {0.5, 1, 0},
+		"negative":            {-1, 1, 0},
+		"above upper bound":   {2, 1, 0},
+	}
+	for name, inc := range cases {
+		if _, err := knapsack22().Solve(Options{Incumbent: inc}); err != ErrBadIncumbent {
+			t.Errorf("%s: err = %v, want ErrBadIncumbent", name, err)
+		}
+	}
+}

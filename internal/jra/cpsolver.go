@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cp"
+	"repro/internal/flow"
 )
 
 // CP solves JRA with the generic constraint-programming solver of
@@ -50,14 +51,27 @@ func (s CP) Solve(in *core.Instance) (Result, error) {
 		sort.SliceStable(out, func(i, j int) bool { return pairScore[out[i]] > pairScore[out[j]] })
 		return out
 	}
-	// Loose bound: assigned group coverage plus the best single-reviewer
-	// coverage for every open slot. Valid but far weaker than BBA's
-	// per-topic bound.
-	bestSingle := 0.0
-	for _, r := range candidates {
-		if pairScore[r] > bestSingle {
-			bestSingle = pairScore[r]
+	// Completion bound: assigned group coverage plus the best total
+	// coverage of k *distinct* further candidates, for every possible
+	// number k of open slots. Coverage is submodular with c(∅) = 0, so
+	// c(A ∪ S) ≤ c(A) + Σ_{r∈S} c({r}), and the distinct-candidate sums are
+	// exactly tiny transportation optima (one row demanding k columns of
+	// unit capacity) solved upfront by the flow package. Still weaker than
+	// BBA's per-topic bound — the CP baseline's documented handicap — but
+	// strictly tighter than the previous open·max(c) slack.
+	profitRow := make([]float64, len(candidates))
+	unitCaps := make([]int, len(candidates))
+	for i, r := range candidates {
+		profitRow[i] = pairScore[r]
+		unitCaps[i] = 1
+	}
+	bestCompletion := make([]float64, in.GroupSize+1)
+	for k := 1; k <= in.GroupSize; k++ {
+		_, total, err := flow.MaxProfitTransport([][]float64{profitRow}, []int{k}, unitCaps)
+		if err != nil {
+			return Result{}, err
 		}
+		bestCompletion[k] = total
 	}
 	bound := func(values []int, assigned []bool) float64 {
 		group := make([]int, 0, len(values))
@@ -69,7 +83,7 @@ func (s CP) Solve(in *core.Instance) (Result, error) {
 				open++
 			}
 		}
-		return in.GroupScore(0, group) + float64(open)*bestSingle
+		return in.GroupScore(0, group) + bestCompletion[open]
 	}
 
 	sol, err := model.Maximize(cp.Options{

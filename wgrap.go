@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cra"
 	"repro/internal/eval"
+	"repro/internal/flow"
 	"repro/internal/jra"
 )
 
@@ -106,10 +107,29 @@ func Methods() []Method {
 	return []Method{MethodSDGASRA, MethodSDGA, MethodGreedy, MethodBRGG, MethodStableMatching, MethodPairILP}
 }
 
+// TransportSolver selects the min-cost transportation engine used by the
+// flow-based methods (SDGA's Stage-WGRAP solves and the ARAP/pair-ILP
+// baseline).
+type TransportSolver = flow.Solver
+
+// Transportation solvers.
+const (
+	// TransportDijkstra is the default: a CSR-stored
+	// Dijkstra-with-potentials solver that augments along maximal sets of
+	// tight paths and warm-starts stage re-solves.
+	TransportDijkstra TransportSolver = flow.Dijkstra
+	// TransportLegacy is the original SPFA successive-shortest-paths solver,
+	// kept for parity testing and the transport ablation benchmark.
+	TransportLegacy TransportSolver = flow.Legacy
+)
+
 // AssignOptions configure Assign.
 type AssignOptions struct {
 	// Method selects the algorithm (default MethodSDGASRA).
 	Method Method
+	// Transport selects the transportation solver used by the flow-based
+	// methods (default TransportDijkstra).
+	Transport TransportSolver
 	// Omega is the convergence threshold of the stochastic refinement
 	// (default 10; only used by MethodSDGASRA).
 	Omega int
@@ -146,11 +166,11 @@ func algorithmFor(opts AssignOptions) (cra.Algorithm, error) {
 	switch method {
 	case MethodSDGASRA:
 		return cra.WithRefiner{
-			Base:    cra.SDGA{},
+			Base:    cra.SDGA{Transport: opts.Transport},
 			Refiner: cra.SRA{Omega: opts.Omega, TimeBudget: opts.RefinementBudget, Seed: opts.Seed},
 		}, nil
 	case MethodSDGA:
-		return cra.SDGA{}, nil
+		return cra.SDGA{Transport: opts.Transport}, nil
 	case MethodGreedy:
 		return cra.Greedy{}, nil
 	case MethodBRGG:
@@ -158,7 +178,7 @@ func algorithmFor(opts AssignOptions) (cra.Algorithm, error) {
 	case MethodStableMatching:
 		return cra.StableMatching{}, nil
 	case MethodPairILP:
-		return cra.PairILP{}, nil
+		return cra.PairILP{Transport: opts.Transport}, nil
 	default:
 		return nil, fmt.Errorf("wgrap: unknown method %q", method)
 	}

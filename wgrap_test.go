@@ -295,3 +295,40 @@ func TestRefineContextAnytime(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAssignTransportSolverOption runs the flow-based methods with both
+// transportation solvers: assignments must stay valid and the ARAP optimum —
+// solver-independent by construction — must agree to 1e-9.
+func TestAssignTransportSolverOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	papers, reviewers := randomProblem(rng, 12, 8, 6)
+	in := NewInstance(papers, reviewers, 3, 0)
+	pairObjective := func(a *Assignment) float64 {
+		s := 0.0
+		for p := range a.Groups {
+			for _, r := range a.Groups[p] {
+				s += in.PairScore(r, p)
+			}
+		}
+		return s
+	}
+	for _, m := range []Method{MethodSDGA, MethodPairILP} {
+		var objectives []float64
+		for _, tr := range []TransportSolver{TransportDijkstra, TransportLegacy} {
+			res, err := Assign(in, AssignOptions{Method: m, Transport: tr})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", m, tr, err)
+			}
+			if err := in.ValidateAssignment(res.Assignment); err != nil {
+				t.Fatalf("%s/%v produced an invalid assignment: %v", m, tr, err)
+			}
+			objectives = append(objectives, pairObjective(res.Assignment))
+		}
+		// The ARAP (pair-additive) optimum is solver-independent; coverage
+		// scores may differ across tie-equivalent optima, the pair objective
+		// of MethodPairILP may not.
+		if m == MethodPairILP && math.Abs(objectives[0]-objectives[1]) > 1e-9 {
+			t.Fatalf("%s: solvers disagree: %v vs %v", m, objectives[0], objectives[1])
+		}
+	}
+}
