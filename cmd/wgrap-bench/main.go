@@ -7,8 +7,9 @@
 // CI usage (see .github/workflows/ci.yml):
 //
 //	go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.txt
-//	wgrap-bench -in bench.txt -out BENCH_PR3.json \
-//	    -baseline BENCH_BASELINE.json -gate 'BenchmarkTransportSolve/dijkstra' \
+//	wgrap-bench -in bench.txt -out BENCH_PR4.json \
+//	    -baseline BENCH_BASELINE.json \
+//	    -gate 'BenchmarkTransportSolve/dijkstra|BenchmarkResolveAfterEdit/warm' \
 //	    -max-regression 0.20
 //
 // Regenerate the baseline by pointing -out at BENCH_BASELINE.json on a quiet
@@ -79,10 +80,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wgrap-bench", flag.ContinueOnError)
 	inPath := fs.String("in", "-", "bench text input file (- = stdin)")
 	outPath := fs.String("out", "", "write the JSON snapshot to this file")
-	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI", "regexp of benchmarks recorded in the snapshot")
+	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit", "regexp of benchmarks recorded in the snapshot")
 	note := fs.String("note", "", "free-form note stored in the snapshot")
 	baseline := fs.String("baseline", "", "baseline JSON to gate against (no gating when empty)")
-	gatePat := fs.String("gate", "BenchmarkTransportSolve/dijkstra", "regexp selecting the baseline benchmarks that gate")
+	gatePat := fs.String("gate", "BenchmarkTransportSolve/dijkstra|BenchmarkResolveAfterEdit/warm", "regexp selecting the baseline benchmarks that gate")
 	maxRegression := fs.Float64("max-regression", 0.20, "allowed fractional ns/op slowdown before failing")
 	normalizeBy := fs.String("normalize-by", "", "benchmark whose ns/op divides both sides of the gate comparison (hardware-independent ratio gating)")
 	if err := fs.Parse(args); err != nil {

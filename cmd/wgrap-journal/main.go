@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -62,7 +63,7 @@ func run(args []string, out *os.File) error {
 	fmt.Fprintf(out, "candidate reviewers: %d   δp=%d\n\n", len(d.Reviewers), *delta)
 
 	start := time.Now()
-	results, err := wgrap.TopReviewerGroups(in, *k)
+	results, err := wgrap.TopReviewerGroupsContext(context.Background(), in, *k)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,8 +32,13 @@ func main() {
 
 	results := make(map[wgrap.Method]*wgrap.Result)
 	fmt.Printf("%-10s %12s %12s %12s %10s\n", "method", "total", "average", "worst paper", "time")
+	ctx := context.Background()
 	for _, m := range wgrap.Methods() {
-		res, err := wgrap.Assign(in, wgrap.AssignOptions{Method: m, Seed: 7})
+		solver, err := wgrap.NewSolver(in, wgrap.WithMethod(m), wgrap.WithSeed(7))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := solver.Solve(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}

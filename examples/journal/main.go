@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -37,8 +38,11 @@ func main() {
 
 	in := wgrap.NewInstance([]wgrap.Paper{paper}, pool, 3, 1)
 
+	// The context-aware entry point: an editor-facing service would attach a
+	// request deadline here and the exact search would abort at it.
+	ctx := context.Background()
 	start := time.Now()
-	top, err := wgrap.TopReviewerGroups(in, 5)
+	top, err := wgrap.TopReviewerGroupsContext(ctx, in, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,7 +59,7 @@ func main() {
 	// them and re-solve.
 	conflicted := top[0].Group[0]
 	in.AddConflict(conflicted, 0)
-	best, err := wgrap.AssignJournal(in)
+	best, err := wgrap.AssignJournalContext(ctx, in)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,5 +1,7 @@
-// Quickstart: build a tiny WGRAP instance by hand, assign reviewers with the
-// default SDGA + stochastic-refinement pipeline and print the result.
+// Quickstart: build a tiny WGRAP instance by hand and drive it through the
+// session lifecycle — a cold solve, an incremental edit (a late conflict of
+// interest), and a warm re-solve, with the refinement's anytime progress
+// streamed to stdout.
 //
 // Run with:
 //
@@ -7,8 +9,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	wgrap "repro"
 )
@@ -32,20 +36,63 @@ func main() {
 	// reviewer load automatically.
 	in := wgrap.NewInstance(papers, reviewers, 2, 0)
 
-	// Dr. Miner is a co-author of p2: register the conflict of interest.
-	in.AddConflict(1, 1)
-
-	res, err := wgrap.Assign(in, wgrap.AssignOptions{})
+	// A long-lived solver session: it owns its hot state across calls, so
+	// edits re-solve warm instead of from scratch. The progress callback
+	// streams the anytime refinement.
+	solver, err := wgrap.NewSolver(in,
+		wgrap.WithSeed(1),
+		wgrap.WithProgress(func(s wgrap.Snapshot) {
+			fmt.Printf("  [%s] round %d: score %.3f (%s)\n", s.Phase, s.Round, s.Score, s.Elapsed.Round(time.Microsecond))
+		}),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("method=%s  total coverage=%.3f  average=%.3f  worst paper=%.3f\n\n",
+
+	fmt.Println("cold solve:")
+	res, err := solver.Solve(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	printAssignment(in, papers, reviewers, res)
+
+	// Dr. Miner turns out to be a co-author of p2: declare the conflict and
+	// re-solve warm. Only the dirtied solver state is rebuilt.
+	fmt.Println("\nDr. Miner declares a conflict of interest on p2; warm re-solve:")
+	if err := solver.AddConflict(1, 1); err != nil {
+		log.Fatal(err)
+	}
+	res, err = solver.Resolve(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	printAssignment(in, papers, reviewers, res)
+
+	// p3 is withdrawn by its authors; the session drops it from the workload.
+	fmt.Println("\np3 is withdrawn; warm re-solve:")
+	if err := solver.WithdrawPaper(2); err != nil {
+		log.Fatal(err)
+	}
+	res, err = solver.Resolve(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	printAssignment(in, papers, reviewers, res)
+}
+
+func printAssignment(in *wgrap.Instance, papers []wgrap.Paper, reviewers []wgrap.Reviewer, res *wgrap.Result) {
+	fmt.Printf("method=%s  total coverage=%.3f  average=%.3f  worst paper=%.3f\n",
 		res.Method, res.Score, res.AverageCoverage, res.LowestCoverage)
 	for p, paper := range papers {
-		fmt.Printf("%s\n", paper.Title)
-		for _, r := range res.Assignment.Groups[p] {
-			fmt.Printf("  - %-15s (individual coverage %.2f)\n", reviewers[r].Name, in.PairScore(r, p))
+		group := res.Assignment.Groups[p]
+		if len(group) == 0 {
+			fmt.Printf("  %-45s (withdrawn)\n", paper.Title)
+			continue
 		}
-		fmt.Printf("  group coverage: %.2f\n\n", in.GroupScore(p, res.Assignment.Groups[p]))
+		fmt.Printf("  %-45s", paper.Title)
+		for _, r := range group {
+			fmt.Printf(" [%s]", reviewers[r].Name)
+		}
+		fmt.Printf("  coverage %.2f\n", in.GroupScore(p, group))
 	}
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -64,7 +65,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := wgrap.Assign(in, wgrap.AssignOptions{Seed: 3})
+	solver, err := wgrap.NewSolver(in, wgrap.WithSeed(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Solve(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

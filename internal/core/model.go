@@ -49,6 +49,11 @@ type Instance struct {
 	Score ScoreFunc
 
 	conflicts map[Conflict]struct{}
+
+	// version counts structural mutations made through the Instance's
+	// methods (AddConflict, AddReviewer). Long-lived solver sessions use it
+	// to detect instance drift and invalidate warm state conservatively.
+	version uint64
 }
 
 // NewInstance builds an instance with the weighted coverage scoring function
@@ -95,6 +100,54 @@ func (in *Instance) AddConflict(r, p int) {
 		in.conflicts = make(map[Conflict]struct{})
 	}
 	in.conflicts[Conflict{Reviewer: r, Paper: p}] = struct{}{}
+	in.version++
+}
+
+// AddReviewer appends a reviewer to the pool and returns its index.
+func (in *Instance) AddReviewer(r Reviewer) int {
+	in.Reviewers = append(in.Reviewers, r)
+	in.version++
+	return len(in.Reviewers) - 1
+}
+
+// Version counts the structural mutations made through the instance's
+// methods; it changes whenever a conflict or reviewer is added. Sessions
+// record it to detect edits and invalidate warm solver state.
+func (in *Instance) Version() uint64 { return in.version }
+
+// Clone returns a session-private copy of the instance: the paper and
+// reviewer slices and the conflict set are copied, so later mutations of the
+// original (or of the clone) do not leak across. Topic vectors are shared —
+// they are treated as immutable throughout the library.
+func (in *Instance) Clone() *Instance {
+	c := &Instance{
+		Papers:    append([]Paper(nil), in.Papers...),
+		Reviewers: append([]Reviewer(nil), in.Reviewers...),
+		GroupSize: in.GroupSize,
+		Workload:  in.Workload,
+		Score:     in.Score,
+		version:   in.version,
+	}
+	if in.conflicts != nil {
+		c.conflicts = make(map[Conflict]struct{}, len(in.conflicts))
+		for k := range in.conflicts {
+			c.conflicts[k] = struct{}{}
+		}
+	}
+	return c
+}
+
+// NonConflicting returns how many reviewers may review paper p. Long-lived
+// sessions keep their own incremental per-paper counts; this scan is for
+// one-shot callers.
+func (in *Instance) NonConflicting(p int) int {
+	n := in.NumReviewers()
+	for c := range in.conflicts {
+		if c.Paper == p && c.Reviewer >= 0 && c.Reviewer < in.NumReviewers() {
+			n--
+		}
+	}
+	return n
 }
 
 // IsConflict reports whether assigning reviewer r to paper p is forbidden.

@@ -265,3 +265,52 @@ func TestRandomInstanceValidates(t *testing.T) {
 		}
 	}
 }
+
+func TestInstanceVersionAndClone(t *testing.T) {
+	in := NewInstance(
+		[]Paper{{Topics: Vector{1, 0}}, {Topics: Vector{0, 1}}},
+		[]Reviewer{{Topics: Vector{1, 0}}, {Topics: Vector{0, 1}}, {Topics: Vector{0.5, 0.5}}},
+		2, 2)
+	v0 := in.Version()
+	in.AddConflict(0, 0)
+	if in.Version() == v0 {
+		t.Fatal("AddConflict did not bump the version")
+	}
+	if got := in.AddReviewer(Reviewer{Topics: Vector{0.2, 0.8}}); got != 3 {
+		t.Fatalf("AddReviewer index = %d, want 3", got)
+	}
+	v1 := in.Version()
+
+	c := in.Clone()
+	if c.Version() != v1 || c.NumReviewers() != 4 || !c.IsConflict(0, 0) {
+		t.Fatal("clone does not match the original")
+	}
+	// Mutations must not leak across the clone boundary, in either direction.
+	c.AddConflict(1, 1)
+	if in.IsConflict(1, 1) {
+		t.Fatal("clone conflict leaked into the original")
+	}
+	in.AddReviewer(Reviewer{Topics: Vector{0.9, 0.1}})
+	in.AddReviewer(Reviewer{Topics: Vector{0.1, 0.9}})
+	if c.NumReviewers() != 4 {
+		t.Fatal("original reviewer append leaked into the clone")
+	}
+	if in.Version() == c.Version() {
+		t.Fatal("versions should have diverged")
+	}
+}
+
+func TestNonConflicting(t *testing.T) {
+	in := NewInstance(
+		[]Paper{{Topics: Vector{1, 0}}},
+		[]Reviewer{{Topics: Vector{1, 0}}, {Topics: Vector{0, 1}}, {Topics: Vector{0.5, 0.5}}},
+		2, 1)
+	if got := in.NonConflicting(0); got != 3 {
+		t.Fatalf("NonConflicting = %d, want 3", got)
+	}
+	in.AddConflict(1, 0)
+	in.AddConflict(1, 0) // duplicate must not double-count
+	if got := in.NonConflicting(0); got != 2 {
+		t.Fatalf("NonConflicting after conflict = %d, want 2", got)
+	}
+}

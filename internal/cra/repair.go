@@ -13,15 +13,20 @@ import (
 // slots: every under-filled paper demands its missing reviewers, reviewers
 // offer their remaining capacity, and the total marginal gain is maximised.
 // The profit matrix is built in parallel by the gain oracle into m (reused
-// across calls, e.g. across SRA rounds). It returns, per paper, the
-// reviewers that were added (empty for papers that needed none); it is a
-// no-op for complete assignments.
-func fillMissingSlots(ctx context.Context, eng *engine.Oracle, a *core.Assignment, rem []int, m *engine.Matrix) ([][]int, error) {
+// across calls, e.g. across SRA rounds), and the transportation solve runs
+// through tr so its flat buffers are also reused (nil = a one-shot solver).
+// Papers outside the active mask (nil = all) demand nothing and stay
+// untouched. It returns, per paper, the reviewers that were added (empty for
+// papers that needed none); it is a no-op for complete assignments.
+func fillMissingSlots(ctx context.Context, eng *engine.Oracle, a *core.Assignment, rem []int, m *engine.Matrix, tr *flow.Transport, active []bool) ([][]int, error) {
 	in := eng.Instance()
 	P := in.NumPapers()
 	need := make([]int, P)
 	total := 0
 	for p := 0; p < P; p++ {
+		if active != nil && !active[p] {
+			continue
+		}
 		need[p] = in.GroupSize - len(a.Groups[p])
 		if need[p] < 0 {
 			need[p] = 0
@@ -45,7 +50,10 @@ func fillMissingSlots(ctx context.Context, eng *engine.Oracle, a *core.Assignmen
 	if err := eng.FillProfit(ctx, m, spec); err != nil {
 		return nil, err
 	}
-	rows, _, err := flow.MaxProfitTransport(m.Rows(), need, rem)
+	if tr == nil {
+		tr = flow.NewTransport()
+	}
+	rows, _, err := tr.Solve(m.Rows(), need, rem)
 	if err != nil {
 		return nil, err
 	}
@@ -66,7 +74,7 @@ func fillMissingSlots(ctx context.Context, eng *engine.Oracle, a *core.Assignmen
 // one and backfill the donor paper with a reviewer that still has capacity.
 func completeAssignment(ctx context.Context, eng *engine.Oracle, a *core.Assignment, rem []int) error {
 	var m engine.Matrix
-	_, err := fillMissingSlots(ctx, eng, a, rem, &m)
+	_, err := fillMissingSlots(ctx, eng, a, rem, &m, nil, nil)
 	if err == nil {
 		return nil
 	}

@@ -100,7 +100,7 @@ func TestFillMissingSlotsNoOpOnCompleteAssignment(t *testing.T) {
 	rem := []int{1, 0, 0}
 	before := full.Clone()
 	var m engine.Matrix
-	if _, err := fillMissingSlots(context.Background(), engine.New(in), full, rem, &m); err != nil {
+	if _, err := fillMissingSlots(context.Background(), engine.New(in), full, rem, &m, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	for p := range before.Groups {

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/flow"
 )
 
 // ProbabilityModel selects how the stochastic refinement estimates the
@@ -40,9 +41,10 @@ const (
 //
 // The O(P·R) pair-score precomputation of the probability model runs through
 // the parallel gain oracle, the per-round completion reuses one flat profit
-// matrix, and per-paper scores are re-evaluated only for papers whose group
-// actually changed in the round (delta re-scoring: a round that removes and
-// re-adds the same reviewer leaves the cached score untouched).
+// matrix and one transportation solver, and per-paper scores are re-evaluated
+// only for papers whose group actually changed in the round (delta
+// re-scoring: a round that removes and re-adds the same reviewer leaves the
+// cached score untouched).
 type SRA struct {
 	// Omega is the convergence threshold ω (default 10, the paper's setting).
 	Omega int
@@ -62,6 +64,10 @@ type SRA struct {
 	// 1-based round number, the best score so far and the elapsed time; the
 	// refinement-progress experiment (Figure 12) uses it to record a trace.
 	OnRound func(round int, bestScore float64, elapsed time.Duration)
+	// OnImprovement, when set, is called whenever a round improves the best
+	// score, with a private copy of the new best assignment; solver sessions
+	// use it to stream anytime progress.
+	OnImprovement func(round int, best *core.Assignment, score float64, elapsed time.Duration)
 }
 
 // Name implements Refiner.
@@ -106,8 +112,6 @@ func (s SRA) RefineContext(ctx context.Context, instance *core.Instance, start *
 		defer cancel()
 	}
 	eng := engine.New(in)
-	rng := rand.New(rand.NewSource(s.Seed))
-	P, R := in.NumPapers(), in.NumReviewers()
 
 	// Pre-compute all pair coverage scores and the per-reviewer totals of the
 	// probability model (the denominator of Equation 9). O(P·R) work, filled
@@ -118,45 +122,88 @@ func (s SRA) RefineContext(ctx context.Context, instance *core.Instance, start *
 		// semantics, the input is the best known assignment.
 		return start.Clone(), nil
 	}
-	pairScore := pairs.Rows()
-	reviewerTotal := make([]float64, R)
-	for p := 0; p < P; p++ {
+	run := sraRun{
+		cfg:           s,
+		eng:           eng,
+		pairScore:     pairs.Rows(),
+		reviewerTotal: pairReviewerTotals(pairs.Rows(), nil, in.NumReviewers()),
+		fill:          &engine.Matrix{},
+		tr:            &flow.Transport{},
+		rng:           rand.New(rand.NewSource(s.Seed)),
+	}
+	return run.refine(ctx, start)
+}
+
+// pairReviewerTotals sums each reviewer's pair scores over the active papers
+// (the denominator of Equation 9). A nil active mask means every paper.
+func pairReviewerTotals(pairScore [][]float64, active []bool, R int) []float64 {
+	totals := make([]float64, R)
+	for p := range pairScore {
+		if active != nil && !active[p] {
+			continue
+		}
 		for r, c := range pairScore[p] {
-			reviewerTotal[r] += c
+			totals[r] += c
 		}
 	}
-	prob := func(r, p int, iteration int) float64 {
-		switch s.Model {
-		case ProbUniform:
+	return totals
+}
+
+// sraRun is one configured execution of the refinement loop, shared by
+// SRA.RefineContext (which builds its state fresh) and Session.Resolve
+// (which reuses the session's pair-score matrix, completion matrix and
+// transportation solver, and masks withdrawn papers).
+type sraRun struct {
+	cfg           SRA // defaults already applied
+	eng           *engine.Oracle
+	pairScore     [][]float64
+	reviewerTotal []float64
+	// active masks the papers that participate (nil = all); withdrawn papers
+	// keep empty groups and are never touched by removal or completion.
+	active []bool
+	fill   *engine.Matrix
+	tr     *flow.Transport
+	rng    *rand.Rand
+}
+
+func (run *sraRun) prob(r, p int, iteration int) float64 {
+	R := len(run.reviewerTotal)
+	switch run.cfg.Model {
+	case ProbUniform:
+		return 1 / float64(R)
+	case ProbCoverage:
+		if run.reviewerTotal[r] == 0 {
 			return 1 / float64(R)
-		case ProbCoverage:
-			if reviewerTotal[r] == 0 {
-				return 1 / float64(R)
-			}
-			return pairScore[p][r] / reviewerTotal[r]
-		default: // ProbCoverageDecay, Equation 10
-			base := 0.0
-			if reviewerTotal[r] > 0 {
-				base = pairScore[p][r] / reviewerTotal[r]
-			}
-			v := math.Exp(-s.Lambda*float64(iteration)) * base
-			if floor := 1 / float64(R); v < floor {
-				v = floor
-			}
-			return v
 		}
+		return run.pairScore[p][r] / run.reviewerTotal[r]
+	default: // ProbCoverageDecay, Equation 10
+		base := 0.0
+		if run.reviewerTotal[r] > 0 {
+			base = run.pairScore[p][r] / run.reviewerTotal[r]
+		}
+		v := math.Exp(-run.cfg.Lambda*float64(iteration)) * base
+		if floor := 1 / float64(R); v < floor {
+			v = floor
+		}
+		return v
 	}
+}
+
+// refine runs the refinement loop from start and returns the best assignment
+// found (anytime: never worse than start, nil error on context expiry).
+func (run *sraRun) refine(ctx context.Context, start *core.Assignment) (*core.Assignment, error) {
+	in := run.eng.Instance()
+	s := run.cfg
+	P := in.NumPapers()
 
 	best := start.Clone()
 	current := start.Clone()
 	// Per-paper scores of the current assignment, kept incrementally.
-	currentScores := eng.PaperScores(current)
+	currentScores := run.eng.PaperScores(current)
 	bestScore := sum(currentScores)
 	stale := 0
 	startTime := time.Now()
 
-	// Reused per-round buffers.
-	var fill engine.Matrix
 	victims := make([]int, P)
 
 	for iter := 1; iter <= s.MaxRounds && stale < s.Omega; iter++ {
@@ -168,26 +215,29 @@ func (s SRA) RefineContext(ctx context.Context, instance *core.Instance, start *
 		trial := current.Clone()
 		rem := remainingCapacity(in, trial)
 		for p := 0; p < P; p++ {
-			g := trial.Groups[p]
 			victims[p] = -1
+			if run.active != nil && !run.active[p] {
+				continue
+			}
+			g := trial.Groups[p]
 			if len(g) == 0 {
 				continue
 			}
 			weights := make([]float64, len(g))
 			for i, r := range g {
-				weights[i] = 1 - prob(r, p, iter)
+				weights[i] = 1 - run.prob(r, p, iter)
 				if weights[i] < 0 {
 					weights[i] = 0
 				}
 			}
-			victim := g[categorical(rng, weights)]
+			victim := g[categorical(run.rng, weights)]
 			trial.Remove(p, victim)
 			rem[victim]++
 			victims[p] = victim
 		}
 		// Completion phase: one Stage-WGRAP linear assignment adds a reviewer
 		// back to every paper (Figure 8(c)).
-		added, err := fillMissingSlots(ctx, eng, trial, rem, &fill)
+		added, err := fillMissingSlots(ctx, run.eng, trial, rem, run.fill, run.tr, run.active)
 		if err != nil {
 			if ctx.Err() != nil {
 				break
@@ -208,13 +258,16 @@ func (s SRA) RefineContext(ctx context.Context, instance *core.Instance, start *
 			if len(added[p]) == 0 && victims[p] == -1 {
 				continue
 			}
-			trialScores[p] = eng.GroupScore(p, trial.Groups[p])
+			trialScores[p] = run.eng.GroupScore(p, trial.Groups[p])
 		}
 		score := sum(trialScores)
 		if score > bestScore+1e-12 {
 			bestScore = score
 			best = trial.Clone()
 			stale = 0
+			if s.OnImprovement != nil {
+				s.OnImprovement(iter, best.Clone(), bestScore, time.Since(startTime))
+			}
 		} else {
 			stale++
 		}

@@ -315,3 +315,59 @@ func TestFillProfitConcurrentDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestFillProfitRows: refilling a subset of rows after a spec change must
+// leave every other row untouched and make the dirty rows identical to a
+// full rebuild with the new spec.
+func TestFillProfitRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	in := randInstance(rng, 50, 30, 10, nil)
+	groupVecs := make([]core.Vector, in.NumPapers())
+	for p := range groupVecs {
+		groupVecs[p] = randGroupVec(rng, in)
+	}
+	o := New(in)
+	var m Matrix
+	spec := ProfitSpec{GroupVecs: groupVecs}
+	if err := o.FillProfit(context.Background(), &m, spec); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), m.data...)
+
+	// Edit: two papers' group vectors change, one pair becomes forbidden.
+	dirty := []int{7, 23}
+	for _, p := range dirty {
+		groupVecs[p] = randGroupVec(rng, in)
+	}
+	spec.Forbidden = func(p, r int) bool { return p == 7 && r == 3 }
+	spec.ForbiddenValue = math.Inf(-1)
+	if err := o.FillProfitRows(context.Background(), &m, spec, dirty); err != nil {
+		t.Fatal(err)
+	}
+
+	var full Matrix
+	if err := o.FillProfit(context.Background(), &full, spec); err != nil {
+		t.Fatal(err)
+	}
+	isDirty := map[int]bool{7: true, 23: true}
+	for p := 0; p < in.NumPapers(); p++ {
+		for r := 0; r < in.NumReviewers(); r++ {
+			got := m.At(p, r)
+			if isDirty[p] {
+				if got != full.At(p, r) {
+					t.Fatalf("dirty row %d col %d: %g, want %g", p, r, got, full.At(p, r))
+				}
+			} else if got != before[p*in.NumReviewers()+r] {
+				t.Fatalf("clean row %d col %d changed: %g vs %g", p, r, got, before[p*in.NumReviewers()+r])
+			}
+		}
+	}
+
+	// Dimension guard: a matrix that was never filled at the instance shape
+	// must be rejected rather than silently resized.
+	var stale Matrix
+	stale.Reset(2, 2)
+	if err := o.FillProfitRows(context.Background(), &stale, spec, dirty); err == nil {
+		t.Fatal("stale-dimension matrix accepted")
+	}
+}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -89,6 +90,33 @@ const (
 	fillColBlock = 128
 )
 
+// fillRowCells computes the cells [c0, c1) of row p per spec — the single
+// definition of the profit-cell semantics, shared by the full tiled build
+// and the dirty-row refill so the two can never drift apart. w is the
+// resolved gain weight.
+func (o *Oracle) fillRowCells(row []float64, p, c0, c1 int, spec *ProfitSpec, w float64) {
+	var gv core.Vector
+	if spec.GroupVecs != nil {
+		gv = spec.GroupVecs[p]
+	}
+	for r := c0; r < c1; r++ {
+		if spec.Forbidden != nil && spec.Forbidden(p, r) {
+			row[r] = spec.ForbiddenValue
+			continue
+		}
+		var gain float64
+		if gv == nil {
+			gain = o.PairScore(r, p)
+		} else {
+			gain = o.Gain(p, gv, r)
+		}
+		if spec.Bonus != nil {
+			gain = w*gain + spec.Bonus(p, r)
+		}
+		row[r] = gain
+	}
+}
+
 // FillProfit builds the P×R profit matrix described by spec into m. Tiles of
 // rows are filled in parallel with a GOMAXPROCS-sized worker pool. It
 // returns ctx.Err() if the context is cancelled mid-build (the matrix
@@ -113,29 +141,29 @@ func (o *Oracle) FillProfit(ctx context.Context, m *Matrix, spec ProfitSpec) err
 				c1 = R
 			}
 			for p := p0; p < p1; p++ {
-				row := m.views[p]
-				var gv core.Vector
-				if spec.GroupVecs != nil {
-					gv = spec.GroupVecs[p]
-				}
-				for r := c0; r < c1; r++ {
-					if spec.Forbidden != nil && spec.Forbidden(p, r) {
-						row[r] = spec.ForbiddenValue
-						continue
-					}
-					var gain float64
-					if gv == nil {
-						gain = o.PairScore(r, p)
-					} else {
-						gain = o.Gain(p, gv, r)
-					}
-					if spec.Bonus != nil {
-						gain = w*gain + spec.Bonus(p, r)
-					}
-					row[r] = gain
-				}
+				o.fillRowCells(m.views[p], p, c0, c1, &spec, w)
 			}
 		}
+	})
+}
+
+// FillProfitRows rebuilds only the given rows of a previously filled profit
+// matrix (the dirty-row refill of session warm re-solves: after a small
+// instance edit most papers' gains are unchanged, so refilling the handful
+// of dirty rows replaces an O(P·R·T) full build with an O(|rows|·R·T) one).
+// m must already hold a P×R fill; the untouched rows keep their contents.
+func (o *Oracle) FillProfitRows(ctx context.Context, m *Matrix, spec ProfitSpec, rows []int) error {
+	P, R := o.in.NumPapers(), o.in.NumReviewers()
+	if m.rows != P || m.cols != R {
+		return errors.New("engine: FillProfitRows on a matrix with stale dimensions")
+	}
+	w := spec.GainWeight
+	if w == 0 {
+		w = 1
+	}
+	return parallelUnits(ctx, len(rows), func(u int) {
+		p := rows[u]
+		o.fillRowCells(m.views[p], p, 0, R, &spec, w)
 	})
 }
 

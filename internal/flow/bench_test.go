@@ -163,3 +163,47 @@ func BenchmarkTransportResolve(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkTransportResolveRowsPaperScale measures the session warm path at
+// paper scale (P=1000, R=2000): one conflict-of-interest edit to a random
+// row, re-solved via ResolveRows against a cold dense re-solve. resets/op
+// counts how often the warm path had to restart the flow from cold duals
+// (the sink-side dual turned infeasible).
+func BenchmarkTransportResolveRowsPaperScale(b *testing.B) {
+	const P, R = 1000, 2000
+	rng := rand.New(rand.NewSource(21))
+	profit := benchProfit(rng, P, R)
+	need := fillInts(P, 1)
+	caps := fillInts(R, 1)
+	b.Run("warm-resolve-rows", func(b *testing.B) {
+		var tr Transport
+		if _, _, err := tr.SolveDense(profit, need, caps); err != nil {
+			b.Fatal(err)
+		}
+		resets := 0
+		orig := resetFlowHook
+		resetFlowHook = func() { resets++ }
+		defer func() { resetFlowHook = orig }()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			row := rng.Intn(P)
+			profit[row][rng.Intn(R)] = Forbidden
+			if _, _, err := tr.ResolveRows(profit, []int{row}, need, caps); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(resets)/float64(b.N), "resets/op")
+	})
+	b.Run("cold-dense-solve", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			row := rng.Intn(P)
+			profit[row][rng.Intn(R)] = Forbidden
+			var tr Transport
+			if _, _, err := tr.SolveDense(profit, need, caps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,219 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSolveDenseMatchesSolve: the dense CSR (Forbidden cells kept at +Inf
+// cost) must produce the same objective as the sparse Solve on instances
+// with conflicts, spare capacity and zero-capacity columns.
+func TestSolveDenseMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(12)
+		m := n + rng.Intn(12)
+		profit := benchProfit(rng, n, m)
+		need := make([]int, n)
+		for i := range need {
+			need[i] = 1 + rng.Intn(2)
+		}
+		caps := make([]int, m)
+		for j := range caps {
+			caps[j] = rng.Intn(3)
+		}
+		var sparse, dense Transport
+		_, so, serr := sparse.Solve(profit, need, caps)
+		_, do, derr := dense.SolveDense(profit, need, caps)
+		if (serr == nil) != (derr == nil) {
+			t.Fatalf("trial %d: feasibility disagrees: sparse=%v dense=%v", trial, serr, derr)
+		}
+		if serr != nil {
+			continue
+		}
+		if math.Abs(so-do) > 1e-9 {
+			t.Fatalf("trial %d: objective mismatch: sparse=%v dense=%v", trial, so, do)
+		}
+	}
+}
+
+// TestResolveRowsParity: after per-row edits (profit perturbations, new
+// Forbidden cells, demand drops, capacity changes) the warm ResolveRows
+// objective must match a cold Solve of the edited instance to 1e-9.
+func TestResolveRowsParity(t *testing.T) {
+	const P, R = 60, 120
+	rng := rand.New(rand.NewSource(5))
+	profit := benchProfit(rng, P, R)
+	need := fillInts(P, 1)
+	caps := fillInts(R, 1)
+
+	var tr Transport
+	if _, warmObj, err := tr.SolveDense(profit, need, caps); err != nil {
+		t.Fatal(err)
+	} else {
+		var fresh Transport
+		_, coldObj, err := fresh.Solve(profit, need, caps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(warmObj-coldObj) > 1e-9 {
+			t.Fatalf("initial dense solve disagrees with sparse: %v vs %v", warmObj, coldObj)
+		}
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		var dirty []int
+		switch trial % 4 {
+		case 0: // perturb every cost of one row (hardest: full re-route)
+			row := rng.Intn(P)
+			for j := range profit[row] {
+				if !math.IsInf(profit[row][j], -1) {
+					profit[row][j] = rng.Float64()
+				}
+			}
+			dirty = []int{row}
+		case 1: // a new conflict: one cell becomes Forbidden
+			row := rng.Intn(P)
+			profit[row][rng.Intn(R)] = Forbidden
+			dirty = []int{row}
+		case 2: // a withdrawal: one row's demand drops to zero
+			row := rng.Intn(P)
+			need[row] = 0
+			dirty = []int{row}
+		case 3: // a restore plus a capacity bump
+			for i := range need {
+				if need[i] == 0 {
+					need[i] = 1
+					dirty = append(dirty, i)
+				}
+			}
+			caps[rng.Intn(R)] = 2
+		}
+		_, warmObj, err := tr.ResolveRows(profit, dirty, need, caps)
+		if err != nil {
+			t.Fatalf("trial %d: warm resolve: %v", trial, err)
+		}
+		var fresh Transport
+		_, coldObj, err := fresh.Solve(profit, need, caps)
+		if err != nil {
+			t.Fatalf("trial %d: cold solve: %v", trial, err)
+		}
+		if math.Abs(warmObj-coldObj) > 1e-9 {
+			t.Fatalf("trial %d: warm %v cold %v", trial, warmObj, coldObj)
+		}
+	}
+}
+
+// TestResolveRowsPlanMatchesColdPlan: on instances with unique optima the
+// warm re-solve must reproduce the cold plan exactly (the property the
+// session warm replay relies on for assignment-level parity).
+func TestResolveRowsPlanMatchesColdPlan(t *testing.T) {
+	const P, R = 40, 80
+	rng := rand.New(rand.NewSource(7))
+	profit := benchProfit(rng, P, R)
+	need := fillInts(P, 1)
+	caps := fillInts(R, 1)
+	var tr Transport
+	if _, _, err := tr.SolveDense(profit, need, caps); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 30; trial++ {
+		row := rng.Intn(P)
+		profit[row][rng.Intn(R)] = Forbidden
+		if rng.Intn(2) == 0 {
+			for j := range profit[row] {
+				if !math.IsInf(profit[row][j], -1) {
+					profit[row][j] = rng.Float64()
+				}
+			}
+		}
+		warmRows, _, err := tr.ResolveRows(profit, []int{row}, need, caps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var fresh Transport
+		coldRows, _, err := fresh.Solve(profit, need, caps)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for i := range coldRows {
+			if len(warmRows[i]) != len(coldRows[i]) {
+				t.Fatalf("trial %d row %d: warm %v cold %v", trial, i, warmRows[i], coldRows[i])
+			}
+			for k := range coldRows[i] {
+				if warmRows[i][k] != coldRows[i][k] {
+					t.Fatalf("trial %d row %d: warm %v cold %v", trial, i, warmRows[i], coldRows[i])
+				}
+			}
+		}
+	}
+}
+
+// TestResolveRowsInfeasibleRow: a row whose cells all become Forbidden makes
+// the instance infeasible; the dense path must report that rather than hang
+// or corrupt state, and a later fix must recover.
+func TestResolveRowsInfeasibleRow(t *testing.T) {
+	const P, R = 6, 8
+	rng := rand.New(rand.NewSource(9))
+	profit := benchProfit(rng, P, R)
+	for i := range profit {
+		for j := range profit[i] {
+			if math.IsInf(profit[i][j], -1) {
+				profit[i][j] = rng.Float64()
+			}
+		}
+	}
+	need := fillInts(P, 1)
+	caps := fillInts(R, 1)
+	var tr Transport
+	if _, _, err := tr.SolveDense(profit, need, caps); err != nil {
+		t.Fatal(err)
+	}
+	saved := append([]float64(nil), profit[2]...)
+	for j := range profit[2] {
+		profit[2][j] = Forbidden
+	}
+	if _, _, err := tr.ResolveRows(profit, []int{2}, need, caps); err != ErrInfeasible {
+		t.Fatalf("fully forbidden row: err = %v, want ErrInfeasible", err)
+	}
+	copy(profit[2], saved)
+	if _, _, err := tr.ResolveRows(profit, []int{2}, need, caps); err != nil {
+		t.Fatalf("recovery after restoring the row: %v", err)
+	}
+}
+
+// TestResolveRowsErrors covers the misuse guards.
+func TestResolveRowsErrors(t *testing.T) {
+	profit := [][]float64{{1, 2}, {3, 4}}
+	need := []int{1, 1}
+	caps := []int{1, 1}
+
+	var unsolved Transport
+	if _, _, err := unsolved.ResolveRows(profit, nil, need, caps); err == nil {
+		t.Fatal("ResolveRows before Solve accepted")
+	}
+	var sparse Transport
+	if _, _, err := sparse.Solve(profit, need, caps); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sparse.ResolveRows(profit, nil, need, caps); err == nil {
+		t.Fatal("ResolveRows after sparse Solve accepted")
+	}
+	var dense Transport
+	if _, _, err := dense.SolveDense(profit, need, caps); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := dense.ResolveRows(profit, []int{5}, need, caps); err == nil {
+		t.Fatal("out-of-range dirty row accepted")
+	}
+	if _, _, err := dense.ResolveRows(profit, nil, []int{1}, caps); err == nil {
+		t.Fatal("rowNeed dimension mismatch accepted")
+	}
+	if _, _, err := dense.ResolveRows(profit, []int{0}, []int{-1, 1}, caps); err == nil {
+		t.Fatal("negative demand accepted")
+	}
+	if _, _, err := dense.ResolveRows(profit, nil, need, []int{1, -1}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}

@@ -113,20 +113,25 @@ type pathStep struct {
 //     re-solves through one Transport run allocation-free apart from their
 //     result slices; and
 //   - it is incremental: Resolve re-solves the current instance after a
-//     column-capacity change, warm-starting from the residual flow and
-//     potentials of the previous solve so only the columns whose residual
-//     capacity changed are re-worked (SDGA's stage-capacity fallback).
+//     column-capacity change, and ResolveRows after per-row profit or demand
+//     edits, warm-starting from the residual flow and potentials of the
+//     previous solve so only the changed parts are re-worked (SDGA's
+//     stage-capacity fallback and the session warm re-solves).
 //
 // The zero value is ready to use. A Transport must not be used concurrently.
 type Transport struct {
 	n, m int
 
-	// CSR of the feasible (non-Forbidden) cells: row i's cells are
+	// CSR of the usable cells: row i's cells are
 	// colIdx[rowStart[i]:rowStart[i+1]], cost holds the negated profit.
+	// Solve drops Forbidden cells from the CSR; SolveDense keeps every cell
+	// (Forbidden ones carry +Inf cost), making the sparsity pattern
+	// edit-stable so ResolveRows can re-cost any row in place.
 	rowStart []int32
 	colIdx   []int32
 	cost     []float64
 	assigned []bool
+	dense    bool
 
 	rowNeed []int
 	colCap  []int
@@ -166,6 +171,19 @@ func NewTransport() *Transport { return &Transport{} }
 // retained, so a following Resolve with enlarged capacities continues from
 // it instead of starting over.
 func (t *Transport) Solve(profit [][]float64, rowNeed, colCap []int) ([][]int, float64, error) {
+	return t.solve(profit, rowNeed, colCap, false)
+}
+
+// SolveDense is Solve with a dense CSR: every cell is kept, Forbidden cells
+// with +Inf cost, so the sparsity pattern survives any later per-row profit
+// edit. Sessions use it so ResolveRows can warm-start re-solves after
+// conflict additions, withdrawals or score changes; the solved plan and
+// objective are identical to Solve's (a +Inf-cost edge is never used).
+func (t *Transport) SolveDense(profit [][]float64, rowNeed, colCap []int) ([][]int, float64, error) {
+	return t.solve(profit, rowNeed, colCap, true)
+}
+
+func (t *Transport) solve(profit [][]float64, rowNeed, colCap []int, dense bool) ([][]int, float64, error) {
 	if err := validateTransport(profit, rowNeed, colCap); err != nil {
 		return nil, 0, err
 	}
@@ -177,6 +195,7 @@ func (t *Transport) Solve(profit [][]float64, rowNeed, colCap []int) ([][]int, f
 	}
 	m := len(profit[0])
 	t.n, t.m = n, m
+	t.dense = dense
 
 	// CSR build.
 	t.rowStart = growInt32(t.rowStart, n+1)
@@ -186,6 +205,11 @@ func (t *Transport) Solve(profit [][]float64, rowNeed, colCap []int) ([][]int, f
 	for i, row := range profit {
 		for j, p := range row {
 			if math.IsInf(p, -1) {
+				if !dense {
+					continue
+				}
+				t.colIdx = append(t.colIdx, int32(j))
+				t.cost = append(t.cost, math.Inf(1))
 				continue
 			}
 			t.colIdx = append(t.colIdx, int32(j))
@@ -263,22 +287,352 @@ func (t *Transport) Resolve(colCap []int) ([][]int, float64, error) {
 		t.colCap[j] = c
 	}
 	// The retained flow is only optimal for its value if the sink-side dual
-	// stays feasible: a column with spare capacity must carry no capacity
-	// price (v[j] ≥ potT). Capacity growth on a previously binding column
-	// (or a release cascade) breaks that — flow already placed elsewhere
-	// would profitably reroute into the freed slots — so in that case the
-	// flow restarts from zero (the CSR instance is kept, so no matrix pass
-	// is repeated — still far cheaper than a cold Solve).
-	for j := range t.colCap {
-		if len(t.colPairs[j]) < t.colCap[j] && t.v[j] < t.potT-tightEps {
-			t.resetFlow()
-			break
-		}
-	}
+	// stays feasible; repairSinkDual re-pins the sink potential when it can
+	// and restarts the flow from cold duals when it cannot.
+	t.repairSinkDual()
 	if err := t.run(); err != nil {
 		return nil, 0, err
 	}
 	return t.extract()
+}
+
+// ResolveRows re-solves the instance of the preceding SolveDense after
+// in-place edits to the profit rows listed in rows: each dirty row's costs
+// are re-read from profit (the dense CSR pattern is unchanged, so Forbidden
+// cells simply become +Inf), its flow is released and its dual repaired, its
+// demand is updated from rowNeed, and column capacities are updated as in
+// Resolve. Only the released units are re-augmented unless the sink-side
+// dual turns infeasible, in which case the flow restarts from cold duals on
+// the kept CSR (still far cheaper than a cold Solve, which would also rescan
+// every clean row).
+//
+// rowNeed and colCap are the full new vectors; rowNeed may differ from the
+// previous solve only at the dirty rows. Rows not listed in rows must have
+// unchanged profits.
+func (t *Transport) ResolveRows(profit [][]float64, rows []int, rowNeed, colCap []int) ([][]int, float64, error) {
+	if !t.solved {
+		return nil, 0, errors.New("flow: ResolveRows called before Solve")
+	}
+	if !t.dense {
+		return nil, 0, errors.New("flow: ResolveRows requires SolveDense")
+	}
+	if len(profit) != t.n || len(rowNeed) != t.n || len(colCap) != t.m {
+		return nil, 0, errors.New("flow: dimension mismatch")
+	}
+	if t.n == 0 {
+		return nil, 0, nil
+	}
+	for _, i := range rows {
+		if i < 0 || i >= t.n {
+			return nil, 0, errors.New("flow: dirty row out of range")
+		}
+		if rowNeed[i] < 0 {
+			return nil, 0, errors.New("flow: negative row demand")
+		}
+		base := int(t.rowStart[i])
+		// Fast path: when the row's demand is unchanged, no assigned cell
+		// changed cost, and every unassigned cell keeps a non-negative
+		// reduced cost under the current duals (always true for pure cost
+		// increases — a new conflict turns an unassigned cell +Inf), the
+		// retained flow stays optimal as-is: patch the costs in place and
+		// keep the row's flow, duals and everything downstream untouched.
+		// This is the dominant session case — a late COI on a pair the stage
+		// never assigned — and it avoids the release → re-augment → possible
+		// flow-reset cascade entirely.
+		if rowNeed[i] == t.rowNeed[i] {
+			keep := true
+			ui := t.u[i]
+			for j, p := range profit[i] {
+				e := base + j
+				nc := -p
+				if math.IsInf(p, -1) {
+					nc = math.Inf(1)
+				}
+				if t.assigned[e] {
+					if nc != t.cost[e] {
+						keep = false
+						break
+					}
+					continue
+				}
+				if nc+ui-t.v[j] < -tightEps {
+					keep = false
+					break
+				}
+			}
+			if keep {
+				for j, p := range profit[i] {
+					if math.IsInf(p, -1) {
+						t.cost[base+j] = math.Inf(1)
+					} else {
+						t.cost[base+j] = -p
+					}
+				}
+				continue
+			}
+		}
+		t.releaseRow(i)
+		// Re-cost the row's dense CSR segment in place; the pattern (one edge
+		// per column) is unchanged by construction.
+		for j, p := range profit[i] {
+			if math.IsInf(p, -1) {
+				t.cost[base+j] = math.Inf(1)
+			} else {
+				t.cost[base+j] = -p
+			}
+		}
+		// Repair the row dual for the new costs (releaseRow already set it for
+		// the old ones): with no assigned pairs, u[i] = max_j (v[j] − cost)
+		// keeps every residual edge of the row at non-negative reduced cost.
+		best := 0.0
+		for e := t.rowStart[i]; e < t.rowStart[i+1]; e++ {
+			if rd := t.v[t.colIdx[e]] - t.cost[e]; e == t.rowStart[i] || rd > best {
+				best = rd
+			}
+		}
+		t.u[i] = best
+		t.deficit += rowNeed[i] - t.rowNeed[i]
+		t.rowNeed[i] = rowNeed[i]
+	}
+	// Column-capacity changes, exactly as in Resolve: cancel surplus units on
+	// shrunk columns, then check the sink-side dual stays feasible (a column
+	// with spare capacity must carry no capacity price).
+	for j, c := range colCap {
+		if c < 0 {
+			return nil, 0, errors.New("flow: negative column capacity")
+		}
+		for len(t.colPairs[j]) > c {
+			a := t.colPairs[j][len(t.colPairs[j])-1]
+			t.releaseRow(int(a.row))
+		}
+		t.colCap[j] = c
+	}
+	t.repairSinkDual()
+	if err := t.run(); err != nil {
+		return nil, 0, err
+	}
+	return t.extract()
+}
+
+// repairSinkDual re-establishes the sink-side dual invariant after flow
+// releases or capacity changes. The invariant has two halves: columns with
+// spare capacity need v[j] ≥ potT (their sink arc is residual) and columns
+// carrying flow need v[j] ≤ potT (their reverse sink arc is residual). A
+// release or a capacity bump can free a slot on a priced column, leaving
+// v[j] below the stale potT — but as long as every flowed column prices at
+// or below every spare one, the dual is repairable by re-pinning potT into
+// the valid band, keeping the whole residual graph at non-negative reduced
+// cost (hence the retained flow optimal for its value) without discarding
+// anything. Only when a flowed column genuinely out-prices a spare one —
+// flow placed elsewhere would profitably reroute into the freed slots —
+// does the flow restart from cold duals (the CSR instance is kept, so no
+// matrix pass is repeated — still far cheaper than a cold Solve).
+func (t *Transport) repairSinkDual() {
+	bound := t.n + t.m + 16
+	for iter := 0; iter < bound; iter++ {
+		if t.trySinkDualPin() {
+			return
+		}
+		if !t.cancelImprovingCycle() {
+			break
+		}
+	}
+	if t.trySinkDualPin() {
+		return
+	}
+	t.resetFlow()
+}
+
+// trySinkDualPin re-pins the sink potential into the feasible band when one
+// exists (every flowed column prices at or below every spare one) and
+// reports success.
+func (t *Transport) trySinkDualPin() bool {
+	maxFlowed := math.Inf(-1)
+	minSpare := math.Inf(1)
+	for j := 0; j < t.m; j++ {
+		if v := t.v[j]; len(t.colPairs[j]) > 0 && v > maxFlowed {
+			maxFlowed = v
+		}
+		if v := t.v[j]; len(t.colPairs[j]) < t.colCap[j] && v < minSpare {
+			minSpare = v
+		}
+	}
+	if maxFlowed > minSpare+tightEps {
+		return false
+	}
+	pot := t.potT
+	if pot > minSpare {
+		pot = minSpare
+	}
+	if pot < maxFlowed {
+		pot = maxFlowed
+	}
+	t.potT = pot
+	return true
+}
+
+// cancelImprovingCycle removes one negative residual cycle through a freed
+// spare slot, the targeted alternative to a full flow reset: a withdrawal
+// (or capacity shrink) that frees a slot on a priced column creates exactly
+// one family of negative residual arcs — column→sink on the underpriced
+// spare columns — while every other residual arc keeps a non-negative
+// reduced cost. The cheapest improving reroute is therefore a shortest path
+// from the sink (entering through some flowed column, alternating backward
+// and forward pair arcs) into an underpriced spare column, computable with
+// one Dijkstra. The Johnson potential update then makes that path tight and
+// the cycle is applied in place: one unit leaves the entry column and
+// cascades into the freed slot. Returns false when no improving cycle
+// remains, after a final potential update that certifies the repaired dual
+// for the reachable columns (the caller then re-checks the band and only
+// resets in the residual pathological cases).
+func (t *Transport) cancelImprovingCycle() bool {
+	n, m := t.n, t.m
+	total := n + m
+	t.dist = growFloat(t.dist, total)
+	t.settled = growBool(t.settled, total)
+	t.parentEdge = growInt32(t.parentEdge, total)
+	t.parentNode = growInt32(t.parentNode, total)
+	inf := math.Inf(1)
+	for x := 0; x < total; x++ {
+		t.dist[x] = inf
+		t.settled[x] = false
+		t.parentEdge[x] = -1
+		t.parentNode[x] = -1
+	}
+	// Seed with the sink's outgoing residual arcs: sink→j for every flowed
+	// column (reduced cost potT − v[j] ≥ 0). parentNode −2 marks "reached
+	// directly from the sink".
+	for j := 0; j < m; j++ {
+		if len(t.colPairs[j]) > 0 {
+			rd := t.potT - t.v[j]
+			if rd < 0 {
+				rd = 0
+			}
+			if rd < t.dist[n+j] {
+				t.dist[n+j] = rd
+				t.parentNode[n+j] = -2
+			}
+		}
+	}
+	for {
+		best, bd := -1, inf
+		for x := 0; x < total; x++ {
+			if !t.settled[x] && t.dist[x] < bd {
+				bd, best = t.dist[x], x
+			}
+		}
+		if best < 0 {
+			break
+		}
+		t.settled[best] = true
+		if best >= n {
+			j := best - n
+			vj := t.v[j]
+			for _, a := range t.colPairs[j] {
+				if t.settled[a.row] {
+					continue
+				}
+				rd := vj - t.cost[a.edge] - t.u[a.row]
+				if rd < 0 {
+					rd = 0
+				}
+				if nd := bd + rd; nd < t.dist[a.row] {
+					t.dist[a.row] = nd
+					t.parentEdge[a.row] = a.edge
+					t.parentNode[a.row] = int32(best)
+				}
+			}
+		} else {
+			r := best
+			ur := t.u[r]
+			for e := t.rowStart[r]; e < t.rowStart[r+1]; e++ {
+				if t.assigned[e] {
+					continue
+				}
+				j := int(t.colIdx[e])
+				if t.settled[n+j] {
+					continue
+				}
+				rd := t.cost[e] + ur - t.v[j]
+				if rd < 0 {
+					rd = 0
+				}
+				if nd := bd + rd; nd < t.dist[n+j] {
+					t.dist[n+j] = nd
+					t.parentEdge[n+j] = e
+					t.parentNode[n+j] = int32(r)
+				}
+			}
+		}
+	}
+	// The improving cycle closes through an underpriced spare column: total
+	// reduced cost dist[j] + (v[j] − potT) < 0. Pick the most negative one.
+	jStar, candBest := -1, -tightEps
+	maxD := 0.0
+	for x := 0; x < total; x++ {
+		if d := t.dist[x]; !math.IsInf(d, 1) && d > maxD {
+			maxD = d
+		}
+	}
+	for j := 0; j < m; j++ {
+		if len(t.colPairs[j]) >= t.colCap[j] || math.IsInf(t.dist[n+j], 1) {
+			continue
+		}
+		// A column reached straight from the sink closes a zero cycle; skip.
+		if t.parentNode[n+j] == -2 {
+			continue
+		}
+		if cand := t.dist[n+j] + t.v[j] - t.potT; cand < candBest {
+			candBest, jStar = cand, j
+		}
+	}
+	if jStar < 0 {
+		// No improving cycle: raise the reachable potentials so every
+		// non-improving spare column becomes sink-feasible, then report
+		// exhaustion.
+		for i := 0; i < n; i++ {
+			t.u[i] += math.Min(t.dist[i], maxD)
+		}
+		for j := 0; j < m; j++ {
+			t.v[j] += math.Min(t.dist[n+j], maxD)
+		}
+		return false
+	}
+	// Johnson update capped at the target distance turns the shortest path
+	// tight while keeping every residual reduced cost non-negative.
+	D := t.dist[n+jStar]
+	for i := 0; i < n; i++ {
+		t.u[i] += math.Min(t.dist[i], D)
+	}
+	for j := 0; j < m; j++ {
+		t.v[j] += math.Min(t.dist[n+j], D)
+	}
+	// Extract the path sink→j2→r1→…→jStar from the parent pointers; after
+	// reversal the first step is the released pair (r1, j2) and the rest is
+	// a standard alternating augmenting path from r1 into jStar.
+	t.path = t.path[:0]
+	x := n + jStar
+	for t.parentNode[x] != -2 {
+		if x >= n {
+			t.path = append(t.path, pathStep{edge: t.parentEdge[x], row: t.parentNode[x]})
+			x = int(t.parentNode[x])
+		} else {
+			t.path = append(t.path, pathStep{edge: t.parentEdge[x], row: int32(x)})
+			x = n + int(t.colIdx[t.parentEdge[x]])
+		}
+	}
+	for l, r := 0, len(t.path)-1; l < r; l, r = l+1, r-1 {
+		t.path[l], t.path[r] = t.path[r], t.path[l]
+	}
+	first := t.path[0]
+	j2 := int(t.colIdx[first.edge])
+	t.assigned[first.edge] = false
+	t.removeArc(j2, first.edge)
+	t.rowFlow[first.row]--
+	t.deficit++
+	t.path = t.path[1:]
+	t.apply(int(first.row))
+	return true
 }
 
 // resetDualsForEmptyFlow derives valid potentials for a zero-flow state from
@@ -307,6 +661,9 @@ func (t *Transport) resetDualsForEmptyFlow() {
 // Solve: spread column duals serialise zero-flow augmentation), keeping the
 // CSR instance so no matrix pass is repeated.
 func (t *Transport) resetFlow() {
+	if resetFlowHook != nil {
+		resetFlowHook()
+	}
 	clear(t.assigned)
 	clear(t.rowFlow)
 	for j := range t.colPairs {
@@ -406,6 +763,11 @@ func (t *Transport) dijkstra() (jStar int, ok bool) {
 		if t.rowFlow[i] < t.rowNeed[i] && t.u[i] > potS {
 			potS = t.u[i]
 		}
+	}
+	if math.IsInf(potS, -1) {
+		// Every deficit row has u = −Inf: all of its cells are Forbidden
+		// (dense mode keeps them at +Inf cost), so the sink is unreachable.
+		return -1, false
 	}
 	for i := 0; i < n; i++ {
 		if t.rowFlow[i] < t.rowNeed[i] {
@@ -684,3 +1046,8 @@ func growBool(s []bool, n int) []bool {
 	}
 	return s[:n]
 }
+
+// resetFlowHook, when non-nil, is invoked whenever an incremental re-solve
+// falls back to restarting the flow from cold duals; tests and benchmarks
+// use it to count resets.
+var resetFlowHook func()

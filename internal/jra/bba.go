@@ -2,6 +2,7 @@ package jra
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"repro/internal/core"
@@ -40,7 +41,14 @@ type Stats struct {
 
 // Solve implements Solver; it returns the optimal reviewer group.
 func (b BranchAndBound) Solve(in *core.Instance) (Result, error) {
-	results, _, err := b.solve(in, 1)
+	return b.SolveContext(context.Background(), in)
+}
+
+// SolveContext is Solve under a context: the search checks ctx periodically
+// and aborts with its error when it is cancelled or its deadline passes (BBA
+// is exact, so there is no partial result to return).
+func (b BranchAndBound) SolveContext(ctx context.Context, in *core.Instance) (Result, error) {
+	results, _, err := b.solve(ctx, in, 1)
 	if err != nil {
 		return Result{}, err
 	}
@@ -49,7 +57,7 @@ func (b BranchAndBound) Solve(in *core.Instance) (Result, error) {
 
 // SolveWithStats returns the optimal group together with search statistics.
 func (b BranchAndBound) SolveWithStats(in *core.Instance) (Result, Stats, error) {
-	results, stats, err := b.solve(in, 1)
+	results, stats, err := b.solve(context.Background(), in, 1)
 	if err != nil {
 		return Result{}, stats, err
 	}
@@ -60,10 +68,15 @@ func (b BranchAndBound) SolveWithStats(in *core.Instance) (Result, Stats, error)
 // (Section 3 notes BBA extends to top-k by replacing the incumbent with a
 // heap of the k best groups; Figure 15 evaluates this).
 func (b BranchAndBound) TopK(in *core.Instance, k int) ([]Result, error) {
+	return b.TopKContext(context.Background(), in, k)
+}
+
+// TopKContext is TopK under a context (see SolveContext).
+func (b BranchAndBound) TopKContext(ctx context.Context, in *core.Instance, k int) ([]Result, error) {
 	if k < 1 {
 		k = 1
 	}
-	results, _, err := b.solve(in, k)
+	results, _, err := b.solve(ctx, in, k)
 	return results, err
 }
 
@@ -83,7 +96,7 @@ func (h *resultHeap) Pop() interface{} {
 	return x
 }
 
-func (b BranchAndBound) solve(in *core.Instance, k int) ([]Result, Stats, error) {
+func (b BranchAndBound) solve(ctx context.Context, in *core.Instance, k int) ([]Result, Stats, error) {
 	candidates, err := validate(in)
 	if err != nil {
 		return nil, Stats{}, err
@@ -149,6 +162,13 @@ func (b BranchAndBound) solve(in *core.Instance, k int) ([]Result, Stats, error)
 	}
 
 	var stats Stats
+	// cancelled polls the context up front and then every 256 expanded
+	// nodes: cheap enough to vanish in the branching cost, frequent enough
+	// for sub-millisecond reaction on the paper-scale pools of Figure 14.
+	cancelled := func() bool {
+		return stats.Nodes&255 == 0 && ctx.Err() != nil
+	}
+	aborted := ctx.Err() != nil
 	group := make([]int, 0, delta)
 	// Depth-indexed group vectors, allocated once and overwritten in place
 	// as the search descends — no per-node vector allocation.
@@ -181,6 +201,9 @@ func (b BranchAndBound) solve(in *core.Instance, k int) ([]Result, Stats, error)
 			}
 		}()
 		for i, r := range order {
+			if aborted {
+				return
+			}
 			if len(order)-i < delta-depth {
 				break // not enough candidates left to complete the group
 			}
@@ -195,6 +218,10 @@ func (b BranchAndBound) solve(in *core.Instance, k int) ([]Result, Stats, error)
 				}
 			}
 			stats.Nodes++
+			if cancelled() {
+				aborted = true
+				return
+			}
 			active[r] = false
 			deactivated = append(deactivated, r)
 			copy(groupVecs[depth+1], groupVecs[depth])
@@ -204,7 +231,12 @@ func (b BranchAndBound) solve(in *core.Instance, k int) ([]Result, Stats, error)
 			group = group[:len(group)-1]
 		}
 	}
-	recurse(candidates, 0)
+	if !aborted {
+		recurse(candidates, 0)
+	}
+	if aborted {
+		return nil, stats, ctx.Err()
+	}
 
 	// Drain the heap into descending order.
 	out := make([]Result, best.Len())

@@ -43,6 +43,10 @@ type Solver interface {
 // one paper.
 var ErrNotJournal = errors.New("jra: instance must contain exactly one paper")
 
+// ErrTooFewCandidates is returned when conflicts of interest leave fewer
+// than δp eligible reviewers for the paper.
+var ErrTooFewCandidates = errors.New("jra: too few non-conflicting candidates for the group size")
+
 // validate checks the common preconditions of the JRA solvers and returns the
 // candidate reviewers (non-conflicting, valid indices).
 func validate(in *core.Instance) ([]int, error) {
@@ -59,7 +63,7 @@ func validate(in *core.Instance) ([]int, error) {
 		}
 	}
 	if len(candidates) < in.GroupSize {
-		return nil, fmt.Errorf("jra: only %d non-conflicting candidates for group size %d", len(candidates), in.GroupSize)
+		return nil, fmt.Errorf("%w: only %d candidates for group size %d", ErrTooFewCandidates, len(candidates), in.GroupSize)
 	}
 	return candidates, nil
 }

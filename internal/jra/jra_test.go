@@ -1,6 +1,8 @@
 package jra
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -330,5 +332,42 @@ func TestBBAWithAlternativeScoringFunctions(t *testing.T) {
 		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
+	}
+}
+
+// TestBBACancellation: a pre-cancelled context aborts the exact search with
+// the context error; a live context returns the optimum unchanged.
+func TestBBACancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	in := randomJournal(rng, 40, 10, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (BranchAndBound{}).SolveContext(ctx, in); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveContext on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if _, err := (BranchAndBound{}).TopKContext(ctx, in, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("TopKContext on cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	want, err := (BranchAndBound{}).Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := (BranchAndBound{}).SolveContext(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Score-want.Score) > 1e-12 {
+		t.Fatalf("ctx path optimum %v differs from plain %v", got.Score, want.Score)
+	}
+}
+
+// TestTooFewCandidatesTyped: conflict saturation surfaces as the typed
+// ErrTooFewCandidates sentinel.
+func TestTooFewCandidatesTyped(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	in := randomJournal(rng, 3, 8, 3)
+	in.AddConflict(0, 0)
+	if _, err := (BranchAndBound{}).Solve(in); !errors.Is(err, ErrTooFewCandidates) {
+		t.Fatalf("err = %v, want ErrTooFewCandidates", err)
 	}
 }

@@ -1,0 +1,418 @@
+package wgrap
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cra"
+)
+
+// Snapshot is one point of a solve's anytime progress stream: the best
+// assignment known so far and its score. Construction emits one snapshot
+// (Phase "construct", Round 0); every improving round of the stochastic
+// refinement emits another (Phase "refine", 1-based Round).
+type Snapshot struct {
+	// Phase is "construct" (the SDGA result) or "refine" (an SRA
+	// improvement).
+	Phase string
+	// Round is the refinement round that produced the improvement (0 for the
+	// construction snapshot).
+	Round int
+	// Score is the WGRAP objective of Best over the active papers.
+	Score float64
+	// Best is a private copy of the best assignment found so far; withdrawn
+	// papers have empty groups.
+	Best *Assignment
+	// Elapsed is the wall-clock time since the Solve/Resolve call started.
+	Elapsed time.Duration
+}
+
+// Solver is a long-lived assignment session: it owns a private copy of the
+// instance plus every piece of reusable solver state (profit matrices, the
+// per-stage transportation solvers, refinement scratch), accepts incremental
+// instance edits, and re-solves warm.
+//
+// The lifecycle is: NewSolver → Solve (cold) → edits (AddConflict,
+// WithdrawPaper, RestorePaper, AddReviewer, SetWorkload) → Resolve (warm) →
+// more edits → Resolve …. For the default SDGA-based methods, Resolve
+// re-fills only the profit-matrix rows the edits dirtied and re-solves each
+// stage's transportation from its retained flow and duals, so a small edit
+// re-solves several times faster than a cold Solve while returning the same
+// assignment a cold solve of the edited instance would (identical whenever
+// the stage optima are unique, which holds with probability one for
+// continuous scores). Baseline methods re-run cold on Resolve.
+//
+// All methods are safe for concurrent use: a mutex serialises every call, so
+// a session is effectively single-flight (concurrent Solves queue; use one
+// Solver per goroutine for parallel solving — sessions are cheap and fully
+// independent). Progress callbacks run synchronously on the solving
+// goroutine and must not call back into the Solver.
+type Solver struct {
+	mu        sync.Mutex
+	opts      options
+	sess      *cra.Session
+	alg       cra.Algorithm // cold construction of the non-session methods
+	algRefine bool          // run the stochastic refinement after alg
+	progress  func(Snapshot)
+	solved    bool
+	// edited and lastA implement the no-edit Resolve fast path for the
+	// non-session methods (the session keeps its own equivalent state).
+	edited bool
+	lastA  *core.Assignment
+	// start is the wall-clock origin of the running Solve/Resolve, read by
+	// the progress hooks (only touched while mu is held).
+	start time.Time
+}
+
+// NewSolver builds a solver session for the instance. The instance is
+// copied: later mutations of in are invisible to the session (edit through
+// the Solver's mutators instead). A zero Workload selects the minimum
+// balanced workload ⌈P·δp/R⌉, exactly as NewInstance does.
+//
+// Errors: ErrUnknownMethod, ErrInvalidInstance, ErrInfeasible,
+// ErrConflictSaturated.
+func NewSolver(in *Instance, opts ...Option) (*Solver, error) {
+	o := resolveOptions(opts)
+	own := in.Clone()
+	if own.Workload == 0 && own.NumReviewers() > 0 {
+		own.Workload = own.MinWorkload()
+	}
+	if err := own.Validate(); err != nil {
+		return nil, wrapInstanceErr(own, err)
+	}
+	s := &Solver{opts: o, progress: o.progress}
+	if !o.sessionable() {
+		alg, refine, err := o.algorithmParts()
+		if err != nil {
+			return nil, err
+		}
+		s.alg, s.algRefine = alg, refine
+	}
+	cfg := cra.SessionConfig{
+		Refine: o.method == MethodSDGASRA && o.sessionable(),
+		SRA:    o.sra(),
+	}
+	cfg.OnConstruct = s.constructHook()
+	cfg.SRA.OnImprovement = s.improvementHook()
+	sess, err := cra.NewSession(own, cfg)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	s.sess = sess
+	return s, nil
+}
+
+// constructHook emits the construction-phase snapshot.
+func (s *Solver) constructHook() func(*core.Assignment) {
+	return func(a *core.Assignment) {
+		if s.progress == nil {
+			return
+		}
+		s.progress(Snapshot{
+			Phase:   "construct",
+			Score:   s.activeScore(a),
+			Best:    a,
+			Elapsed: time.Since(s.start),
+		})
+	}
+}
+
+// improvementHook emits a refinement-phase snapshot per improving round.
+func (s *Solver) improvementHook() func(int, *core.Assignment, float64, time.Duration) {
+	return func(round int, best *core.Assignment, score float64, _ time.Duration) {
+		if s.progress == nil {
+			return
+		}
+		s.progress(Snapshot{
+			Phase:   "refine",
+			Round:   round,
+			Score:   score,
+			Best:    best,
+			Elapsed: time.Since(s.start),
+		})
+	}
+}
+
+// OnImprovement registers (or replaces, or removes with nil) the streaming
+// progress callback for subsequent Solve/Resolve calls. Every configuration
+// emits at least the construction snapshot; refinement snapshots follow for
+// the refining methods (MethodSDGASRA). A no-edit Resolve confirms the
+// cached assignment without re-solving and emits nothing.
+func (s *Solver) OnImprovement(fn func(Snapshot)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.progress = fn
+}
+
+// Method returns the configured assignment method.
+func (s *Solver) Method() Method { return s.opts.method }
+
+// Instance returns a read-only view of the session's instance. The returned
+// value must not be mutated; edits go through the Solver's mutators.
+func (s *Solver) Instance() *Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.Instance()
+}
+
+// Active reports whether paper p currently participates in the assignment.
+func (s *Solver) Active(p int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return p >= 0 && p < s.sess.Instance().NumPapers() && s.sess.Active(p)
+}
+
+// ActivePapers returns the number of non-withdrawn papers.
+func (s *Solver) ActivePapers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sess.ActivePapers()
+}
+
+// AddConflict registers a late conflict of interest between reviewer r and
+// paper p and marks the paper's solver state dirty. The edit is rejected
+// with ErrConflictSaturated when it would leave an active paper without δp
+// eligible reviewers, and with ErrInvalidEdit on out-of-range indices.
+func (s *Solver) AddConflict(r, p int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	in := s.sess.Instance()
+	if r < 0 || r >= in.NumReviewers() || p < 0 || p >= in.NumPapers() {
+		return fmt.Errorf("%w: conflict (%d,%d) out of range", ErrInvalidEdit, r, p)
+	}
+	return s.noteEdit(s.sess.AddConflict(r, p))
+}
+
+// WithdrawPaper removes paper p from the workload (e.g. a withdrawn
+// submission): it keeps its index but receives no reviewers until restored.
+func (s *Solver) WithdrawPaper(p int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p < 0 || p >= s.sess.Instance().NumPapers() {
+		return fmt.Errorf("%w: paper %d out of range", ErrInvalidEdit, p)
+	}
+	return s.noteEdit(s.sess.WithdrawPaper(p))
+}
+
+// RestorePaper re-activates a withdrawn paper. Errors: ErrConflictSaturated
+// when conflicts accumulated during the withdrawal, ErrInfeasible when the
+// pool cannot absorb the extra load, ErrInvalidEdit on a bad index.
+func (s *Solver) RestorePaper(p int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p < 0 || p >= s.sess.Instance().NumPapers() {
+		return fmt.Errorf("%w: paper %d out of range", ErrInvalidEdit, p)
+	}
+	return s.noteEdit(s.sess.RestorePaper(p))
+}
+
+// AddReviewer appends a reviewer to the pool and returns its index. The
+// edit is structural, so the next Resolve rebuilds the warm state (still
+// reusing the session's buffers).
+func (s *Solver) AddReviewer(r Reviewer) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, err := s.sess.AddReviewer(r)
+	if err != nil {
+		return -1, fmt.Errorf("%w: %v", ErrInvalidEdit, err)
+	}
+	s.edited = true
+	return idx, nil
+}
+
+// SetWorkload changes the per-reviewer workload δr. Errors: ErrInfeasible
+// when the new capacity cannot cover the active demand, ErrInvalidEdit for
+// non-positive values.
+func (s *Solver) SetWorkload(workload int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if workload <= 0 {
+		return fmt.Errorf("%w: workload δr must be positive, got %d", ErrInvalidEdit, workload)
+	}
+	return s.noteEdit(s.sess.SetWorkload(workload))
+}
+
+// noteEdit records a successful mutation (it invalidates the non-session
+// no-edit Resolve cache) and maps the error onto the public sentinels.
+func (s *Solver) noteEdit(err error) error {
+	if err == nil {
+		s.edited = true
+	}
+	return wrapErr(err)
+}
+
+// Solve computes the assignment from a cold start, recording the warm state
+// later Resolve calls reuse. Cancelling ctx aborts construction with the
+// context error; the refinement phase is anytime — at the deadline it stops
+// and keeps the best assignment found.
+func (s *Solver) Solve(ctx context.Context) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.run(ctx, true)
+}
+
+// Resolve re-solves after the pending edits, warm where the method supports
+// it (the SDGA-based defaults); with no pending edits it cheaply confirms
+// the current assignment. Calling Resolve before any Solve solves cold.
+func (s *Solver) Resolve(ctx context.Context) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.run(ctx, !s.solved)
+}
+
+func (s *Solver) run(ctx context.Context, cold bool) (*Result, error) {
+	s.start = time.Now()
+	var a *core.Assignment
+	var err error
+	switch {
+	case s.alg != nil:
+		if !cold && !s.edited && s.lastA != nil {
+			// No pending edits: confirm the recorded assignment without
+			// re-running the cold algorithm (and without progress snapshots),
+			// matching the session methods' behavior.
+			return s.buildResult(s.lastA.Clone(), time.Since(s.start)), nil
+		}
+		a, err = s.runBaseline(ctx)
+	case cold:
+		a, err = s.sess.Solve(ctx)
+	default:
+		a, err = s.sess.Resolve(ctx)
+	}
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	s.solved = true
+	if s.alg != nil {
+		s.lastA = a.Clone()
+		s.edited = false
+	}
+	return s.buildResult(a, time.Since(s.start)), nil
+}
+
+// runBaseline executes a non-session method cold: on an unedited paper set
+// it runs directly on the session instance; with withdrawals it materialises
+// the compacted instance and scatters the result back to original indices.
+// The progress stream works here too: one construction snapshot after the
+// base algorithm, plus per-improvement snapshots when the configuration
+// refines (MethodSDGASRA on the legacy transport).
+func (s *Solver) runBaseline(ctx context.Context) (*core.Assignment, error) {
+	in := s.sess.Instance()
+	P := in.NumPapers()
+	if s.sess.ActivePapers() == P {
+		a, err := s.alg.AssignContext(ctx, in)
+		if err != nil {
+			return nil, err
+		}
+		if s.progress != nil {
+			s.constructHook()(a.Clone())
+		}
+		if s.algRefine {
+			sra := s.opts.sra()
+			sra.OnImprovement = s.improvementHook()
+			return sra.RefineContext(ctx, in, a)
+		}
+		return a, nil
+	}
+	var papers []Paper
+	idx := make([]int, 0, s.sess.ActivePapers())
+	for p := 0; p < P; p++ {
+		if s.sess.Active(p) {
+			papers = append(papers, in.Papers[p])
+			idx = append(idx, p)
+		}
+	}
+	back := make(map[int]int, len(idx))
+	for np, op := range idx {
+		back[op] = np
+	}
+	sub := &core.Instance{
+		Papers:    papers,
+		Reviewers: in.Reviewers,
+		GroupSize: in.GroupSize,
+		Workload:  in.Workload,
+		Score:     in.Score,
+	}
+	for _, c := range in.Conflicts() {
+		if np, ok := back[c.Paper]; ok {
+			sub.AddConflict(c.Reviewer, np)
+		}
+	}
+	compact, err := s.alg.AssignContext(ctx, sub)
+	if err != nil {
+		return nil, err
+	}
+	// scatter copies the compact groups back onto the original paper
+	// indices; slices are cloned so snapshots stay private copies even while
+	// the compact assignment keeps being refined.
+	scatter := func(a *core.Assignment) *core.Assignment {
+		full := core.NewAssignment(P)
+		for np, g := range a.Groups {
+			full.Groups[idx[np]] = append([]int(nil), g...)
+		}
+		return full
+	}
+	if s.progress != nil {
+		s.constructHook()(scatter(compact))
+	}
+	if s.algRefine {
+		sra := s.opts.sra()
+		if s.progress != nil {
+			hook := s.improvementHook()
+			sra.OnImprovement = func(round int, best *core.Assignment, score float64, elapsed time.Duration) {
+				hook(round, scatter(best), score, elapsed)
+			}
+		}
+		refined, err := sra.RefineContext(ctx, sub, compact)
+		if err != nil {
+			return nil, err
+		}
+		compact = refined
+	}
+	return scatter(compact), nil
+}
+
+// activeScore sums the group scores of the active papers.
+func (s *Solver) activeScore(a *core.Assignment) float64 {
+	in := s.sess.Instance()
+	total := 0.0
+	for p := range a.Groups {
+		if s.sess.Active(p) {
+			total += in.GroupScore(p, a.Groups[p])
+		}
+	}
+	return total
+}
+
+// buildResult assembles the public Result: metrics cover the active papers
+// only (withdrawn papers keep empty groups in Assignment).
+func (s *Solver) buildResult(a *core.Assignment, elapsed time.Duration) *Result {
+	in := s.sess.Instance()
+	total, lowest, active := 0.0, 0.0, 0
+	first := true
+	for p := range a.Groups {
+		if !s.sess.Active(p) {
+			continue
+		}
+		sc := in.GroupScore(p, a.Groups[p])
+		total += sc
+		if first || sc < lowest {
+			lowest, first = sc, false
+		}
+		active++
+	}
+	avg := 0.0
+	if active > 0 {
+		avg = total / float64(active)
+	}
+	return &Result{
+		Assignment:      a,
+		Score:           total,
+		AverageCoverage: avg,
+		LowestCoverage:  lowest,
+		Elapsed:         elapsed,
+		Method:          s.opts.method,
+	}
+}

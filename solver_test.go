@@ -1,0 +1,615 @@
+package wgrap
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// solverEditScript applies the k-th scripted edit to a solver; replayed
+// identically onto warm and cold sessions so their instances agree.
+func solverEditScript(t *testing.T, s *Solver, rng *rand.Rand, k int) {
+	t.Helper()
+	in := s.Instance()
+	P, R := in.NumPapers(), in.NumReviewers()
+	switch k % 3 {
+	case 0:
+		if err := s.AddConflict(rng.Intn(R), rng.Intn(P)); err != nil {
+			t.Fatalf("edit %d: %v", k, err)
+		}
+	case 1:
+		if err := s.WithdrawPaper(rng.Intn(P)); err != nil {
+			t.Fatalf("edit %d: %v", k, err)
+		}
+	case 2:
+		for p := 0; p < P; p++ {
+			if !s.Active(p) {
+				if err := s.RestorePaper(p); err != nil {
+					t.Fatalf("edit %d: %v", k, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverResolveParity is the public-API acceptance parity test: after
+// each scripted random edit, the warm Resolve score must match a cold
+// NewSolver+Solve on the identically edited instance to 1e-9, for both
+// session methods.
+func TestSolverResolveParity(t *testing.T) {
+	for _, m := range []Method{MethodSDGA, MethodSDGASRA} {
+		t.Run(string(m), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(101))
+			papers, reviewers := randomProblem(rng, 36, 28, 10)
+			in := NewInstance(papers, reviewers, 3, 0)
+			warm, err := NewSolver(in, WithMethod(m), WithOmega(3), WithSeed(9))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := warm.Solve(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			editRng := rand.New(rand.NewSource(55))
+			for k := 0; k < 9; k++ {
+				solverEditScript(t, warm, editRng, k)
+				warmRes, err := warm.Resolve(context.Background())
+				if err != nil {
+					t.Fatalf("edit %d: warm resolve: %v", k, err)
+				}
+				cold, err := NewSolver(in, WithMethod(m), WithOmega(3), WithSeed(9))
+				if err != nil {
+					t.Fatal(err)
+				}
+				coldRng := rand.New(rand.NewSource(55))
+				for j := 0; j <= k; j++ {
+					solverEditScript(t, cold, coldRng, j)
+				}
+				coldRes, err := cold.Solve(context.Background())
+				if err != nil {
+					t.Fatalf("edit %d: cold solve: %v", k, err)
+				}
+				if math.Abs(warmRes.Score-coldRes.Score) > 1e-9 {
+					t.Fatalf("edit %d: warm score %v != cold score %v", k, warmRes.Score, coldRes.Score)
+				}
+				if warmRes.AverageCoverage <= 0 || warmRes.LowestCoverage < 0 {
+					t.Fatalf("edit %d: bad metrics %+v", k, warmRes)
+				}
+			}
+		})
+	}
+}
+
+// TestSolverPaperScaleParity is the acceptance-scale spot check (P=1000,
+// R=2000): one added conflict and one withdrawal, warm vs cold, scores to
+// 1e-9. The ≥3x speed requirement is asserted by the resolve_after_edit
+// benchmark (solver_bench_test.go) and gated in CI.
+func TestSolverPaperScaleParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale parity skipped in -short mode")
+	}
+	in := benchConferenceInstance(1000, 2000, 40, 3)
+	warm, err := NewSolver(in, WithMethod(MethodSDGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.AddConflict(1234, 567); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.WithdrawPaper(89); err != nil {
+		t.Fatal(err)
+	}
+	warmStart := time.Now()
+	warmRes, err := warm.Resolve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmElapsed := time.Since(warmStart)
+
+	cold, err := NewSolver(in, WithMethod(MethodSDGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.AddConflict(1234, 567); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.WithdrawPaper(89); err != nil {
+		t.Fatal(err)
+	}
+	coldStart := time.Now()
+	coldRes, err := cold.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldElapsed := time.Since(coldStart)
+	if math.Abs(warmRes.Score-coldRes.Score) > 1e-9 {
+		t.Fatalf("paper-scale parity: warm %v != cold %v", warmRes.Score, coldRes.Score)
+	}
+	t.Logf("paper-scale edit-resolve: warm %s vs cold %s (%.1fx)",
+		warmElapsed, coldElapsed, float64(coldElapsed)/float64(warmElapsed))
+}
+
+// TestSolverBaselineMethods: every method supports the session lifecycle
+// (solve, edits, resolve); baselines run cold but must respect the edits.
+func TestSolverBaselineMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	papers, reviewers := randomProblem(rng, 12, 9, 6)
+	in := NewInstance(papers, reviewers, 3, 0)
+	for _, m := range Methods() {
+		s, err := NewSolver(in, WithMethod(m), WithOmega(3))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if _, err := s.Solve(context.Background()); err != nil {
+			t.Fatalf("%s: solve: %v", m, err)
+		}
+		if err := s.AddConflict(2, 3); err != nil {
+			t.Fatalf("%s: conflict: %v", m, err)
+		}
+		if err := s.WithdrawPaper(5); err != nil {
+			t.Fatalf("%s: withdraw: %v", m, err)
+		}
+		res, err := s.Resolve(context.Background())
+		if err != nil {
+			t.Fatalf("%s: resolve: %v", m, err)
+		}
+		if res.Method != m {
+			t.Fatalf("%s: method echo = %q", m, res.Method)
+		}
+		if len(res.Assignment.Groups[5]) != 0 {
+			t.Fatalf("%s: withdrawn paper still has reviewers %v", m, res.Assignment.Groups[5])
+		}
+		for _, r := range res.Assignment.Groups[3] {
+			if r == 2 {
+				t.Fatalf("%s: conflicted reviewer assigned after resolve", m)
+			}
+		}
+		for p, g := range res.Assignment.Groups {
+			if p != 5 && len(g) != in.GroupSize {
+				t.Fatalf("%s: paper %d has %d reviewers", m, p, len(g))
+			}
+		}
+	}
+}
+
+// TestSolverSentinelErrors: every failure class maps to its sentinel.
+func TestSolverSentinelErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	papers, reviewers := randomProblem(rng, 6, 4, 5)
+	in := NewInstance(papers, reviewers, 3, 0)
+
+	if _, err := NewSolver(in, WithMethod("nope")); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatalf("unknown method: err = %v", err)
+	}
+	if _, err := NewSolver(NewInstance(nil, nil, 3, 0)); !errors.Is(err, ErrInvalidInstance) {
+		t.Fatalf("empty instance: err = %v", err)
+	}
+	tight := NewInstance(papers, reviewers, 3, 2) // 4·2 < 6·3
+	if _, err := NewSolver(tight); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("capacity shortfall: err = %v", err)
+	}
+
+	s, err := NewSolver(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddConflict(0, 99); !errors.Is(err, ErrInvalidEdit) {
+		t.Fatalf("out-of-range conflict: err = %v", err)
+	}
+	if err := s.WithdrawPaper(-1); !errors.Is(err, ErrInvalidEdit) {
+		t.Fatalf("out-of-range withdraw: err = %v", err)
+	}
+	if err := s.SetWorkload(0); !errors.Is(err, ErrInvalidEdit) {
+		t.Fatalf("zero workload: err = %v", err)
+	}
+	if err := s.SetWorkload(1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("infeasible workload: err = %v", err)
+	}
+	if _, err := s.AddReviewer(Reviewer{Topics: Vector{1}}); !errors.Is(err, ErrInvalidEdit) {
+		t.Fatalf("dimension-mismatched reviewer: err = %v", err)
+	}
+	// δp equals the pool size, so any conflict saturates.
+	sat := NewInstance(papers, reviewers[:3], 3, 0)
+	ss, err := NewSolver(sat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.AddConflict(0, 0); !errors.Is(err, ErrConflictSaturated) {
+		t.Fatalf("saturating conflict: err = %v", err)
+	}
+	// Journal path: conflicts below δp candidates.
+	jin := NewInstance(papers[:1], reviewers[:3], 3, 1)
+	jin.AddConflict(0, 0)
+	if _, err := AssignJournal(jin); !errors.Is(err, ErrConflictSaturated) {
+		t.Fatalf("journal saturation: err = %v", err)
+	}
+}
+
+// TestSolverProgressStream: the construction snapshot arrives first, then
+// monotonically improving refinement snapshots; the final snapshot equals
+// the returned result.
+func TestSolverProgressStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	papers, reviewers := randomProblem(rng, 20, 14, 8)
+	in := NewInstance(papers, reviewers, 3, 0)
+	var snaps []Snapshot
+	s, err := NewSolver(in, WithOmega(8), WithSeed(3), WithProgress(func(sn Snapshot) {
+		snaps = append(snaps, sn)
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	if snaps[0].Phase != "construct" || snaps[0].Round != 0 {
+		t.Fatalf("first snapshot = %+v, want construct/round 0", snaps[0])
+	}
+	last := snaps[0].Score
+	for i, sn := range snaps[1:] {
+		if sn.Phase != "refine" {
+			t.Fatalf("snapshot %d phase = %q", i+1, sn.Phase)
+		}
+		if sn.Score < last-1e-12 {
+			t.Fatalf("snapshot %d score %v below previous %v", i+1, sn.Score, last)
+		}
+		if sn.Best == nil || len(sn.Best.Groups) != in.NumPapers() {
+			t.Fatalf("snapshot %d has no usable assignment", i+1)
+		}
+		last = sn.Score
+	}
+	if math.Abs(last-res.Score) > 1e-9 {
+		t.Fatalf("final snapshot score %v != result score %v", last, res.Score)
+	}
+	// A no-edit Resolve confirms the cached result without re-solving (and
+	// emits no snapshots).
+	before := len(snaps)
+	confirm, err := s.Resolve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(confirm.Score-res.Score) > 1e-12 {
+		t.Fatalf("no-edit Resolve score %v != cached %v", confirm.Score, res.Score)
+	}
+	if len(snaps) != before {
+		t.Fatal("no-edit Resolve emitted snapshots")
+	}
+	// The callback can be replaced after construction and fires on the next
+	// real re-solve.
+	count := 0
+	s.OnImprovement(func(Snapshot) { count++ })
+	if err := s.AddConflict(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Resolve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if count == 0 {
+		t.Fatal("replaced callback never invoked")
+	}
+}
+
+// TestSolverProgressBaselineMethods: non-session configurations still emit
+// at least the construction snapshot (and refinement snapshots when the
+// legacy-transport SDGA-SRA pipeline improves).
+func TestSolverProgressBaselineMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	papers, reviewers := randomProblem(rng, 16, 12, 8)
+	in := NewInstance(papers, reviewers, 3, 0)
+	for _, opts := range [][]Option{
+		{WithMethod(MethodGreedy)},
+		{WithMethod(MethodSDGASRA), WithTransport(TransportLegacy), WithOmega(5)},
+	} {
+		var snaps []Snapshot
+		s, err := NewSolver(in, append(opts, WithProgress(func(sn Snapshot) { snaps = append(snaps, sn) }))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Solve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) == 0 || snaps[0].Phase != "construct" {
+			t.Fatalf("%s: no construction snapshot (got %d snaps)", s.Method(), len(snaps))
+		}
+		if last := snaps[len(snaps)-1]; math.Abs(last.Score-res.Score) > 1e-9 {
+			t.Fatalf("%s: last snapshot score %v != result %v", s.Method(), last.Score, res.Score)
+		}
+		// With withdrawals, snapshots must still cover every original paper
+		// index (the compacted baseline run is scattered back).
+		if err := s.WithdrawPaper(3); err != nil {
+			t.Fatal(err)
+		}
+		snaps = snaps[:0]
+		if _, err := s.Resolve(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) == 0 || len(snaps[0].Best.Groups) != in.NumPapers() {
+			t.Fatalf("%s: masked snapshot missing or mis-shaped", s.Method())
+		}
+		if len(snaps[0].Best.Groups[3]) != 0 {
+			t.Fatalf("%s: withdrawn paper has reviewers in snapshot", s.Method())
+		}
+	}
+}
+
+// TestSolverResolveAfterCancelledResolve: a Resolve aborted mid-pipeline
+// must not poison the warm state — the next Resolve rebuilds and matches a
+// cold solve of the edited instance.
+func TestSolverResolveAfterCancelledResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(157))
+	papers, reviewers := randomProblem(rng, 30, 22, 10)
+	in := NewInstance(papers, reviewers, 3, 0)
+	warm, err := NewSolver(in, WithMethod(MethodSDGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.AddConflict(5, 11); err != nil {
+		t.Fatal(err)
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := warm.Resolve(cancelled); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled resolve: err = %v", err)
+	}
+	warmRes, err := warm.Resolve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewSolver(warm.Instance(), WithMethod(MethodSDGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warmRes.Score-coldRes.Score) > 1e-9 {
+		t.Fatalf("post-cancel parity: warm %v != cold %v", warmRes.Score, coldRes.Score)
+	}
+}
+
+// TestSolverConcurrentSessions: independent sessions (each with its own
+// private instance copy) solve and edit concurrently; run under -race in CI.
+func TestSolverConcurrentSessions(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	papers, reviewers := randomProblem(rng, 18, 12, 8)
+	in := NewInstance(papers, reviewers, 3, 0)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			s, err := NewSolver(in, WithMethod(MethodSDGA), WithSeed(int64(g+1)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if _, err := s.Solve(context.Background()); err != nil {
+				errs <- err
+				return
+			}
+			if err := s.AddConflict(g%len(reviewers), g%len(papers)); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := s.Resolve(context.Background()); err != nil {
+				errs <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSolverSingleSessionMutualExclusion: one session hammered from many
+// goroutines stays consistent — the mutex serialises Solve/Resolve/mutators
+// (the documented single-flight behavior). Run under -race in CI.
+func TestSolverSingleSessionMutualExclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(127))
+	papers, reviewers := randomProblem(rng, 16, 12, 8)
+	in := NewInstance(papers, reviewers, 3, 0)
+	s, err := NewSolver(in, WithMethod(MethodSDGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 3 {
+			case 0:
+				_, _ = s.Solve(context.Background())
+			case 1:
+				_ = s.AddConflict(g%len(reviewers), g%len(papers))
+				_, _ = s.Resolve(context.Background())
+			default:
+				_, _ = s.Resolve(context.Background())
+			}
+		}(g)
+	}
+	wg.Wait()
+	// After the dust settles the session still produces a valid assignment.
+	res, err := s.Resolve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.ValidateAssignment(res.Assignment); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOptionDefaultsUnified: the resolved-options path gives Assign, Refine
+// and NewSolver identical documented defaults (method sdga-sra, ω=10,
+// seed 1), and the deprecated AssignOptions shim converts losslessly.
+func TestOptionDefaultsUnified(t *testing.T) {
+	def := resolveOptions(nil)
+	if def.method != MethodSDGASRA || def.omega != 10 || def.seed != 1 ||
+		def.transport != TransportDijkstra || def.refinementBudget != 0 {
+		t.Fatalf("resolved defaults = %+v", def)
+	}
+	sra := def.sra()
+	if sra.Omega != 10 || sra.Seed != 1 || sra.TimeBudget != 0 {
+		t.Fatalf("default SRA = %+v", sra)
+	}
+	// The legacy struct's zero value resolves to the same configuration.
+	legacy := resolveOptions(AssignOptions{}.asOptions())
+	if legacy.method != def.method || legacy.transport != def.transport ||
+		legacy.omega != def.omega || legacy.seed != def.seed ||
+		legacy.refinementBudget != def.refinementBudget {
+		t.Fatalf("AssignOptions{} resolves to %+v, want %+v", legacy, def)
+	}
+	// Non-zero legacy fields survive the conversion.
+	full := resolveOptions(AssignOptions{
+		Method:           MethodGreedy,
+		Transport:        TransportLegacy,
+		Omega:            4,
+		RefinementBudget: time.Second,
+		Seed:             7,
+	}.asOptions())
+	if full.method != MethodGreedy || full.transport != TransportLegacy ||
+		full.omega != 4 || full.refinementBudget != time.Second || full.seed != 7 {
+		t.Fatalf("converted options = %+v", full)
+	}
+	// Invalid explicit values fall back to the defaults instead of
+	// diverging (the historical Refine bug class this test pins down).
+	clamped := resolveOptions([]Option{WithOmega(0), WithSeed(0)})
+	if clamped.omega != 10 || clamped.seed != 1 {
+		t.Fatalf("clamped options = %+v", clamped)
+	}
+
+	// Behavioral check: Refine with zero options equals Refine with the
+	// documented defaults spelled out.
+	rng := rand.New(rand.NewSource(131))
+	papers, reviewers := randomProblem(rng, 12, 8, 6)
+	in := NewInstance(papers, reviewers, 2, 0)
+	base, err := Assign(in, AssignOptions{Method: MethodGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := Refine(in, base.Assignment, AssignOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Refine(in, base.Assignment, AssignOptions{Omega: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(in.AssignmentScore(a1)-in.AssignmentScore(a2)) > 1e-12 {
+		t.Fatal("zero-value Refine diverges from the documented defaults")
+	}
+}
+
+// TestSolverShimEquivalence: the deprecated one-shot Assign must return the
+// same assignment as an explicit session Solve with equivalent options.
+func TestSolverShimEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(137))
+	papers, reviewers := randomProblem(rng, 15, 10, 7)
+	in := NewInstance(papers, reviewers, 3, 0)
+	for _, m := range []Method{MethodSDGA, MethodSDGASRA, MethodGreedy} {
+		shim, err := Assign(in, AssignOptions{Method: m, Omega: 4, Seed: 11})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		s, err := NewSolver(in, WithMethod(m), WithOmega(4), WithSeed(11))
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		sess, err := s.Solve(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if math.Abs(shim.Score-sess.Score) > 1e-12 {
+			t.Fatalf("%s: shim score %v != session score %v", m, shim.Score, sess.Score)
+		}
+	}
+}
+
+// TestSolverWorkloadEdit: growing δr mid-session re-solves warm and matches
+// the cold solve of the re-parameterised instance.
+func TestSolverWorkloadEdit(t *testing.T) {
+	rng := rand.New(rand.NewSource(139))
+	papers, reviewers := randomProblem(rng, 20, 15, 8)
+	in := NewInstance(papers, reviewers, 3, 0)
+	warm, err := NewSolver(in, WithMethod(MethodSDGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.SetWorkload(in.Workload + 2); err != nil {
+		t.Fatal(err)
+	}
+	warmRes, err := warm.Resolve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldIn := NewInstance(papers, reviewers, 3, in.Workload+2)
+	cold, err := NewSolver(coldIn, WithMethod(MethodSDGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(warmRes.Score-coldRes.Score) > 1e-9 {
+		t.Fatalf("workload edit parity: warm %v != cold %v", warmRes.Score, coldRes.Score)
+	}
+}
+
+// TestSolverAddReviewerEdit: a structural edit still resolves correctly and
+// the new reviewer is usable.
+func TestSolverAddReviewerEdit(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	papers, reviewers := randomProblem(rng, 14, 10, 6)
+	in := NewInstance(papers, reviewers, 3, 0)
+	s, err := NewSolver(in, WithMethod(MethodSDGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	idx, err := s.AddReviewer(Reviewer{ID: "late", Topics: randVec(rng, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != 10 {
+		t.Fatalf("AddReviewer index = %d, want 10", idx)
+	}
+	res, err := s.Resolve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := NewSolver(s.Instance(), WithMethod(MethodSDGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, err := cold.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score-coldRes.Score) > 1e-9 {
+		t.Fatalf("reviewer-add parity: warm %v != cold %v", res.Score, coldRes.Score)
+	}
+}

@@ -1,6 +1,7 @@
 // Package wgrap is the public API of the Weighted-coverage Group-based
 // Reviewer Assignment library, a reproduction of "Weighted Coverage based
-// Reviewer Assignment" (Kou, U, Mamoulis, Gong — SIGMOD 2015).
+// Reviewer Assignment" (Kou, U, Mamoulis, Gong — SIGMOD 2015) grown into a
+// serving-oriented assignment engine.
 //
 // The package exposes the paper's data model (topic vectors, reviewers,
 // papers, assignments), the exact Journal Reviewer Assignment solver (the
@@ -10,30 +11,48 @@
 // evaluation), the evaluation metrics, and the topic-extraction pipeline
 // (Author-Topic Model plus EM inference).
 //
-// Quick start:
+// # Solver sessions
+//
+// The primary entry point is the long-lived Solver session. Real conference
+// workloads are incremental — papers are withdrawn, reviewers declare late
+// conflicts, workloads change — so the Solver owns its hot state (profit
+// matrices, per-stage transportation solvers, refinement scratch) across
+// calls and re-solves warm after edits:
 //
 //	in := wgrap.NewInstance(papers, reviewers, 3, 0) // δp=3, minimum workload
-//	result, err := wgrap.Assign(in, wgrap.AssignOptions{})
-//	// result.Assignment.Groups[p] lists the reviewers of paper p.
+//	solver, err := wgrap.NewSolver(in)               // default SDGA-SRA pipeline
+//	res, err := solver.Solve(ctx)                    // cold solve
+//	// … a reviewer declares a conflict of interest:
+//	err = solver.AddConflict(r, p)
+//	res, err = solver.Resolve(ctx)                   // warm re-solve: much faster
 //
-// For a single (journal) paper:
+// Resolve re-fills only the profit-matrix rows the edits dirtied and
+// re-solves each SDGA stage's transportation from the retained flow and
+// duals; the result matches what a cold Solve of the edited instance would
+// return. Streaming anytime progress is available through
+// Solver.OnImprovement (or the WithProgress option); structured sentinel
+// errors (ErrInfeasible, ErrConflictSaturated, …) classify every failure.
 //
-//	group, err := wgrap.AssignJournal(in) // exact optimum via BBA
+// Long-running calls are cancellable: construction aborts with the context
+// error, the (anytime) refinement phase stops gracefully at the deadline and
+// keeps the best assignment found. The hot paths — marginal-gain evaluation
+// and profit-matrix construction — run through the fused, parallel gain
+// engine of internal/engine; the transportation solves through the
+// warm-startable Dijkstra solver of internal/flow.
 //
-// Long-running assignments are cancellable: AssignContext and RefineContext
-// accept a context.Context whose cancellation or deadline aborts the
-// construction phase and gracefully stops the (anytime) refinement phase.
-// The hot paths — marginal-gain evaluation and profit-matrix construction —
-// run through the fused, parallel gain engine of internal/engine.
+// For single-paper (journal) assignment, AssignJournalContext returns the
+// exact optimum via branch and bound and TopReviewerGroupsContext the k best
+// groups.
+//
+// The one-shot Assign/Refine entry points remain as deprecated shims over
+// the session API.
 package wgrap
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/cra"
 	"repro/internal/eval"
 	"repro/internal/flow"
 	"repro/internal/jra"
@@ -116,40 +135,25 @@ type TransportSolver = flow.Solver
 const (
 	// TransportDijkstra is the default: a CSR-stored
 	// Dijkstra-with-potentials solver that augments along maximal sets of
-	// tight paths and warm-starts stage re-solves.
+	// tight paths and warm-starts stage and session re-solves.
 	TransportDijkstra TransportSolver = flow.Dijkstra
 	// TransportLegacy is the original SPFA successive-shortest-paths solver,
-	// kept for parity testing and the transport ablation benchmark.
+	// kept for parity testing and the transport ablation benchmark. It has
+	// no warm path: sessions configured with it re-solve cold.
 	TransportLegacy TransportSolver = flow.Legacy
 )
 
-// AssignOptions configure Assign.
-type AssignOptions struct {
-	// Method selects the algorithm (default MethodSDGASRA).
-	Method Method
-	// Transport selects the transportation solver used by the flow-based
-	// methods (default TransportDijkstra).
-	Transport TransportSolver
-	// Omega is the convergence threshold of the stochastic refinement
-	// (default 10; only used by MethodSDGASRA).
-	Omega int
-	// RefinementBudget optionally caps the wall-clock refinement time. With
-	// AssignContext it is unified with the context deadline: the refinement
-	// stops at whichever comes first and returns the best assignment found.
-	RefinementBudget time.Duration
-	// Seed makes stochastic steps reproducible (default 1).
-	Seed int64
-}
-
 // Result is the outcome of a conference assignment.
 type Result struct {
-	// Assignment holds, for every paper index, the assigned reviewer indices.
+	// Assignment holds, for every paper index, the assigned reviewer
+	// indices; papers withdrawn from the session have empty groups.
 	Assignment *Assignment
-	// Score is the WGRAP objective value (sum of per-paper coverage scores).
+	// Score is the WGRAP objective value (sum of per-paper coverage scores
+	// over the active papers).
 	Score float64
-	// AverageCoverage is Score divided by the number of papers.
+	// AverageCoverage is Score divided by the number of active papers.
 	AverageCoverage float64
-	// LowestCoverage is the coverage score of the worst-served paper.
+	// LowestCoverage is the coverage score of the worst-served active paper.
 	LowestCoverage float64
 	// Elapsed is the wall-clock time of the assignment.
 	Elapsed time.Duration
@@ -157,98 +161,34 @@ type Result struct {
 	Method Method
 }
 
-// algorithmFor maps a Method to its implementation.
-func algorithmFor(opts AssignOptions) (cra.Algorithm, error) {
-	method := opts.Method
-	if method == "" {
-		method = MethodSDGASRA
-	}
-	switch method {
-	case MethodSDGASRA:
-		return cra.WithRefiner{
-			Base:    cra.SDGA{Transport: opts.Transport},
-			Refiner: cra.SRA{Omega: opts.Omega, TimeBudget: opts.RefinementBudget, Seed: opts.Seed},
-		}, nil
-	case MethodSDGA:
-		return cra.SDGA{Transport: opts.Transport}, nil
-	case MethodGreedy:
-		return cra.Greedy{}, nil
-	case MethodBRGG:
-		return cra.BRGG{}, nil
-	case MethodStableMatching:
-		return cra.StableMatching{}, nil
-	case MethodPairILP:
-		return cra.PairILP{Transport: opts.Transport}, nil
-	default:
-		return nil, fmt.Errorf("wgrap: unknown method %q", method)
-	}
-}
-
-// Assign computes a conference assignment with the selected method (the
-// general WGRAP of Definition 3). It is AssignContext with
-// context.Background().
-func Assign(in *Instance, opts AssignOptions) (*Result, error) {
-	return AssignContext(context.Background(), in, opts)
-}
-
-// AssignContext computes a conference assignment under a context, the entry
-// point for serving: cancelling ctx (or letting its deadline pass) aborts
-// the construction phase with the context's error and gracefully stops the
-// refinement phase of MethodSDGASRA, which is an anytime algorithm and
-// returns the best assignment found so far. A ctx deadline and
-// opts.RefinementBudget compose; the earlier one stops the refinement.
-func AssignContext(ctx context.Context, in *Instance, opts AssignOptions) (*Result, error) {
-	alg, err := algorithmFor(opts)
-	if err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	a, err := alg.AssignContext(ctx, in)
-	if err != nil {
-		return nil, err
-	}
-	elapsed := time.Since(start)
-	method := opts.Method
-	if method == "" {
-		method = MethodSDGASRA
-	}
-	return &Result{
-		Assignment:      a,
-		Score:           in.AssignmentScore(a),
-		AverageCoverage: eval.AverageCoverage(in, a),
-		LowestCoverage:  eval.LowestCoverage(in, a),
-		Elapsed:         elapsed,
-		Method:          method,
-	}, nil
-}
-
-// Refine improves an existing assignment with the stochastic refinement of
-// Section 4.4 and returns the refined copy (never worse than the input).
-// It is RefineContext with context.Background().
-func Refine(in *Instance, a *Assignment, opts AssignOptions) (*Assignment, error) {
-	return RefineContext(context.Background(), in, a, opts)
-}
-
-// RefineContext improves an existing assignment under a context. Refinement
-// is an anytime process: when ctx is done (or opts.RefinementBudget expires,
-// whichever comes first) the best assignment found so far is returned —
-// never worse than the input.
-func RefineContext(ctx context.Context, in *Instance, a *Assignment, opts AssignOptions) (*Assignment, error) {
-	sra := cra.SRA{Omega: opts.Omega, TimeBudget: opts.RefinementBudget, Seed: opts.Seed}
-	return sra.RefineContext(ctx, in, a)
-}
-
 // AssignJournal finds the optimal reviewer group for a single-paper instance
 // (the Journal Reviewer Assignment of Definition 6) with the exact
-// Branch-and-Bound Algorithm.
+// Branch-and-Bound Algorithm. It is AssignJournalContext with
+// context.Background().
 func AssignJournal(in *Instance) (JournalResult, error) {
-	return jra.BranchAndBound{}.Solve(in)
+	return AssignJournalContext(context.Background(), in)
+}
+
+// AssignJournalContext is AssignJournal under a context: the exact search
+// polls ctx and aborts with its error when cancelled (there is no partial
+// optimum to return). Conflict saturation surfaces as ErrConflictSaturated.
+func AssignJournalContext(ctx context.Context, in *Instance) (JournalResult, error) {
+	res, err := jra.BranchAndBound{}.SolveContext(ctx, in)
+	return res, wrapErr(err)
 }
 
 // TopReviewerGroups returns the k best reviewer groups for a single-paper
-// instance, best first.
+// instance, best first. It is TopReviewerGroupsContext with
+// context.Background().
 func TopReviewerGroups(in *Instance, k int) ([]JournalResult, error) {
-	return jra.BranchAndBound{}.TopK(in, k)
+	return TopReviewerGroupsContext(context.Background(), in, k)
+}
+
+// TopReviewerGroupsContext is TopReviewerGroups under a context (see
+// AssignJournalContext).
+func TopReviewerGroupsContext(ctx context.Context, in *Instance, k int) ([]JournalResult, error) {
+	res, err := jra.BranchAndBound{}.TopKContext(ctx, in, k)
+	return res, wrapErr(err)
 }
 
 // OptimalityRatio returns the assignment's score relative to the ideal
@@ -262,4 +202,52 @@ func OptimalityRatio(in *Instance, a *Assignment) float64 {
 func SuperiorityRatio(in *Instance, x, y *Assignment) (betterOrEqual, ties float64) {
 	s := eval.SuperiorityRatio(in, x, y)
 	return s.BetterOrEqual, s.Ties
+}
+
+// Assign computes a conference assignment with the selected method (the
+// general WGRAP of Definition 3).
+//
+// Deprecated: use NewSolver and Solver.Solve — the session API reuses solver
+// state across calls and supports incremental edits with warm re-solves.
+// Assign remains as a thin shim: one throwaway session per call.
+func Assign(in *Instance, opts AssignOptions) (*Result, error) {
+	return AssignContext(context.Background(), in, opts)
+}
+
+// AssignContext computes a conference assignment under a context: cancelling
+// ctx (or letting its deadline pass) aborts the construction phase with the
+// context's error and gracefully stops the refinement phase of
+// MethodSDGASRA, which is an anytime algorithm and returns the best
+// assignment found so far. A ctx deadline and opts.RefinementBudget compose;
+// the earlier one stops the refinement.
+//
+// Deprecated: use NewSolver and Solver.Solve (see Assign).
+func AssignContext(ctx context.Context, in *Instance, opts AssignOptions) (*Result, error) {
+	s, err := NewSolver(in, opts.asOptions()...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(ctx)
+}
+
+// Refine improves an existing assignment with the stochastic refinement of
+// Section 4.4 and returns the refined copy (never worse than the input).
+//
+// Deprecated: configure a Solver with MethodSDGASRA instead; Refine remains
+// for callers that produce assignments out-of-band. It resolves its
+// defaults (ω=10, seed 1) through the same path as every other entry point.
+func Refine(in *Instance, a *Assignment, opts AssignOptions) (*Assignment, error) {
+	return RefineContext(context.Background(), in, a, opts)
+}
+
+// RefineContext improves an existing assignment under a context. Refinement
+// is an anytime process: when ctx is done (or opts.RefinementBudget expires,
+// whichever comes first) the best assignment found so far is returned —
+// never worse than the input.
+//
+// Deprecated: see Refine.
+func RefineContext(ctx context.Context, in *Instance, a *Assignment, opts AssignOptions) (*Assignment, error) {
+	o := resolveOptions(opts.asOptions())
+	refined, err := o.sra().RefineContext(ctx, in, a)
+	return refined, wrapErr(err)
 }
