@@ -376,3 +376,30 @@ func BenchmarkSDGALargeConference(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSRARefinementRoundsPaperScale measures the per-round cost of the
+// stochastic refinement at the paper's conference scale (P=1000, R=2000,
+// T=40): a fixed number of rounds over a fixed SDGA construction. The
+// per-round dirty tracking (engine.FillProfitRows + flow ResolveRows inside
+// cra's completion) re-fills only the profit rows of papers whose
+// post-removal group changed since the previous round, instead of rebuilding
+// the whole P×R matrix and transport every round.
+func BenchmarkSRARefinementRoundsPaperScale(b *testing.B) {
+	in := benchConferenceInstance(1000, 2000, 40, 3)
+	base, err := (cra.SDGA{}).Assign(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sra := cra.SRA{Omega: 1000, MaxRounds: 8, Seed: int64(i + 1)}
+		refined, err := sra.Refine(in, base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if in.AssignmentScore(refined) < in.AssignmentScore(base)-1e-9 {
+			b.Fatal("refinement decreased the score")
+		}
+	}
+}

@@ -80,12 +80,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wgrap-bench", flag.ContinueOnError)
 	inPath := fs.String("in", "-", "bench text input file (- = stdin)")
 	outPath := fs.String("out", "", "write the JSON snapshot to this file")
-	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit", "regexp of benchmarks recorded in the snapshot")
+	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit|TransportStageSequencePaperScale|SolveColdPaperScale", "regexp of benchmarks recorded in the snapshot")
 	note := fs.String("note", "", "free-form note stored in the snapshot")
 	baseline := fs.String("baseline", "", "baseline JSON to gate against (no gating when empty)")
 	gatePat := fs.String("gate", "BenchmarkTransportSolve/dijkstra|BenchmarkResolveAfterEdit/warm", "regexp selecting the baseline benchmarks that gate")
 	maxRegression := fs.Float64("max-regression", 0.20, "allowed fractional ns/op slowdown before failing")
 	normalizeBy := fs.String("normalize-by", "", "benchmark whose ns/op divides both sides of the gate comparison (hardware-independent ratio gating)")
+	speedupNum := fs.String("speedup-num", "", "benchmark expected to be SLOWER in a same-run speedup assertion (e.g. the single-CPU variant)")
+	speedupDen := fs.String("speedup-den", "", "benchmark expected to be FASTER in a same-run speedup assertion (e.g. the sharded variant)")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail unless speedup-num's ns/op is at least this multiple of speedup-den's (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -128,10 +131,49 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "wrote %d benchmark(s) to %s\n", len(snap.Benchmarks), *outPath)
 	}
 
+	if *minSpeedup > 0 || *speedupNum != "" || *speedupDen != "" {
+		// Naming the benchmarks without a threshold (or vice versa) is a
+		// misconfigured gate, not a no-op: fail loudly either way.
+		if err := assertSpeedup(stdout, current, *speedupNum, *speedupDen, *minSpeedup); err != nil {
+			return err
+		}
+	}
 	if *baseline == "" {
 		return nil
 	}
 	return gate(stdout, current, *baseline, *gatePat, *normalizeBy, *maxRegression)
+}
+
+// assertSpeedup compares two benchmarks measured in the SAME run and fails
+// unless num (the variant expected to be slower, e.g. a single-CPU solve) is
+// at least minSpeedup times slower than den (e.g. the sharded multi-core
+// solve). Same-run comparison makes the assertion hardware-independent —
+// both sides ran on the same machine moments apart.
+func assertSpeedup(stdout io.Writer, current map[string]Result, num, den string, minSpeedup float64) error {
+	if num == "" || den == "" {
+		return fmt.Errorf("-min-speedup requires both -speedup-num and -speedup-den")
+	}
+	if minSpeedup <= 0 {
+		return fmt.Errorf("-speedup-num/-speedup-den require a positive -min-speedup")
+	}
+	n, okN := current[num]
+	d, okD := current[den]
+	if !okN || !okD {
+		return fmt.Errorf("speedup benchmarks missing from the current run (have %q: %v, %q: %v)", num, okN, den, okD)
+	}
+	if n.NsPerOp <= 0 || d.NsPerOp <= 0 {
+		return fmt.Errorf("speedup benchmarks have non-positive ns/op")
+	}
+	ratio := n.NsPerOp / d.NsPerOp
+	status := "ok"
+	if ratio < minSpeedup {
+		status = "FAIL"
+	}
+	fmt.Fprintf(stdout, "speedup %s / %s = %.2fx (want >= %.2fx)  %s\n", num, den, ratio, minSpeedup, status)
+	if ratio < minSpeedup {
+		return fmt.Errorf("speedup %.2fx below the required %.2fx", ratio, minSpeedup)
+	}
+	return nil
 }
 
 // gate compares the gated benchmarks of the baseline file against the current

@@ -193,3 +193,34 @@ func TestGateNormalizeByMissingReference(t *testing.T) {
 		t.Fatal("missing normalize-by reference accepted")
 	}
 }
+
+func TestMinSpeedupAssertion(t *testing.T) {
+	in := writeSample(t)
+	// legacy (508ms) vs dijkstra (5.2ms) in the same run: ~97x speedup.
+	pass := []string{"-in", in,
+		"-speedup-num", "BenchmarkTransportSolve/legacy-200x400",
+		"-speedup-den", "BenchmarkTransportSolve/dijkstra-200x400",
+		"-min-speedup", "50"}
+	var buf strings.Builder
+	if err := run(pass, nil, &buf); err != nil {
+		t.Fatalf("speedup assertion failed at 50x when the run shows ~97x: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "ok") {
+		t.Fatalf("missing speedup report:\n%s", buf.String())
+	}
+	fail := []string{"-in", in,
+		"-speedup-num", "BenchmarkTransportSolve/legacy-200x400",
+		"-speedup-den", "BenchmarkTransportSolve/dijkstra-200x400",
+		"-min-speedup", "200"}
+	var buf2 strings.Builder
+	if err := run(fail, nil, &buf2); err == nil {
+		t.Fatalf("speedup assertion passed at 200x when the run shows ~97x:\n%s", buf2.String())
+	}
+	// Missing operands and missing benchmarks are hard errors.
+	if err := run([]string{"-in", in, "-min-speedup", "2"}, nil, &strings.Builder{}); err == nil {
+		t.Fatal("missing -speedup-num/-speedup-den accepted")
+	}
+	if err := run([]string{"-in", in, "-speedup-num", "BenchmarkNope", "-speedup-den", "BenchmarkTransportSolve/dijkstra-200x400", "-min-speedup", "2"}, nil, &strings.Builder{}); err == nil {
+		t.Fatal("missing speedup benchmark accepted")
+	}
+}

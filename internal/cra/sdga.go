@@ -3,6 +3,7 @@ package cra
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -45,6 +46,13 @@ type SDGA struct {
 	// while flow.Legacy is the SPFA path kept for parity tests and the
 	// transport ablation benchmark.
 	Transport flow.Solver
+	// Shards bounds the goroutines the stage transport uses to load and seed
+	// each stage instance, sharded across papers — the same parallel axis the
+	// engine's profit-matrix build already exploits. 0 means GOMAXPROCS, 1
+	// serial. The assignment is identical for every value (the parallel
+	// passes write disjoint per-paper state; everything order-sensitive stays
+	// serial), so sharding is on by default.
+	Shards int
 	// PairBonus optionally adds a modular per-pair term to the marginal gain
 	// used by every stage (e.g. reviewer bids, see internal/bids). A modular
 	// bonus keeps the overall objective submodular, so the approximation
@@ -84,6 +92,7 @@ func (s SDGA) AssignContext(ctx context.Context, instance *core.Instance) (*core
 	}
 	var m engine.Matrix
 	tr := flow.NewTransport()
+	tr.Workers = shardWorkers(s.Shards)
 	for stage := 0; stage < in.GroupSize; stage++ {
 		if err := s.runStage(ctx, eng, a, groupVecs, rem, &m, tr); err != nil {
 			return nil, fmt.Errorf("cra: SDGA stage %d: %w", stage+1, err)
@@ -194,6 +203,18 @@ func (s SDGA) runStage(ctx context.Context, eng *engine.Oracle, a *core.Assignme
 		rem[r]--
 	}
 	return nil
+}
+
+// shardWorkers resolves a Shards setting: 0 means one worker per available
+// CPU, anything below 1 is serial.
+func shardWorkers(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
 // stageFallbackHook, when non-nil, is invoked whenever a stage falls back to

@@ -25,6 +25,11 @@ type SessionConfig struct {
 	// SRA parameterises the refinement (defaults are applied internally:
 	// Omega 10, Lambda 0.1, MaxRounds 1000, Seed 1).
 	SRA SRA
+	// Shards bounds the goroutines each stage transport uses to load and
+	// seed its instance, sharded across papers (0 = GOMAXPROCS, 1 = serial;
+	// see cra.SDGA.Shards). The solved assignment is identical for every
+	// value.
+	Shards int
 	// OnConstruct, when set, receives a private copy of the construction
 	// (SDGA) assignment before refinement starts.
 	OnConstruct func(a *core.Assignment)
@@ -282,6 +287,17 @@ func (s *Session) resolve(ctx context.Context) (*core.Assignment, error) {
 			}
 		}
 	}
+	// Conflict saturation can only arise here through drift (the session's
+	// own mutators reject saturating edits up front), but an active paper
+	// with fewer than δp eligible reviewers would otherwise surface as a
+	// generic transport infeasibility in whichever stage first runs out of
+	// candidates — after the earlier stages already ran. Fail fast with the
+	// precise typed error instead.
+	for p := 0; p < P; p++ {
+		if !s.withdrawn[p] && s.eligible(p) < in.GroupSize {
+			return nil, fmt.Errorf("%w (paper %d)", ErrConflictSaturated, p)
+		}
+	}
 	if !s.structural && !s.capsDirty && len(s.dirty) == 0 && s.last != nil {
 		// No pending edits: the recorded assignment is still the solution of
 		// the current instance (every solve path is deterministic for a
@@ -293,6 +309,18 @@ func (s *Session) resolve(ctx context.Context) (*core.Assignment, error) {
 		for i := range s.stages {
 			s.stages[i] = &sessionStage{}
 		}
+	}
+	workers := shardWorkers(s.cfg.Shards)
+	for _, st := range s.stages {
+		st.tr.Workers = workers
+	}
+	// The refinement transport follows the session-wide setting unless the
+	// SRA config pins its own shard count (mirroring what the same SRA value
+	// would do through SRA.RefineContext).
+	if s.cfg.SRA.Shards != 0 {
+		s.sraTr.Workers = shardWorkers(s.cfg.SRA.Shards)
+	} else {
+		s.sraTr.Workers = workers
 	}
 	structural := s.structural || s.last == nil
 
@@ -494,7 +522,7 @@ func (s *Session) refineConstruction(ctx context.Context, construction *core.Ass
 	return run.refine(ctx, construction)
 }
 
-// tieBreak returns a deterministic, index-keyed perturbation in [0, 1e-9)
+// tieBreak returns a deterministic, index-keyed perturbation in [0, 1e-7)
 // added to every stage profit cell. Weighted-coverage gains tie exactly and
 // systematically (the min() saturates: any reviewer covering a paper's
 // remaining need yields the identical capped gain), and tied transportation
@@ -502,15 +530,26 @@ func (s *Session) refineConstruction(ctx context.Context, construction *core.Ass
 // SolveDense and a warm ResolveRows. The perturbation makes the stage
 // optimum unique, so warm and cold runs of the same edited instance pick
 // identical plans and the session's replay parity is exact rather than
-// tie-lucky. The distortion is ≤ 1e-9 per paper — below every tolerance the
-// library guarantees — and identical across runs (it depends only on the
-// pair indices).
+// tie-lucky.
+//
+// The range is a deliberate compromise between two failure modes. It must
+// sit far ABOVE the transport's tightness tolerance (1e-12): the solver
+// treats any reduced cost within that tolerance as zero, so a perturbation
+// gap that lands below it is invisible and the "unique" optimum decays back
+// into search-order ambiguity — warm and cold replays then legitimately pick
+// different plans, which the stochastic refinement amplifies into real score
+// divergence (observed at the earlier [0, 1e-9) range, where roughly one
+// tied pair in 10³ drew an unresolvable gap; at 1e-7 that is one in 10⁵ of
+// an already small population). And it must sit BELOW any genuine gain
+// difference it could override: real non-tied gains differ at the 1e-2
+// scale, so a 1e-7 nudge only ever decides exact ties. The value is
+// identical across runs (it depends only on the pair indices).
 func tieBreak(p, r int) float64 {
 	x := uint64(p+1)*0x9E3779B97F4A7C15 ^ uint64(r+1)*0xC2B2AE3D27D4EB4F
 	x ^= x >> 33
 	x *= 0xFF51AFD7ED558CCD
 	x ^= x >> 33
-	return 1e-9 * float64(x>>11) / float64(1<<53)
+	return 1e-7 * float64(x>>11) / float64(1<<53)
 }
 
 // growInts returns s resized to n; contents are unspecified.

@@ -338,3 +338,141 @@ func firstWithdrawn(s *Session) int {
 	}
 	return -1
 }
+
+// TestSessionBatchedEditParity is the batched-edit correctness requirement:
+// several edits (conflicts, withdrawals, workload changes, restores) are
+// applied before a single warm Resolve, which must match a cold Solve of the
+// identically edited instance to 1e-9. Shards is pinned above 1 so the
+// sharded stage solve is exercised even on single-CPU runners.
+func TestSessionBatchedEditParity(t *testing.T) {
+	for _, cfg := range []struct {
+		name string
+		c    SessionConfig
+	}{
+		{"sdga-sharded", SessionConfig{Shards: 4}},
+		{"sdga-sra-sharded", SessionConfig{Shards: 4, Refine: true, SRA: SRA{Omega: 3, MaxRounds: 20, Seed: 9, Shards: 4}}},
+		{"sdga-serial", SessionConfig{Shards: 1}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(53))
+			base := sessionInstance(rng, 36, 28, 10, 3)
+			warm, err := NewSession(base.Clone(), cfg.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := warm.Solve(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			editRng := rand.New(rand.NewSource(101))
+			// Batch sizes come from a separate stream: replayEdits regenerates
+			// the edit script from the edit seed alone, so batch-size draws
+			// must not skew it.
+			batchRng := rand.New(rand.NewSource(7))
+			edits := 0
+			for batch := 0; batch < 4; batch++ {
+				// A batch of 2–5 edits before one warm resolve.
+				n := 2 + batchRng.Intn(4)
+				for k := 0; k < n; k++ {
+					applyEdit(t, warm, editRng, edits)
+					edits++
+				}
+				warmA, err := warm.Resolve(context.Background())
+				if err != nil {
+					t.Fatalf("batch %d: warm resolve: %v", batch, err)
+				}
+				cold := replayEdits(t, base, cfg.c, edits, 101)
+				coldA, err := cold.Solve(context.Background())
+				if err != nil {
+					t.Fatalf("batch %d: cold solve: %v", batch, err)
+				}
+				ws, cs := scoreActive(warm, warmA), scoreActive(cold, coldA)
+				if math.Abs(ws-cs) > 1e-9 {
+					t.Fatalf("batch %d (%d edits): warm score %v != cold score %v", batch, edits, ws, cs)
+				}
+				validateSessionAssignment(t, warm, warmA)
+			}
+		})
+	}
+}
+
+// TestSessionDriftSaturationSurfaces: conflicts added behind the session's
+// back (out-of-band instance mutation) that saturate an active paper must
+// surface ErrConflictSaturated from the next Resolve — never a panic, a
+// late-stage transport error, or a silently confirmed stale assignment.
+func TestSessionDriftSaturationSurfaces(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	base := sessionInstance(rng, 8, 6, 8, 3)
+	s, err := NewSession(base.Clone(), SessionConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-band: saturate paper 3 directly on the owned instance, leaving
+	// only δp−1 eligible reviewers.
+	inner := s.Instance()
+	for r := 0; r < inner.NumReviewers()-inner.GroupSize+1; r++ {
+		inner.AddConflict(r, 3)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		a, err := s.Resolve(context.Background())
+		if !errors.Is(err, ErrConflictSaturated) {
+			t.Fatalf("attempt %d: err = %v, want ErrConflictSaturated", attempt, err)
+		}
+		if a != nil {
+			t.Fatalf("attempt %d: Resolve returned an assignment alongside the error", attempt)
+		}
+	}
+	// A withdrawn saturated paper no longer blocks the session.
+	if err := s.WithdrawPaper(3); err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Resolve(context.Background())
+	if err != nil {
+		t.Fatalf("resolve after withdrawing the saturated paper: %v", err)
+	}
+	validateSessionAssignment(t, s, a)
+}
+
+// TestSessionBatchedEditParityRandomized sweeps random instances, SRA seeds
+// and edit scripts: each batch applies four edits before a single warm
+// Resolve, which must match a cold Solve of the identically edited instance
+// to 1e-9 — with refinement enabled and the sharded stage solve forced on.
+func TestSessionBatchedEditParityRandomized(t *testing.T) {
+	fail := 0
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(200 + seed))
+		base := sessionInstance(rng, 30+rng.Intn(20), 22+rng.Intn(14), 8+rng.Intn(6), 3)
+		cfg := SessionConfig{Refine: true, SRA: SRA{Omega: 3, MaxRounds: 15, Seed: seed + 1}, Shards: 3}
+		warm, err := NewSession(base.Clone(), cfg)
+		if err != nil {
+			continue
+		}
+		if _, err := warm.Solve(context.Background()); err != nil {
+			continue
+		}
+		editRng := rand.New(rand.NewSource(1000 + seed))
+		edits := 0
+		for batch := 0; batch < 3; batch++ {
+			for k := 0; k < 4; k++ {
+				applyEdit(t, warm, editRng, edits)
+				edits++
+			}
+			warmA, err := warm.Resolve(context.Background())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			cold := replayEdits(t, base, cfg, edits, 1000+seed)
+			coldA, err := cold.Solve(context.Background())
+			if err != nil {
+				t.Fatalf("seed %d cold: %v", seed, err)
+			}
+			if ws, cs := scoreActive(warm, warmA), scoreActive(cold, coldA); math.Abs(ws-cs) > 1e-9 {
+				t.Errorf("seed %d batch %d: warm %v != cold %v", seed, batch, ws, cs)
+				fail++
+			}
+		}
+	}
+	t.Logf("failures: %d", fail)
+}

@@ -2,8 +2,10 @@ package cra
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"slices"
 	"time"
 
 	"repro/internal/core"
@@ -60,6 +62,10 @@ type SRA struct {
 	Model ProbabilityModel
 	// Seed makes the stochastic process reproducible (default 1).
 	Seed int64
+	// Shards bounds the goroutines the per-round completion transport uses
+	// to load its instance (0 = GOMAXPROCS, 1 = serial; see SDGA.Shards).
+	// The refinement trajectory is identical for every value.
+	Shards int
 	// OnRound, when set, is called after every refinement round with the
 	// 1-based round number, the best score so far and the elapsed time; the
 	// refinement-progress experiment (Figure 12) uses it to record a trace.
@@ -122,13 +128,14 @@ func (s SRA) RefineContext(ctx context.Context, instance *core.Instance, start *
 		// semantics, the input is the best known assignment.
 		return start.Clone(), nil
 	}
+	tr := &flow.Transport{Workers: shardWorkers(s.Shards)}
 	run := sraRun{
 		cfg:           s,
 		eng:           eng,
 		pairScore:     pairs.Rows(),
 		reviewerTotal: pairReviewerTotals(pairs.Rows(), nil, in.NumReviewers()),
 		fill:          &engine.Matrix{},
-		tr:            &flow.Transport{},
+		tr:            tr,
 		rng:           rand.New(rand.NewSource(s.Seed)),
 	}
 	return run.refine(ctx, start)
@@ -136,6 +143,10 @@ func (s SRA) RefineContext(ctx context.Context, instance *core.Instance, start *
 
 // pairReviewerTotals sums each reviewer's pair scores over the active papers
 // (the denominator of Equation 9). A nil active mask means every paper.
+// Non-finite scores (a custom ScoreFunc gone wrong) are skipped so one bad
+// cell cannot poison a reviewer's whole denominator with NaN — the
+// probability model then degrades to the uniform floor for that reviewer
+// instead of producing a zero-mass removal distribution.
 func pairReviewerTotals(pairScore [][]float64, active []bool, R int) []float64 {
 	totals := make([]float64, R)
 	for p := range pairScore {
@@ -143,7 +154,9 @@ func pairReviewerTotals(pairScore [][]float64, active []bool, R int) []float64 {
 			continue
 		}
 		for r, c := range pairScore[p] {
-			totals[r] += c
+			if !math.IsInf(c, 0) && !math.IsNaN(c) {
+				totals[r] += c
+			}
 		}
 	}
 	return totals
@@ -205,6 +218,8 @@ func (run *sraRun) refine(ctx context.Context, start *core.Assignment) (*core.As
 	startTime := time.Now()
 
 	victims := make([]int, P)
+	comp := newCompletion(P)
+	weights := make([]float64, in.GroupSize)
 
 	for iter := 1; iter <= s.MaxRounds && stale < s.Omega; iter++ {
 		if ctx.Err() != nil {
@@ -223,21 +238,24 @@ func (run *sraRun) refine(ctx context.Context, start *core.Assignment) (*core.As
 			if len(g) == 0 {
 				continue
 			}
-			weights := make([]float64, len(g))
-			for i, r := range g {
-				weights[i] = 1 - run.prob(r, p, iter)
-				if weights[i] < 0 {
-					weights[i] = 0
+			w := weights[:0]
+			for _, r := range g {
+				wi := 1 - run.prob(r, p, iter)
+				if wi < 0 {
+					wi = 0
 				}
+				w = append(w, wi)
 			}
-			victim := g[categorical(run.rng, weights)]
+			victim := g[categorical(run.rng, w)]
 			trial.Remove(p, victim)
 			rem[victim]++
 			victims[p] = victim
 		}
 		// Completion phase: one Stage-WGRAP linear assignment adds a reviewer
-		// back to every paper (Figure 8(c)).
-		added, err := fillMissingSlots(ctx, run.eng, trial, rem, run.fill, run.tr, run.active)
+		// back to every paper (Figure 8(c)). The completion re-fills profit
+		// rows and re-solves the transport only for papers whose post-removal
+		// group actually changed since the previous round (see complete).
+		added, err := run.complete(ctx, comp, trial, rem)
 		if err != nil {
 			if ctx.Err() != nil {
 				break
@@ -282,6 +300,119 @@ func (run *sraRun) refine(ctx context.Context, start *core.Assignment) (*core.As
 	return best, nil
 }
 
+// completion is the retained state of the per-round Stage-WGRAP completion:
+// the profit matrix contents are described row-by-row by the post-removal
+// group (sorted) and open-slot count that were last written into them, so a
+// round only re-fills the rows — and only releases the transport flow — of
+// papers whose removal actually changed something. In the common case where
+// a round removes and re-adds the same reviewer for most papers, the bulk of
+// the O(P·R·T) matrix rebuild and of the transport re-solve disappears.
+type completion struct {
+	started bool
+	// prev[p] is the sorted post-removal group currently encoded in profit
+	// row p; need[p] the open-slot count; groupVecs[p] the matching group
+	// expertise vector.
+	prev      [][]int32
+	need      []int
+	groupVecs []core.Vector
+	scratch   []int32
+	dirty     []int
+}
+
+func newCompletion(papers int) *completion {
+	return &completion{
+		prev:      make([][]int32, papers),
+		need:      make([]int, papers),
+		groupVecs: make([]core.Vector, papers),
+	}
+}
+
+// complete adds one reviewer back to every open slot of trial with a single
+// maximum-profit transportation solve (Figure 8(c)), warm: profit rows are
+// re-filled via engine.FillProfitRows and the transport re-solved via
+// flow.Transport.ResolveRows for the dirty papers only. Reviewer capacity
+// lives exclusively in the transport's column capacities (rem), never in the
+// profit cells, which is what keeps clean rows byte-identical across rounds.
+// On success the added reviewers are applied to trial and rem; on
+// flow.ErrInfeasible the matrix and transport keep this round's instance (the
+// next round diffs against it); on any other error the state is marked cold
+// so the next round rebuilds from scratch.
+func (run *sraRun) complete(ctx context.Context, c *completion, trial *core.Assignment, rem []int) ([][]int, error) {
+	in := run.eng.Instance()
+	P := in.NumPapers()
+	c.dirty = c.dirty[:0]
+	for p := 0; p < P; p++ {
+		need := 0
+		if run.active == nil || run.active[p] {
+			need = in.GroupSize - len(trial.Groups[p])
+			if need < 0 {
+				need = 0
+			}
+		}
+		g := trial.Groups[p]
+		key := c.scratch[:0]
+		for _, r := range g {
+			key = append(key, int32(r))
+		}
+		c.scratch = key
+		slices.Sort(key)
+		if c.started && need == c.need[p] && slices.Equal(key, c.prev[p]) {
+			continue
+		}
+		c.need[p] = need
+		c.prev[p] = append(c.prev[p][:0], key...)
+		c.dirty = append(c.dirty, p)
+		if c.groupVecs[p] == nil {
+			c.groupVecs[p] = make(core.Vector, in.NumTopics())
+		}
+		gv := c.groupVecs[p]
+		clear(gv)
+		for _, r := range g {
+			gv.MaxInPlace(in.Reviewers[r].Topics)
+		}
+	}
+	spec := engine.ProfitSpec{
+		GroupVecs: c.groupVecs,
+		Forbidden: func(p, r int) bool {
+			return c.need[p] == 0 || trial.Contains(p, r) || in.IsConflict(r, p)
+		},
+		ForbiddenValue: flow.Forbidden,
+	}
+	var rows [][]int
+	var err error
+	if !c.started {
+		if err = run.eng.FillProfit(ctx, run.fill, spec); err != nil {
+			return nil, err
+		}
+		rows, _, err = run.tr.SolveDense(run.fill.Rows(), c.need, rem)
+		if err == nil || errors.Is(err, flow.ErrInfeasible) {
+			// The dense CSR (and on infeasibility the partial flow) is loaded;
+			// later rounds can re-solve incrementally either way.
+			c.started = true
+		}
+	} else {
+		if err = run.eng.FillProfitRows(ctx, run.fill, spec, c.dirty); err != nil {
+			// The dirty rows may be partially re-filled; force a cold rebuild.
+			c.started = false
+			return nil, err
+		}
+		rows, _, err = run.tr.ResolveRows(run.fill.Rows(), c.dirty, c.need, rem)
+		if err != nil && !errors.Is(err, flow.ErrInfeasible) {
+			c.started = false
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	for p, cols := range rows {
+		for _, r := range cols {
+			trial.Assign(p, r)
+			rem[r]--
+		}
+	}
+	return rows, nil
+}
+
 // sum adds up a score slice.
 func sum(xs []float64) float64 {
 	t := 0.0
@@ -291,23 +422,46 @@ func sum(xs []float64) float64 {
 	return t
 }
 
-// categorical draws an index proportionally to the weights, falling back to a
-// uniform draw when all weights vanish.
+// zeroMassEps is the weight mass under which the removal distribution counts
+// as degenerate: weights are complements of probabilities in [0, 1], so a
+// legitimate total sits at O(1) and anything at rounding-noise scale means
+// every group member was estimated as near-certainly "correct".
+const zeroMassEps = 1e-12
+
+// categorical draws an index proportionally to the weights. Non-finite
+// weights are treated as zero, and when the whole distribution is degenerate
+// (total mass below zeroMassEps — e.g. every pair's membership probability
+// saturated at 1) it falls back deterministically to the largest weight,
+// ties broken by the lowest index, instead of sampling from a zero-mass
+// distribution; the random stream is not consumed in that case, so the
+// fallback is reproducible regardless of how the weights underflowed.
 func categorical(rng *rand.Rand, weights []float64) int {
 	total := 0.0
-	for _, w := range weights {
+	argmax := 0
+	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			continue
+		}
 		total += w
+		if w > weights[argmax] || math.IsNaN(weights[argmax]) || math.IsInf(weights[argmax], 0) || weights[argmax] < 0 {
+			argmax = i
+		}
 	}
-	if total <= 0 {
-		return rng.Intn(len(weights))
+	if total <= zeroMassEps || math.IsNaN(total) {
+		return argmax
 	}
 	u := rng.Float64() * total
 	acc := 0.0
 	for i, w := range weights {
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			continue
+		}
 		acc += w
 		if u < acc {
 			return i
 		}
 	}
-	return len(weights) - 1
+	// Rounding fell through the whole accumulation (u landed within an ulp of
+	// total): return the largest valid weight, never a sanitized-away index.
+	return argmax
 }

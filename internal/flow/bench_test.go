@@ -3,6 +3,7 @@ package flow
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -102,6 +103,19 @@ func BenchmarkTransportStageSequencePaperScale(b *testing.B) {
 		return totals
 	}
 
+	solveSharded := func() []float64 {
+		totals := make([]float64, stages)
+		tr := Transport{Workers: runtime.GOMAXPROCS(0)}
+		for s := 0; s < stages; s++ {
+			_, total, err := tr.Solve(profits[s], need, caps)
+			if err != nil {
+				b.Fatal(err)
+			}
+			totals[s] = total
+		}
+		return totals
+	}
+
 	// The legacy solver takes minutes at this scale — that gap is the point
 	// of the ablation — so each variant runs its solves exactly once per
 	// iteration and the objective parity is asserted on the iterations
@@ -111,6 +125,17 @@ func BenchmarkTransportStageSequencePaperScale(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			dTotals = append(dTotals, solveDijkstra())
+		}
+	})
+	b.Run("dijkstra-warm-sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sTotals := solveSharded()
+			for s := range sTotals {
+				if len(dTotals) > 0 && math.Abs(sTotals[s]-dTotals[0][s]) > 1e-9 {
+					b.Fatalf("stage %d: sharded objective %v != serial %v", s, sTotals[s], dTotals[0][s])
+				}
+			}
 		}
 	})
 	b.Run("legacy-spfa", func(b *testing.B) {

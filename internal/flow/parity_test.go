@@ -341,3 +341,62 @@ func TestTransportReuseAcrossShapes(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedLoadDeterminism: the sharded (Workers > 1) instance-load passes
+// must produce byte-identical plans to the serial solver — not merely equal
+// objectives — because sessions rely on replay determinism. Instances are
+// drawn above the parallel-load threshold so the goroutine pool actually
+// runs.
+func TestShardedLoadDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 6; trial++ {
+		n := 120 + rng.Intn(60)
+		m := 600 + rng.Intn(200)
+		profit, need, caps := randomInstance(rng, n, m, 1, 1, 0.05)
+		serial := Transport{Workers: 1}
+		sRows, sTotal, sErr := serial.Solve(profit, need, caps)
+		for _, workers := range []int{2, 4, 7} {
+			sharded := Transport{Workers: workers}
+			pRows, pTotal, pErr := sharded.Solve(profit, need, caps)
+			if (sErr == nil) != (pErr == nil) {
+				t.Fatalf("trial %d workers %d: err=%v vs serial err=%v", trial, workers, pErr, sErr)
+			}
+			if sErr != nil {
+				continue
+			}
+			if math.Abs(sTotal-pTotal) > 1e-12 {
+				t.Fatalf("trial %d workers %d: total %v != serial %v", trial, workers, pTotal, sTotal)
+			}
+			for i := range sRows {
+				if len(sRows[i]) != len(pRows[i]) {
+					t.Fatalf("trial %d workers %d row %d: plan %v != serial %v", trial, workers, i, pRows[i], sRows[i])
+				}
+				for k := range sRows[i] {
+					if sRows[i][k] != pRows[i][k] {
+						t.Fatalf("trial %d workers %d row %d: plan %v != serial %v", trial, workers, i, pRows[i], sRows[i])
+					}
+				}
+			}
+		}
+		// The dense path must agree with itself across worker counts too.
+		d1 := Transport{Workers: 1}
+		r1, t1, e1 := d1.SolveDense(profit, need, caps)
+		d4 := Transport{Workers: 4}
+		r4, t4, e4 := d4.SolveDense(profit, need, caps)
+		if (e1 == nil) != (e4 == nil) {
+			t.Fatalf("trial %d dense: err=%v vs %v", trial, e1, e4)
+		}
+		if e1 == nil {
+			if math.Abs(t1-t4) > 1e-12 {
+				t.Fatalf("trial %d dense: totals %v vs %v", trial, t1, t4)
+			}
+			for i := range r1 {
+				for k := range r1[i] {
+					if r1[i][k] != r4[i][k] {
+						t.Fatalf("trial %d dense row %d: %v vs %v", trial, i, r4[i], r1[i])
+					}
+				}
+			}
+		}
+	}
+}

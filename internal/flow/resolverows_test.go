@@ -217,3 +217,91 @@ func TestResolveRowsErrors(t *testing.T) {
 		t.Fatal("negative capacity accepted")
 	}
 }
+
+// TestSolveDenseFullyForbiddenRow: a cold dense solve with a demanding row
+// whose cells are all Forbidden must return ErrInfeasible (never panic), a
+// zero-demand forbidden row must be tolerated, and after the offending
+// demand is dropped the retained state must re-solve to the optimum of the
+// reduced instance.
+func TestSolveDenseFullyForbiddenRow(t *testing.T) {
+	profit := [][]float64{
+		{0.5, 0.2, 0.1},
+		{Forbidden, Forbidden, Forbidden},
+		{0.3, 0.4, 0.2},
+	}
+	need := []int{1, 1, 1}
+	caps := []int{1, 1, 1}
+	var tr Transport
+	if _, _, err := tr.SolveDense(profit, need, caps); err != ErrInfeasible {
+		t.Fatalf("saturated row: err = %v, want ErrInfeasible", err)
+	}
+	// Dropping the saturated row's demand makes the instance feasible again;
+	// the warm path must agree with a fresh solve.
+	need[1] = 0
+	rows, total, err := tr.ResolveRows(profit, []int{1}, need, caps)
+	if err != nil {
+		t.Fatalf("resolve after dropping the saturated demand: %v", err)
+	}
+	if len(rows[1]) != 0 {
+		t.Fatalf("forbidden row received columns %v", rows[1])
+	}
+	_, fresh, err := MaxProfitTransport(profit, need, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-fresh) > 1e-9 {
+		t.Fatalf("warm total %v != fresh total %v", total, fresh)
+	}
+	// A zero-demand forbidden row is fine from cold too.
+	var tr2 Transport
+	if _, _, err := tr2.SolveDense(profit, need, caps); err != nil {
+		t.Fatalf("cold solve with inactive forbidden row: %v", err)
+	}
+}
+
+// TestResolveRowsForbiddenRowAmongOthers: the saturated row must surface
+// ErrInfeasible even when other rows still have deficits the solver could
+// satisfy, and the partial state must stay consistent for a later recovery.
+func TestResolveRowsForbiddenRowAmongOthers(t *testing.T) {
+	const P, R = 10, 14
+	rng := rand.New(rand.NewSource(27))
+	profit := benchProfit(rng, P, R)
+	for i := range profit {
+		for j := range profit[i] {
+			if math.IsInf(profit[i][j], -1) {
+				profit[i][j] = rng.Float64()
+			}
+		}
+	}
+	need := fillInts(P, 1)
+	caps := fillInts(R, 1)
+	var tr Transport
+	if _, _, err := tr.SolveDense(profit, need, caps); err != nil {
+		t.Fatal(err)
+	}
+	// Saturate row 4 and simultaneously dirty two healthy rows, so the
+	// re-solve has real work besides the infeasibility.
+	saved := append([]float64(nil), profit[4]...)
+	for j := range profit[4] {
+		profit[4][j] = Forbidden
+	}
+	profit[0][3] = Forbidden
+	profit[7][1] = Forbidden
+	if _, _, err := tr.ResolveRows(profit, []int{0, 4, 7}, need, caps); err != ErrInfeasible {
+		t.Fatalf("saturated row among dirty rows: err = %v, want ErrInfeasible", err)
+	}
+	// Restore the row: the warm state must recover to the fresh optimum.
+	copy(profit[4], saved)
+	rows, total, err := tr.ResolveRows(profit, []int{4}, need, caps)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	got := checkFeasible(t, profit, need, caps, rows)
+	_, fresh, err := MaxProfitTransport(profit, need, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(total-fresh) > 1e-9 || math.Abs(got-fresh) > 1e-9 {
+		t.Fatalf("recovery total %v (plan %v) != fresh %v", total, got, fresh)
+	}
+}

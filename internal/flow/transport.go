@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync"
 )
 
 // ErrInfeasible is returned when a transportation instance cannot satisfy the
@@ -20,10 +21,11 @@ type Solver int
 const (
 	// Dijkstra is the default solver: Johnson-style node potentials keep
 	// every residual reduced cost non-negative, so each phase can run one
-	// dense Dijkstra over the bipartite residual graph and then augment
-	// along every tight (zero-reduced-cost) path the search exposes — many
-	// units of flow per search instead of one SPFA per unit. Instances are
-	// stored in flat CSR arrays with reusable scratch buffers; see Transport.
+	// heap-frontier Dijkstra over the bipartite residual graph and then
+	// augment along every tight (zero-reduced-cost) path the search exposes —
+	// many units of flow per search instead of one SPFA per unit. Instances
+	// are stored in flat CSR arrays with reusable scratch buffers; see
+	// Transport.
 	Dijkstra Solver = iota
 	// Legacy is the original successive-shortest-paths solver: one SPFA per
 	// unit of flow over the generic adjacency-list Graph of this package.
@@ -92,6 +94,13 @@ func MaxProfitTransportWith(s Solver, profit [][]float64, rowNeed, colCap []int)
 // that are measurably non-shortest.
 const tightEps = 1e-12
 
+// seedCands is how many tight candidate edges per row the instance-load pass
+// records for the greedy seed placement (see seed). With continuous profits a
+// row almost always has exactly one tight edge under cold duals, so a small
+// fixed fan-out covers practically every row; rows that exhaust their
+// candidates simply fall through to the augmenting DFS.
+const seedCands = 4
+
 // colArc is one unit of flow through a column: the row it serves and the CSR
 // edge that carries it.
 type colArc struct{ row, edge int32 }
@@ -118,8 +127,18 @@ type pathStep struct {
 //     previous solve so only the changed parts are re-worked (SDGA's
 //     stage-capacity fallback and the session warm re-solves).
 //
-// The zero value is ready to use. A Transport must not be used concurrently.
+// The zero value is ready to use. A Transport must not be used concurrently;
+// setting Workers > 1 only shards the internal instance-load passes, the
+// external contract is unchanged.
 type Transport struct {
+	// Workers bounds the goroutines used by Solve/SolveDense to load the
+	// instance (CSR build, cold duals, seed candidates) sharded across rows.
+	// 0 or 1 means serial. The solved plan and objective are identical for
+	// every value: the parallel passes write disjoint per-row state computed
+	// from immutable inputs, and the claim order that consumes them stays
+	// serial in row order.
+	Workers int
+
 	n, m int
 
 	// CSR of the usable cells: row i's cells are
@@ -146,20 +165,52 @@ type Transport struct {
 	// residual edge keeps reduced cost c + pot(tail) − pot(head) ≥ 0, which
 	// is what lets Dijkstra replace SPFA on a graph whose raw costs are
 	// negative. potT − v[j] is the dual price of column j's capacity: zero
-	// for columns with spare slots, positive for binding ones.
+	// for columns with spare slots, positive for binding ones. Only dual
+	// differences are meaningful: the per-phase Johnson update is applied
+	// shifted by −distT so that untouched nodes keep their value (see
+	// dijkstra), which keeps the update O(touched) instead of O(V).
 	u, v   []float64
 	potT   float64
 	solved bool
 
-	// Scratch reused across phases and calls.
+	// Search scratch, generation-marked so a phase only initialises what it
+	// touches: dist/settled/parentEdge/parentNode[x] are valid iff
+	// mark[x] == gen, and arcRow/arcCol[x] iff arcMark[x] == gen. touched
+	// lists the nodes labeled by the current phase — the only ones whose
+	// potentials the Johnson update must move.
 	dist       []float64
 	settled    []bool
 	parentEdge []int32
 	parentNode []int32
-	arcRow     []int32
-	arcCol     []int32
-	onPath     []bool
-	path       []pathStep
+	mark       []uint32
+	arcMark    []uint32
+	gen        uint32
+	touched    []int32
+	heap       []heapNode
+
+	arcRow []int32
+	arcCol []int32
+	onPath []bool
+	path   []pathStep
+
+	// deficitRows lists the rows still short of their demand, rebuilt once
+	// per run and compacted lazily, so phases iterate deficits instead of
+	// scanning all n rows.
+	deficitRows []int32
+
+	// cand holds seedCands tight candidate edges per row (-1 padded),
+	// produced by the instance-load pass and consumed once by seed.
+	cand      []int32
+	rowCnt    []int32
+	seedReady bool
+}
+
+// heapNode is one frontier entry: a node index and the distance it was pushed
+// with. Stale entries (their node already settled, or re-pushed with a
+// smaller distance) are skipped on pop.
+type heapNode struct {
+	d float64
+	x int32
 }
 
 // NewTransport returns an empty reusable solver (equivalent to new(Transport)).
@@ -197,26 +248,7 @@ func (t *Transport) solve(profit [][]float64, rowNeed, colCap []int, dense bool)
 	t.n, t.m = n, m
 	t.dense = dense
 
-	// CSR build.
-	t.rowStart = growInt32(t.rowStart, n+1)
-	t.colIdx = t.colIdx[:0]
-	t.cost = t.cost[:0]
-	t.rowStart[0] = 0
-	for i, row := range profit {
-		for j, p := range row {
-			if math.IsInf(p, -1) {
-				if !dense {
-					continue
-				}
-				t.colIdx = append(t.colIdx, int32(j))
-				t.cost = append(t.cost, math.Inf(1))
-				continue
-			}
-			t.colIdx = append(t.colIdx, int32(j))
-			t.cost = append(t.cost, -p)
-		}
-		t.rowStart[i+1] = int32(len(t.colIdx))
-	}
+	t.buildCSR(profit, dense)
 	t.assigned = growBool(t.assigned, len(t.colIdx))
 	clear(t.assigned)
 
@@ -241,11 +273,11 @@ func (t *Transport) solve(profit [][]float64, rowNeed, colCap []int, dense bool)
 	// Potentials: with zero flow the residual graph has no backward arcs,
 	// so a row's true shortest path is simply its best cell — which is what
 	// cold duals (v = 0, u[i] = max_j profit[i][j], potT = 0) encode. They
-	// make every column sink-tight, letting the greedy pass place most
-	// units before the first Dijkstra. (Retaining the previous instance's
-	// spread-out column duals was measured to serialise the augmentation to
-	// one unit per phase, an order of magnitude slower — after a cost
-	// change, cold duals are the correct warm start.)
+	// make every column sink-tight, letting the greedy seed and tight pass
+	// place most units before the first Dijkstra. (Retaining the previous
+	// instance's spread-out column duals was measured to serialise the
+	// augmentation to one unit per phase, an order of magnitude slower —
+	// after a cost change, cold duals are the correct warm start.)
 	t.v = growFloat(t.v, m)
 	clear(t.v)
 	t.u = growFloat(t.u, n)
@@ -256,6 +288,123 @@ func (t *Transport) solve(profit [][]float64, rowNeed, colCap []int, dense bool)
 		return nil, 0, err
 	}
 	return t.extract()
+}
+
+// buildCSR loads the profit matrix into the flat CSR arrays; when Workers > 1
+// the per-row segments are filled by a pool of goroutines (each row's
+// segment is disjoint, so the result is identical to the serial build).
+func (t *Transport) buildCSR(profit [][]float64, dense bool) {
+	n, m := t.n, t.m
+	t.rowStart = growInt32(t.rowStart, n+1)
+	workers := t.loadWorkers()
+	if dense {
+		for i := 0; i <= n; i++ {
+			t.rowStart[i] = int32(i * m)
+		}
+		t.colIdx = growInt32(t.colIdx, n*m)
+		t.cost = growFloat(t.cost, n*m)
+		shardRows(workers, n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				base := i * m
+				for j, p := range profit[i] {
+					t.colIdx[base+j] = int32(j)
+					if math.IsInf(p, -1) {
+						t.cost[base+j] = math.Inf(1)
+					} else {
+						t.cost[base+j] = -p
+					}
+				}
+			}
+		})
+		return
+	}
+	if workers <= 1 {
+		t.colIdx = t.colIdx[:0]
+		t.cost = t.cost[:0]
+		t.rowStart[0] = 0
+		for i, row := range profit {
+			for j, p := range row {
+				if math.IsInf(p, -1) {
+					continue
+				}
+				t.colIdx = append(t.colIdx, int32(j))
+				t.cost = append(t.cost, -p)
+			}
+			t.rowStart[i+1] = int32(len(t.colIdx))
+		}
+		return
+	}
+	// Sparse parallel build: count usable cells per row, prefix-sum the row
+	// starts, then fill each row's segment in place.
+	t.rowCnt = growInt32(t.rowCnt, n)
+	shardRows(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := int32(0)
+			for _, p := range profit[i] {
+				if !math.IsInf(p, -1) {
+					c++
+				}
+			}
+			t.rowCnt[i] = c
+		}
+	})
+	t.rowStart[0] = 0
+	for i := 0; i < n; i++ {
+		t.rowStart[i+1] = t.rowStart[i] + t.rowCnt[i]
+	}
+	total := int(t.rowStart[n])
+	t.colIdx = growInt32(t.colIdx, total)
+	t.cost = growFloat(t.cost, total)
+	shardRows(workers, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := t.rowStart[i]
+			for j, p := range profit[i] {
+				if math.IsInf(p, -1) {
+					continue
+				}
+				t.colIdx[e] = int32(j)
+				t.cost[e] = -p
+				e++
+			}
+		}
+	})
+}
+
+// loadWorkers returns the effective worker count for the instance-load
+// passes: Workers capped to something useful for the instance size.
+func (t *Transport) loadWorkers() int {
+	w := t.Workers
+	if w <= 1 || t.n < 2 {
+		return 1
+	}
+	// Below ~64k cells the goroutine handoff costs more than it saves.
+	if t.n*t.m < 1<<16 {
+		return 1
+	}
+	if w > t.n {
+		w = t.n
+	}
+	return w
+}
+
+// shardRows runs fn over [0, n) split into one contiguous block per worker.
+// Blocks are disjoint, so fn may write per-row state without synchronisation.
+func shardRows(workers, n int, fn func(lo, hi int)) {
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Resolve re-solves the instance of the preceding Solve after a column
@@ -428,7 +577,13 @@ func (t *Transport) ResolveRows(profit [][]float64, rows []int, rowNeed, colCap 
 // does the flow restart from cold duals (the CSR instance is kept, so no
 // matrix pass is repeated — still far cheaper than a cold Solve).
 func (t *Transport) repairSinkDual() {
-	bound := t.n + t.m + 16
+	// Edit-sized repairs (a withdrawal, one shrunk column) need zero to a
+	// couple of cycles; a repair that is still not pinnable after several is
+	// a bulk change (e.g. SDGA's stage-capacity relaxation frees slots on
+	// hundreds of priced columns), where restarting the flow from cold duals
+	// on the kept CSR — with the greedy seed re-placing most units — is far
+	// cheaper than cancelling the backlog one full-graph search at a time.
+	const bound = 8
 	for iter := 0; iter < bound; iter++ {
 		if t.trySinkDualPin() {
 			return
@@ -471,183 +626,142 @@ func (t *Transport) trySinkDualPin() bool {
 	return true
 }
 
-// cancelImprovingCycle removes one negative residual cycle through a freed
-// spare slot, the targeted alternative to a full flow reset: a withdrawal
-// (or capacity shrink) that frees a slot on a priced column creates exactly
-// one family of negative residual arcs — column→sink on the underpriced
-// spare columns — while every other residual arc keeps a non-negative
-// reduced cost. The cheapest improving reroute is therefore a shortest path
-// from the sink (entering through some flowed column, alternating backward
-// and forward pair arcs) into an underpriced spare column, computable with
-// one Dijkstra. The Johnson potential update then makes that path tight and
-// the cycle is applied in place: one unit leaves the entry column and
-// cascades into the freed slot. Returns false when no improving cycle
-// remains, after a final potential update that certifies the repaired dual
-// for the reachable columns (the caller then re-checks the band and only
-// resets in the residual pathological cases).
-func (t *Transport) cancelImprovingCycle() bool {
-	n, m := t.n, t.m
-	total := n + m
+// ensureScratch sizes the generation-marked search scratch for the current
+// instance. Freshly grown mark arrays are zero-valued; beginPhase keeps gen
+// strictly positive, so stale entries can never alias a live generation.
+func (t *Transport) ensureScratch() {
+	total := t.n + t.m
 	t.dist = growFloat(t.dist, total)
 	t.settled = growBool(t.settled, total)
 	t.parentEdge = growInt32(t.parentEdge, total)
 	t.parentNode = growInt32(t.parentNode, total)
-	inf := math.Inf(1)
-	for x := 0; x < total; x++ {
-		t.dist[x] = inf
+	if cap(t.mark) < total {
+		t.mark = make([]uint32, total)
+	} else {
+		t.mark = t.mark[:total]
+	}
+	if cap(t.arcMark) < total {
+		t.arcMark = make([]uint32, total)
+	} else {
+		t.arcMark = t.arcMark[:total]
+	}
+	t.arcRow = growInt32(t.arcRow, t.n)
+	t.arcCol = growInt32(t.arcCol, t.m)
+	// onPath relies on an all-false invariant maintained by dfs/apply, so it
+	// is zeroed only when the buffer actually grows.
+	if cap(t.onPath) < total {
+		t.onPath = make([]bool, total)
+	} else {
+		t.onPath = t.onPath[:total]
+	}
+}
+
+// beginPhase opens a fresh search generation: previously written dist,
+// settled, parent and current-arc entries all become invalid at once, without
+// touching the arrays.
+func (t *Transport) beginPhase() {
+	if t.gen == math.MaxUint32 {
+		// Clear the full capacity, not just the current length: a smaller
+		// instance may have resliced the arrays, and a later regrow would
+		// otherwise re-expose pre-wrap marks that alias the restarted
+		// generation counter.
+		clear(t.mark[:cap(t.mark)])
+		clear(t.arcMark[:cap(t.arcMark)])
+		t.gen = 0
+	}
+	t.gen++
+	t.heap = t.heap[:0]
+	t.touched = t.touched[:0]
+}
+
+// label relaxes node x to distance d with the given parent, pushing a
+// frontier entry. Unmarked nodes are initialised lazily.
+func (t *Transport) label(x int32, d float64, pe, pn int32) {
+	if t.mark[x] != t.gen {
+		t.mark[x] = t.gen
 		t.settled[x] = false
-		t.parentEdge[x] = -1
-		t.parentNode[x] = -1
+		t.touched = append(t.touched, x)
+	} else if d >= t.dist[x] {
+		return
 	}
-	// Seed with the sink's outgoing residual arcs: sink→j for every flowed
-	// column (reduced cost potT − v[j] ≥ 0). parentNode −2 marks "reached
-	// directly from the sink".
-	for j := 0; j < m; j++ {
-		if len(t.colPairs[j]) > 0 {
-			rd := t.potT - t.v[j]
-			if rd < 0 {
-				rd = 0
-			}
-			if rd < t.dist[n+j] {
-				t.dist[n+j] = rd
-				t.parentNode[n+j] = -2
-			}
-		}
+	t.dist[x] = d
+	t.parentEdge[x] = pe
+	t.parentNode[x] = pn
+	t.heapPush(heapNode{d: d, x: x})
+}
+
+// isSettled reports whether x was settled in the current generation.
+func (t *Transport) isSettled(x int32) bool {
+	return t.mark[x] == t.gen && t.settled[x]
+}
+
+// distOf returns x's current-generation distance, +Inf when unlabeled.
+func (t *Transport) distOf(x int32) float64 {
+	if t.mark[x] == t.gen {
+		return t.dist[x]
 	}
-	for {
-		best, bd := -1, inf
-		for x := 0; x < total; x++ {
-			if !t.settled[x] && t.dist[x] < bd {
-				bd, best = t.dist[x], x
-			}
-		}
-		if best < 0 {
+	return math.Inf(1)
+}
+
+// heapPush / heapPop implement a 4-ary min-heap with lazy deletion: nodes are
+// re-pushed on every improvement and stale entries skipped on pop.
+func (t *Transport) heapPush(hn heapNode) {
+	t.heap = append(t.heap, hn)
+	i := len(t.heap) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if t.heap[p].d <= hn.d {
 			break
 		}
-		t.settled[best] = true
-		if best >= n {
-			j := best - n
-			vj := t.v[j]
-			for _, a := range t.colPairs[j] {
-				if t.settled[a.row] {
-					continue
-				}
-				rd := vj - t.cost[a.edge] - t.u[a.row]
-				if rd < 0 {
-					rd = 0
-				}
-				if nd := bd + rd; nd < t.dist[a.row] {
-					t.dist[a.row] = nd
-					t.parentEdge[a.row] = a.edge
-					t.parentNode[a.row] = int32(best)
+		t.heap[i] = t.heap[p]
+		i = p
+	}
+	t.heap[i] = hn
+}
+
+func (t *Transport) heapPop() heapNode {
+	h := t.heap
+	top := h[0]
+	last := h[len(h)-1]
+	h = h[:len(h)-1]
+	t.heap = h
+	if len(h) > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= len(h) {
+				break
+			}
+			end := c + 4
+			if end > len(h) {
+				end = len(h)
+			}
+			min := c
+			for k := c + 1; k < end; k++ {
+				if h[k].d < h[min].d {
+					min = k
 				}
 			}
-		} else {
-			r := best
-			ur := t.u[r]
-			for e := t.rowStart[r]; e < t.rowStart[r+1]; e++ {
-				if t.assigned[e] {
-					continue
-				}
-				j := int(t.colIdx[e])
-				if t.settled[n+j] {
-					continue
-				}
-				rd := t.cost[e] + ur - t.v[j]
-				if rd < 0 {
-					rd = 0
-				}
-				if nd := bd + rd; nd < t.dist[n+j] {
-					t.dist[n+j] = nd
-					t.parentEdge[n+j] = e
-					t.parentNode[n+j] = int32(r)
-				}
+			if h[min].d >= last.d {
+				break
 			}
+			h[i] = h[min]
+			i = min
 		}
+		h[i] = last
 	}
-	// The improving cycle closes through an underpriced spare column: total
-	// reduced cost dist[j] + (v[j] − potT) < 0. Pick the most negative one.
-	jStar, candBest := -1, -tightEps
-	maxD := 0.0
-	for x := 0; x < total; x++ {
-		if d := t.dist[x]; !math.IsInf(d, 1) && d > maxD {
-			maxD = d
-		}
-	}
-	for j := 0; j < m; j++ {
-		if len(t.colPairs[j]) >= t.colCap[j] || math.IsInf(t.dist[n+j], 1) {
-			continue
-		}
-		// A column reached straight from the sink closes a zero cycle; skip.
-		if t.parentNode[n+j] == -2 {
-			continue
-		}
-		if cand := t.dist[n+j] + t.v[j] - t.potT; cand < candBest {
-			candBest, jStar = cand, j
-		}
-	}
-	if jStar < 0 {
-		// No improving cycle: raise the reachable potentials so every
-		// non-improving spare column becomes sink-feasible, then report
-		// exhaustion.
-		for i := 0; i < n; i++ {
-			t.u[i] += math.Min(t.dist[i], maxD)
-		}
-		for j := 0; j < m; j++ {
-			t.v[j] += math.Min(t.dist[n+j], maxD)
-		}
-		return false
-	}
-	// Johnson update capped at the target distance turns the shortest path
-	// tight while keeping every residual reduced cost non-negative.
-	D := t.dist[n+jStar]
-	for i := 0; i < n; i++ {
-		t.u[i] += math.Min(t.dist[i], D)
-	}
-	for j := 0; j < m; j++ {
-		t.v[j] += math.Min(t.dist[n+j], D)
-	}
-	// Extract the path sink→j2→r1→…→jStar from the parent pointers; after
-	// reversal the first step is the released pair (r1, j2) and the rest is
-	// a standard alternating augmenting path from r1 into jStar.
-	t.path = t.path[:0]
-	x := n + jStar
-	for t.parentNode[x] != -2 {
-		if x >= n {
-			t.path = append(t.path, pathStep{edge: t.parentEdge[x], row: t.parentNode[x]})
-			x = int(t.parentNode[x])
-		} else {
-			t.path = append(t.path, pathStep{edge: t.parentEdge[x], row: int32(x)})
-			x = n + int(t.colIdx[t.parentEdge[x]])
-		}
-	}
-	for l, r := 0, len(t.path)-1; l < r; l, r = l+1, r-1 {
-		t.path[l], t.path[r] = t.path[r], t.path[l]
-	}
-	first := t.path[0]
-	j2 := int(t.colIdx[first.edge])
-	t.assigned[first.edge] = false
-	t.removeArc(j2, first.edge)
-	t.rowFlow[first.row]--
-	t.deficit++
-	t.path = t.path[1:]
-	t.apply(int(first.row))
-	return true
+	return top
 }
 
 // resetDualsForEmptyFlow derives valid potentials for a zero-flow state from
-// the current column duals: u rows cover the pair edges, potT the
-// column→sink edges.
+// the current column duals — u rows cover the pair edges, potT the
+// column→sink edges — and records each row's tight candidate edges for the
+// greedy seed pass. When Workers > 1 the per-row pass is sharded (each row's
+// dual and candidate slots are disjoint, so the result is identical).
 func (t *Transport) resetDualsForEmptyFlow() {
-	for i := 0; i < t.n; i++ {
-		best := 0.0
-		for e := t.rowStart[i]; e < t.rowStart[i+1]; e++ {
-			if r := t.v[t.colIdx[e]] - t.cost[e]; e == t.rowStart[i] || r > best {
-				best = r
-			}
-		}
-		t.u[i] = best
-	}
+	t.cand = growInt32(t.cand, t.n*seedCands)
+	shardRows(t.loadWorkers(), t.n, t.rowDualsAndCands)
+	t.seedReady = true
 	t.potT = 0
 	seeded := false
 	for j := 0; j < t.m; j++ {
@@ -657,15 +771,45 @@ func (t *Transport) resetDualsForEmptyFlow() {
 	}
 }
 
+// rowDualsAndCands computes u[i] = max_e (v[col(e)] − cost[e]) for rows
+// [lo, hi) and collects up to seedCands edges within tightEps of the running
+// maximum. Candidates are re-verified against the final dual at claim time,
+// so the running-max approximation can only lose candidates, never admit a
+// non-tight one.
+func (t *Transport) rowDualsAndCands(lo, hi int) {
+	for i := lo; i < hi; i++ {
+		base := i * seedCands
+		nc := 0
+		best := 0.0
+		for e := t.rowStart[i]; e < t.rowStart[i+1]; e++ {
+			rd := t.v[t.colIdx[e]] - t.cost[e]
+			if e == t.rowStart[i] || rd > best {
+				if rd > best+tightEps {
+					nc = 0
+				}
+				best = rd
+			}
+			if nc < seedCands && rd >= best-tightEps {
+				t.cand[base+nc] = e
+				nc++
+			}
+		}
+		for k := nc; k < seedCands; k++ {
+			t.cand[base+k] = -1
+		}
+		t.u[i] = best
+	}
+}
+
 // resetFlow discards the placed flow and restarts from cold duals (see
-// Solve: spread column duals serialise zero-flow augmentation), keeping the
+// solve: spread column duals serialise zero-flow augmentation), keeping the
 // CSR instance so no matrix pass is repeated.
 func (t *Transport) resetFlow() {
 	if resetFlowHook != nil {
 		resetFlowHook()
 	}
-	clear(t.assigned)
-	clear(t.rowFlow)
+	clear(t.assigned[:len(t.colIdx)])
+	clear(t.rowFlow[:t.n])
 	for j := range t.colPairs {
 		t.colPairs[j] = t.colPairs[j][:0]
 	}
@@ -710,85 +854,185 @@ func (t *Transport) removeArc(j int, edge int32) {
 	}
 }
 
-// run drives phases until every row demand is met: a greedy tight-edge pass
-// first (with warm potentials it already places most units), then Dijkstra
-// phases, each followed by a blocking-flow augmentation over the tight
-// subgraph. Progress per phase is guaranteed: if floating-point noise leaves
-// the tight DFS empty-handed, one unit is pushed along the Dijkstra parent
-// chain, which the potential update made exactly tight.
+// run drives the solve until every row demand is met: a greedy seed over
+// the recorded tight candidates and a tight-edge blocking pass first (with
+// cold duals they already place most units), then one single-source
+// shortest-path phase per remaining unit of deficit. Single-source phases are
+// what keeps the frontier narrow: with continuous profits each Dijkstra can
+// only ever expose one new augmenting path, so searching from every deficit
+// row at once (the previous multi-source formulation) settled and relaxed the
+// whole near-tight neighbourhood of all deficit rows for every single unit
+// placed — two orders of magnitude more edge relaxations at paper scale.
 func (t *Transport) run() error {
 	if t.deficit == 0 {
 		return nil
 	}
-	t.augmentTight()
-	for t.deficit > 0 {
-		jStar, ok := t.dijkstra()
-		if !ok {
-			return ErrInfeasible
-		}
-		if t.augmentTight() == 0 {
+	t.ensureScratch()
+	t.collectDeficitRows()
+	t.beginPhase()
+	t.seed()
+	t.augmentTight(t.deficitRows)
+	// Every augmentation fills exactly one spare column slot, so once none
+	// are left the remaining deficit rows cannot possibly be served — skip
+	// their (individually failing) searches wholesale.
+	spare := 0
+	for j := 0; j < t.m; j++ {
+		spare += t.colCap[j] - len(t.colPairs[j])
+	}
+	infeasible := false
+	for _, i32 := range t.deficitRows {
+		i := int(i32)
+		for t.rowFlow[i] < t.rowNeed[i] && spare > 0 {
+			jStar, ok := t.shortestPathFrom(i)
+			if !ok {
+				// This row cannot reach the sink (residual reachability
+				// accounts for every rerouting of the placed flow), but later
+				// deficit rows may still be satisfiable: keep augmenting them
+				// so the retained partial flow is maximal — the contract a
+				// follow-up Resolve with enlarged capacities continues from.
+				infeasible = true
+				break
+			}
 			t.augmentParentChain(jStar)
+			spare--
 		}
+	}
+	if infeasible || t.deficit > 0 {
+		return ErrInfeasible
 	}
 	return nil
 }
 
-// dijkstra runs one dense multi-source Dijkstra from all deficit rows over
-// the residual graph under reduced costs — including the column→sink edges,
-// whose reduced cost v[j] − potT prices each column's remaining capacity —
-// stopping once every node closer than the sink is settled. It then shifts
-// the potentials by min(dist, D) with D the sink distance — the Johnson
-// update that keeps residual reduced costs non-negative and turns every
-// settled shortest path tight. Returns the column through which the sink was
-// reached, or ok=false when the sink is unreachable (the instance is
-// infeasible at the current capacities).
-func (t *Transport) dijkstra() (jStar int, ok bool) {
-	n, m := t.n, t.m
-	total := n + m
-	t.dist = growFloat(t.dist, total)
-	t.settled = growBool(t.settled, total)
-	t.parentEdge = growInt32(t.parentEdge, total)
-	t.parentNode = growInt32(t.parentNode, total)
-	inf := math.Inf(1)
-	for x := 0; x < total; x++ {
-		t.dist[x] = inf
-		t.settled[x] = false
-		t.parentEdge[x] = -1
-		t.parentNode[x] = -1
-	}
-	// The implicit super-source s has cost-0 edges to every deficit row;
-	// potS = max u keeps their reduced costs non-negative.
-	potS := math.Inf(-1)
-	for i := 0; i < n; i++ {
-		if t.rowFlow[i] < t.rowNeed[i] && t.u[i] > potS {
-			potS = t.u[i]
+// collectDeficitRows rebuilds the deficit-row list (ascending) — the one
+// O(n) scan of a run; later phases work off the compacted list.
+func (t *Transport) collectDeficitRows() {
+	t.deficitRows = t.deficitRows[:0]
+	for i := 0; i < t.n; i++ {
+		if t.rowFlow[i] < t.rowNeed[i] {
+			t.deficitRows = append(t.deficitRows, int32(i))
 		}
 	}
-	if math.IsInf(potS, -1) {
-		// Every deficit row has u = −Inf: all of its cells are Forbidden
-		// (dense mode keeps them at +Inf cost), so the sink is unreachable.
+}
+
+// seed places one unit per recorded tight candidate edge, in ascending row
+// order. The candidates were computed (possibly in parallel) by the
+// instance-load pass from immutable state; the serial claim order makes the
+// placement deterministic and independent of the worker count. Each claim is
+// re-verified against the current duals and capacities, so a stale or
+// non-tight candidate is simply skipped and the row falls through to the
+// augmenting DFS.
+func (t *Transport) seed() {
+	if !t.seedReady {
+		return
+	}
+	t.seedReady = false
+	for _, i32 := range t.deficitRows {
+		i := int(i32)
+		ui := t.u[i]
+		if math.IsInf(ui, -1) {
+			continue
+		}
+		base := i * seedCands
+		for k := 0; k < seedCands && t.rowFlow[i] < t.rowNeed[i]; k++ {
+			e := t.cand[base+k]
+			if e < 0 {
+				break
+			}
+			j := int(t.colIdx[e])
+			if t.assigned[e] || len(t.colPairs[j]) >= t.colCap[j] {
+				continue
+			}
+			if t.cost[e]+ui-t.v[j] > tightEps || t.v[j]-t.potT > tightEps {
+				continue
+			}
+			t.assigned[e] = true
+			t.colPairs[j] = append(t.colPairs[j], colArc{row: i32, edge: e})
+			t.rowFlow[i]++
+			t.deficit--
+		}
+	}
+}
+
+// relaxNode relaxes every residual arc out of node x, just settled at
+// distance bd: for a column, the backward arcs to the rows it currently
+// serves; for a row, its unassigned (non-Forbidden) forward cells. Shared by
+// the shortest-path phases and the improving-cycle repair so the two search
+// paths can never diverge in how they price arcs.
+func (t *Transport) relaxNode(x int32, bd float64) {
+	n := t.n
+	if int(x) >= n {
+		j := int(x) - n
+		vj := t.v[j]
+		for _, a := range t.colPairs[j] {
+			if t.isSettled(a.row) {
+				continue
+			}
+			rd := vj - t.cost[a.edge] - t.u[a.row]
+			if rd < 0 {
+				rd = 0
+			}
+			t.label(a.row, bd+rd, a.edge, x)
+		}
+		return
+	}
+	r := int(x)
+	ur := t.u[r]
+	for e := t.rowStart[r]; e < t.rowStart[r+1]; e++ {
+		if t.assigned[e] {
+			continue
+		}
+		c := t.cost[e]
+		if math.IsInf(c, 1) {
+			continue // Forbidden cell of a dense CSR
+		}
+		j := t.colIdx[e]
+		y := int32(n) + j
+		if t.isSettled(y) {
+			continue
+		}
+		rd := c + ur - t.v[j]
+		if rd < 0 {
+			rd = 0
+		}
+		t.label(y, bd+rd, e, x)
+	}
+}
+
+// shortestPathFrom runs one heap-frontier Dijkstra from deficit row root
+// over the residual graph under reduced costs — including the column→sink
+// edges, whose reduced cost v[j] − potT prices each column's remaining
+// capacity — stopping once every node closer than the sink is settled. It
+// then shifts the touched potentials by min(dist, D) − D with D the sink
+// distance: the Johnson update with a global −D offset folded in, which
+// leaves untouched nodes exactly as they were (only dual differences matter —
+// see the potential invariant on Transport) so the update costs O(touched)
+// instead of O(V). Returns the column through which the sink was reached, or
+// ok=false when the sink is unreachable from root (the instance is infeasible
+// at the current capacities: residual reachability accounts for every
+// possible rerouting of the placed flow).
+func (t *Transport) shortestPathFrom(root int) (jStar int, ok bool) {
+	if math.IsInf(t.u[root], -1) {
+		// Every cell of the row is Forbidden (dense mode keeps them at +Inf
+		// cost), so the sink is unreachable.
 		return -1, false
 	}
-	for i := 0; i < n; i++ {
-		if t.rowFlow[i] < t.rowNeed[i] {
-			t.dist[i] = potS - t.u[i]
-		}
-	}
-	distT := inf
+	t.beginPhase()
+	n := t.n
+	t.label(int32(root), 0, -1, -1)
+	distT := math.Inf(1)
 	jStar = -1
-	for {
-		best, bd := -1, inf
-		for x := 0; x < total; x++ {
-			if !t.settled[x] && t.dist[x] < bd {
-				bd, best = t.dist[x], x
-			}
+	for len(t.heap) > 0 {
+		hn := t.heapPop()
+		x, bd := hn.x, hn.d
+		if t.settled[x] || bd > t.dist[x] {
+			continue // stale frontier entry
 		}
-		if best < 0 || bd > distT {
+		if bd > distT {
 			break
 		}
-		t.settled[best] = true
-		if best >= n {
-			j := best - n
+		t.settled[x] = true
+		if int(x) >= n {
+			j := int(x) - n
 			if len(t.colPairs[j]) < t.colCap[j] {
 				rd := t.v[j] - t.potT
 				if rd < 0 {
@@ -798,73 +1042,39 @@ func (t *Transport) dijkstra() (jStar int, ok bool) {
 					distT, jStar = nd, j
 				}
 			}
-			// Residual arcs column → the rows it currently serves.
-			vj := t.v[j]
-			for _, a := range t.colPairs[j] {
-				if t.settled[a.row] {
-					continue
-				}
-				rd := vj - t.cost[a.edge] - t.u[a.row]
-				if rd < 0 {
-					rd = 0
-				}
-				if nd := bd + rd; nd < t.dist[a.row] {
-					t.dist[a.row] = nd
-					t.parentEdge[a.row] = a.edge
-					t.parentNode[a.row] = int32(best)
-				}
-			}
-		} else {
-			r := best
-			ur := t.u[r]
-			for e := t.rowStart[r]; e < t.rowStart[r+1]; e++ {
-				if t.assigned[e] {
-					continue
-				}
-				j := int(t.colIdx[e])
-				if t.settled[n+j] {
-					continue
-				}
-				rd := t.cost[e] + ur - t.v[j]
-				if rd < 0 {
-					rd = 0
-				}
-				if nd := bd + rd; nd < t.dist[n+j] {
-					t.dist[n+j] = nd
-					t.parentEdge[n+j] = e
-					t.parentNode[n+j] = int32(r)
-				}
-			}
 		}
+		t.relaxNode(x, bd)
 	}
 	if jStar < 0 {
 		return -1, false
 	}
-	for i := 0; i < n; i++ {
-		t.u[i] += math.Min(t.dist[i], distT)
+	for _, x := range t.touched {
+		d := t.dist[x]
+		if d >= distT {
+			continue // min(d, D) − D = 0: potential unchanged
+		}
+		if int(x) < n {
+			t.u[x] += d - distT
+		} else {
+			t.v[int(x)-n] += d - distT
+		}
 	}
-	for j := 0; j < m; j++ {
-		t.v[j] += math.Min(t.dist[n+j], distT)
-	}
-	t.potT += distT
 	return jStar, true
 }
 
 // augmentTight pushes as many units as possible along tight
-// (zero-reduced-cost) residual paths from deficit rows to spare columns — a
-// blocking-flow pass over the admissible subgraph with Dinic-style current
-// arcs. Pushing along tight edges keeps the flow optimal for its value under
-// the unchanged potentials, so any deficit row may augment in any order.
-func (t *Transport) augmentTight() int {
-	n, m := t.n, t.m
-	t.arcRow = growInt32(t.arcRow, n)
-	copy(t.arcRow, t.rowStart[:n])
-	t.arcCol = growInt32(t.arcCol, m)
-	clear(t.arcCol)
-	t.onPath = growBool(t.onPath, n+m)
-	clear(t.onPath)
+// (zero-reduced-cost) residual paths from the given deficit rows to spare
+// columns — a blocking-flow pass over the admissible subgraph with
+// Dinic-style current arcs. Pushing along tight edges keeps the flow optimal
+// for its value under the unchanged potentials, so any deficit row may
+// augment in any order. It runs once per solve, over the deficit rows the
+// greedy seed left unplaced, under cold duals (where ties are plentiful);
+// the single-source phases that follow place exactly one unit each, so they
+// augment the parent chain directly instead.
+func (t *Transport) augmentTight(roots []int32) int {
 	pushed := 0
-	for i := 0; i < n; i++ {
+	for _, i32 := range roots {
+		i := int(i32)
 		for t.rowFlow[i] < t.rowNeed[i] {
 			if !t.dfs(i) {
 				break
@@ -876,9 +1086,10 @@ func (t *Transport) augmentTight() int {
 }
 
 // dfs searches one tight augmenting path from deficit row start and applies
-// it. Current-arc pointers only advance past permanently unusable prefixes
-// (assigned or non-tight edges); on-path nodes are skipped without advancing
-// so a temporarily blocked edge can be reused by a later search.
+// it. Current-arc pointers (generation-marked, initialised on first touch)
+// only advance past permanently unusable prefixes (assigned or non-tight
+// edges); on-path nodes are skipped without advancing so a temporarily
+// blocked edge can be reused by a later search.
 func (t *Transport) dfs(start int) bool {
 	t.path = t.path[:0]
 	t.onPath[start] = true
@@ -886,6 +1097,10 @@ func (t *Transport) dfs(start int) bool {
 	for {
 		if cur < t.n { // at a row: take a tight unassigned edge forward
 			r := cur
+			if t.arcMark[r] != t.gen {
+				t.arcMark[r] = t.gen
+				t.arcRow[r] = t.rowStart[r]
+			}
 			next := -1
 			var took int32
 			for k := t.arcRow[r]; k < t.rowStart[r+1]; k++ {
@@ -920,6 +1135,10 @@ func (t *Transport) dfs(start int) bool {
 			t.arcCol[cur-t.n]++
 		} else { // at a column: tight spare slot, or a tight residual arc back
 			j := cur - t.n
+			if t.arcMark[t.n+j] != t.gen {
+				t.arcMark[t.n+j] = t.gen
+				t.arcCol[j] = 0
+			}
 			if len(t.colPairs[j]) < t.colCap[j] && t.v[j]-t.potT <= tightEps {
 				t.apply(start)
 				return true
@@ -999,6 +1218,137 @@ func (t *Transport) augmentParentChain(jStar int) {
 		t.path[l], t.path[r] = t.path[r], t.path[l]
 	}
 	t.apply(x)
+}
+
+// cancelImprovingCycle removes one negative residual cycle through a freed
+// spare slot, the targeted alternative to a full flow reset: a withdrawal
+// (or capacity shrink) that frees a slot on a priced column creates exactly
+// one family of negative residual arcs — column→sink on the underpriced
+// spare columns — while every other residual arc keeps a non-negative
+// reduced cost. The cheapest improving reroute is therefore a shortest path
+// from the sink (entering through some flowed column, alternating backward
+// and forward pair arcs) into an underpriced spare column, computable with
+// one Dijkstra. The search stops early once no unsettled node can close a
+// better cycle (popped distance + the most negative spare-column sink gap
+// can no longer beat the best candidate); the Johnson update is then capped
+// at the exit distance B, which is exact: every unsettled label is ≥ B, so
+// min(dist, cap) with cap ≤ B matches what the full search would have
+// computed for every arc that matters. The update makes the chosen path
+// tight and the cycle is applied in place: one unit leaves the entry column
+// and cascades into the freed slot. Returns false when no improving cycle
+// remains, after a capped potential update that certifies the repaired dual
+// for the reachable columns (the caller then re-checks the band and only
+// resets in the residual pathological cases). Unlike the phase update of
+// shortestPathFrom, potT stays fixed here, so the update is the plain
+// (unshifted) Johnson shift over all nodes — acceptable on this repair path.
+func (t *Transport) cancelImprovingCycle() bool {
+	t.ensureScratch()
+	t.beginPhase()
+	n, m := t.n, t.m
+	// Seed with the sink's outgoing residual arcs: sink→j for every flowed
+	// column (reduced cost potT − v[j] ≥ 0), and record the most negative
+	// sink gap of a spare column — the early-exit bound below.
+	minSpareGap := math.Inf(1)
+	for j := 0; j < m; j++ {
+		if len(t.colPairs[j]) > 0 {
+			rd := t.potT - t.v[j]
+			if rd < 0 {
+				rd = 0
+			}
+			t.label(int32(n+j), rd, -1, -2)
+		}
+		if len(t.colPairs[j]) < t.colCap[j] {
+			if g := t.v[j] - t.potT; g < minSpareGap {
+				minSpareGap = g
+			}
+		}
+	}
+	jStar, candBest := -1, -tightEps
+	exitB := math.Inf(1)
+	for len(t.heap) > 0 {
+		hn := t.heapPop()
+		x, bd := hn.x, hn.d
+		if t.settled[x] || bd > t.dist[x] {
+			continue
+		}
+		if bd+minSpareGap >= candBest {
+			// No reachable spare column can close a cycle below candBest any
+			// more: every unsettled label is ≥ bd, so its candidate value is
+			// ≥ bd + minSpareGap.
+			exitB = bd
+			break
+		}
+		t.settled[x] = true
+		if int(x) >= n {
+			j := int(x) - n
+			// An underpriced spare column settled through the flow (not
+			// straight from the sink, which would close a zero cycle) is an
+			// improving-cycle candidate.
+			if len(t.colPairs[j]) < t.colCap[j] && t.parentNode[x] != -2 {
+				if cand := bd + t.v[j] - t.potT; cand < candBest {
+					candBest, jStar = cand, j
+				}
+			}
+		}
+		t.relaxNode(x, bd)
+	}
+	maxD := 0.0
+	for _, x := range t.touched {
+		if d := t.dist[x]; d > maxD {
+			maxD = d
+		}
+	}
+	if jStar < 0 {
+		// No improving cycle: raise the reachable potentials so every
+		// non-improving spare column becomes sink-feasible, then report
+		// exhaustion. The cap is maxD on natural exhaustion (every label
+		// settled and exact) and the exit distance on an early exit (every
+		// unsettled label is ≥ exitB, so capping there is exact).
+		bound := math.Min(maxD, exitB)
+		for i := 0; i < n; i++ {
+			t.u[i] += math.Min(t.distOf(int32(i)), bound)
+		}
+		for j := 0; j < m; j++ {
+			t.v[j] += math.Min(t.distOf(int32(n+j)), bound)
+		}
+		return false
+	}
+	// Johnson update capped at the target distance turns the shortest path
+	// tight while keeping every residual reduced cost non-negative (D ≤ the
+	// exit distance by the exit condition, so the cap argument above holds).
+	D := t.dist[n+jStar]
+	for i := 0; i < n; i++ {
+		t.u[i] += math.Min(t.distOf(int32(i)), D)
+	}
+	for j := 0; j < m; j++ {
+		t.v[j] += math.Min(t.distOf(int32(n+j)), D)
+	}
+	// Extract the path sink→j2→r1→…→jStar from the parent pointers; after
+	// reversal the first step is the released pair (r1, j2) and the rest is
+	// a standard alternating augmenting path from r1 into jStar.
+	t.path = t.path[:0]
+	x := n + jStar
+	for t.parentNode[x] != -2 {
+		if x >= n {
+			t.path = append(t.path, pathStep{edge: t.parentEdge[x], row: t.parentNode[x]})
+			x = int(t.parentNode[x])
+		} else {
+			t.path = append(t.path, pathStep{edge: t.parentEdge[x], row: int32(x)})
+			x = n + int(t.colIdx[t.parentEdge[x]])
+		}
+	}
+	for l, r := 0, len(t.path)-1; l < r; l, r = l+1, r-1 {
+		t.path[l], t.path[r] = t.path[r], t.path[l]
+	}
+	first := t.path[0]
+	j2 := int(t.colIdx[first.edge])
+	t.assigned[first.edge] = false
+	t.removeArc(j2, first.edge)
+	t.rowFlow[first.row]--
+	t.deficit++
+	t.path = t.path[1:]
+	t.apply(int(first.row))
+	return true
 }
 
 // extract materialises the per-row column lists and the total profit.

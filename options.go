@@ -21,6 +21,7 @@ type options struct {
 	omega            int
 	refinementBudget time.Duration
 	seed             int64
+	shards           int
 	progress         func(Snapshot)
 }
 
@@ -42,7 +43,7 @@ func resolveOptions(opts []Option) options {
 // options; the single constructor both Refine and the SDGA-SRA pipelines
 // share, so their defaults can never diverge.
 func (o options) sra() cra.SRA {
-	return cra.SRA{Omega: o.omega, TimeBudget: o.refinementBudget, Seed: o.seed}
+	return cra.SRA{Omega: o.omega, TimeBudget: o.refinementBudget, Seed: o.seed, Shards: o.shards}
 }
 
 // WithMethod selects the assignment algorithm (default MethodSDGASRA).
@@ -87,6 +88,17 @@ func WithProgress(fn func(Snapshot)) Option {
 	return func(o *options) { o.progress = fn }
 }
 
+// WithShards bounds the goroutines the SDGA stage solves use to load and
+// seed their transportation instances, sharded across papers (the profit
+// matrix build is always parallel). The default 0 means one shard per
+// available CPU; 1 forces a fully serial stage solve. The computed
+// assignment is identical for every value — sharding only changes wall-clock
+// time — so the only reasons to set this are benchmarking and capping the
+// solver's CPU footprint in shared processes.
+func WithShards(n int) Option {
+	return func(o *options) { o.shards = n }
+}
+
 // algorithmParts maps the resolved options to a cold construction algorithm
 // plus an optional refinement flag — the execution path of the baseline
 // methods and of the legacy-transport ablation (the session methods run
@@ -96,9 +108,9 @@ func WithProgress(fn func(Snapshot)) Option {
 func (o options) algorithmParts() (base cra.Algorithm, refine bool, err error) {
 	switch o.method {
 	case MethodSDGASRA:
-		return cra.SDGA{Transport: o.transport}, true, nil
+		return cra.SDGA{Transport: o.transport, Shards: o.shards}, true, nil
 	case MethodSDGA:
-		return cra.SDGA{Transport: o.transport}, false, nil
+		return cra.SDGA{Transport: o.transport, Shards: o.shards}, false, nil
 	case MethodGreedy:
 		return cra.Greedy{}, false, nil
 	case MethodBRGG:

@@ -94,6 +94,7 @@ func NewSolver(in *Instance, opts ...Option) (*Solver, error) {
 	cfg := cra.SessionConfig{
 		Refine: o.method == MethodSDGASRA && o.sessionable(),
 		SRA:    o.sra(),
+		Shards: o.shards,
 	}
 	cfg.OnConstruct = s.constructHook()
 	cfg.SRA.OnImprovement = s.improvementHook()

@@ -3,6 +3,8 @@ package wgrap
 import (
 	"context"
 	"math"
+	"os"
+	"runtime"
 	"testing"
 )
 
@@ -132,5 +134,91 @@ func TestResolveAfterEditSpeedup(t *testing.T) {
 	t.Logf("warm resolve (best of 3) %.3fs vs cold solve %.3fs: %.1fx", warmBest, coldElapsed, ratio)
 	if ratio < 3 {
 		t.Fatalf("warm resolve only %.1fx faster than cold solve, want >= 3x", ratio)
+	}
+}
+
+// BenchmarkSolveColdPaperScale is the multi-core acceptance benchmark for
+// the sharded stage solve: one full cold SDGA solve at the paper's
+// conference scale (P=1000, R=2000, T=40, δp=3), run once pinned to a
+// single CPU with sharding off (sub-benchmark "single-cpu" — the name
+// avoids a trailing digit, which the wgrap-bench parser would strip as a
+// GOMAXPROCS suffix) and once with all CPUs and the default sharding. CI
+// requires the multicore variant to beat the single-CPU one by ≥1.5x on its
+// ≥4-CPU runners (see cmd/wgrap-bench -min-speedup); the two variants
+// produce identical assignments, so the comparison is pure wall-clock.
+func BenchmarkSolveColdPaperScale(b *testing.B) {
+	in := benchConferenceInstance(1000, 2000, 40, 3)
+	run := func(b *testing.B, shards int) {
+		for i := 0; i < b.N; i++ {
+			s, err := NewSolver(in, WithMethod(MethodSDGA), WithShards(shards))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Solve(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("single-cpu", func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		run(b, 1)
+	})
+	b.Run("multicore", func(b *testing.B) {
+		run(b, 0)
+	})
+}
+
+// TestShardedSolveSpeedup asserts the multi-core acceptance criterion
+// directly on machines with at least 4 CPUs: the full paper-scale cold solve
+// with the sharded stage solve (and the parallel profit-matrix build it
+// rides with) must run ≥1.5x faster than the same solve pinned to one CPU,
+// while producing an identical assignment. A wall-clock ratio is only
+// meaningful on an otherwise idle machine — inside `go test ./...` the
+// multicore variant competes with other package test binaries for the same
+// cores while the pinned variant does not — so the assertion is opt-in via
+// WGRAP_ASSERT_SPEEDUP=1; CI enforces the same ratio in its isolated bench
+// job through BenchmarkSolveColdPaperScale and wgrap-bench -min-speedup.
+func TestShardedSolveSpeedup(t *testing.T) {
+	if os.Getenv("WGRAP_ASSERT_SPEEDUP") == "" {
+		t.Skip("wall-clock speedup assertion is opt-in: set WGRAP_ASSERT_SPEEDUP=1 on an idle machine (CI asserts the ratio in the isolated bench job)")
+	}
+	if testing.Short() {
+		t.Skip("paper-scale speedup check skipped in -short mode")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need >= 4 CPUs to assert the multi-core speedup, have %d", runtime.NumCPU())
+	}
+	in := benchConferenceInstance(1000, 2000, 40, 3)
+	solve := func(shards int) (*Result, float64) {
+		best := math.Inf(1)
+		var res *Result
+		for trial := 0; trial < 2; trial++ {
+			s, err := NewSolver(in, WithMethod(MethodSDGA), WithShards(shards))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := s.Solve(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sec := r.Elapsed.Seconds(); sec < best {
+				best = sec
+			}
+			res = r
+		}
+		return res, best
+	}
+	prev := runtime.GOMAXPROCS(1)
+	serialRes, serialSec := solve(1)
+	runtime.GOMAXPROCS(prev)
+	multiRes, multiSec := solve(0)
+	if math.Abs(serialRes.Score-multiRes.Score) > 1e-9 {
+		t.Fatalf("sharded score %v != serial score %v", multiRes.Score, serialRes.Score)
+	}
+	ratio := serialSec / multiSec
+	t.Logf("cold solve: 1 cpu %.2fs vs %d cpus %.2fs: %.2fx", serialSec, runtime.NumCPU(), multiSec, ratio)
+	if ratio < 1.5 {
+		t.Fatalf("multicore cold solve only %.2fx faster than single-CPU, want >= 1.5x", ratio)
 	}
 }

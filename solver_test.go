@@ -613,3 +613,177 @@ func TestSolverAddReviewerEdit(t *testing.T) {
 		t.Fatalf("reviewer-add parity: warm %v != cold %v", res.Score, coldRes.Score)
 	}
 }
+
+// TestSolverBatchedEditParity: several edits before a single warm Resolve
+// must match a cold solve of the identically edited instance to 1e-9, with
+// the sharded stage solve forced on (WithShards pins the worker count above
+// one so the parallel load paths run even on single-CPU machines).
+func TestSolverBatchedEditParity(t *testing.T) {
+	for _, m := range []Method{MethodSDGA, MethodSDGASRA} {
+		t.Run(string(m), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(131))
+			papers, reviewers := randomProblem(rng, 34, 26, 10)
+			in := NewInstance(papers, reviewers, 3, 0)
+			opts := []Option{WithMethod(m), WithOmega(3), WithSeed(11), WithShards(4)}
+			warm, err := NewSolver(in, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := warm.Solve(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			editRng := rand.New(rand.NewSource(77))
+			edits := 0
+			for batch := 0; batch < 3; batch++ {
+				for k := 0; k < 3; k++ {
+					solverEditScript(t, warm, editRng, edits)
+					edits++
+				}
+				warmRes, err := warm.Resolve(context.Background())
+				if err != nil {
+					t.Fatalf("batch %d: warm resolve: %v", batch, err)
+				}
+				cold, err := NewSolver(in, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				coldRng := rand.New(rand.NewSource(77))
+				for j := 0; j < edits; j++ {
+					solverEditScript(t, cold, coldRng, j)
+				}
+				coldRes, err := cold.Solve(context.Background())
+				if err != nil {
+					t.Fatalf("batch %d: cold solve: %v", batch, err)
+				}
+				if math.Abs(warmRes.Score-coldRes.Score) > 1e-9 {
+					t.Fatalf("batch %d (%d edits): warm score %v != cold score %v", batch, edits, warmRes.Score, coldRes.Score)
+				}
+			}
+		})
+	}
+}
+
+// TestSolverOutOfBandSaturation: conflicts injected directly into the view
+// returned by Instance() — bypassing the Solver's guarded mutators — that
+// saturate an active paper must surface ErrConflictSaturated from the next
+// Resolve; the Solver must neither panic nor silently confirm the stale
+// assignment, and must keep erroring until the situation is resolved.
+func TestSolverOutOfBandSaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	papers, reviewers := randomProblem(rng, 8, 6, 8)
+	in := NewInstance(papers, reviewers, 3, 0)
+	s, err := NewSolver(in, WithMethod(MethodSDGA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	inner := s.Instance()
+	for r := 0; r < inner.NumReviewers()-inner.GroupSize+1; r++ {
+		inner.AddConflict(r, 3)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		res, err := s.Resolve(context.Background())
+		if !errors.Is(err, ErrConflictSaturated) {
+			t.Fatalf("attempt %d: err = %v, want ErrConflictSaturated", attempt, err)
+		}
+		if res != nil {
+			t.Fatalf("attempt %d: Resolve returned a result alongside the error", attempt)
+		}
+	}
+	if err := s.WithdrawPaper(3); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Resolve(context.Background())
+	if err != nil {
+		t.Fatalf("resolve after withdrawing the saturated paper: %v", err)
+	}
+	if len(res.Assignment.Groups[3]) != 0 {
+		t.Fatalf("withdrawn saturated paper still has reviewers %v", res.Assignment.Groups[3])
+	}
+}
+
+// TestSolverSnapshotsSurviveResolve: Snapshot.Best values delivered through
+// the progress stream (and Result assignments) must be private copies — a
+// caller may hold them across later edits and warm Resolves without
+// observing mutation. A reader goroutine continuously walks the held
+// snapshots while the solver re-solves, so the race detector also proves
+// the absence of aliasing with solver-owned state.
+func TestSolverSnapshotsSurviveResolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	papers, reviewers := randomProblem(rng, 24, 18, 8)
+	in := NewInstance(papers, reviewers, 3, 0)
+	s, err := NewSolver(in, WithMethod(MethodSDGASRA), WithOmega(3), WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var held []Snapshot
+	var frozen [][][]int // deep copies taken at capture time
+	s.OnImprovement(func(sn Snapshot) {
+		held = append(held, sn)
+		groups := make([][]int, len(sn.Best.Groups))
+		for p, g := range sn.Best.Groups {
+			groups[p] = append([]int(nil), g...)
+		}
+		frozen = append(frozen, groups)
+	})
+	if _, err := s.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(held) == 0 {
+		t.Fatal("no snapshots emitted")
+	}
+	// The reader holds its own slice of the first batch (the callback keeps
+	// appending to held during later resolves); the Best pointers inside are
+	// the shared values under test.
+	firstBatch := append([]Snapshot(nil), held...)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sink := 0
+		for {
+			select {
+			case <-stop:
+				_ = sink
+				return
+			default:
+			}
+			for i := range firstBatch {
+				for _, g := range firstBatch[i].Best.Groups {
+					for _, r := range g {
+						sink += r
+					}
+				}
+			}
+		}
+	}()
+	// Edits + warm resolves while the reader walks the held snapshots: any
+	// aliasing of solver-owned slices shows up as a data race.
+	editRng := rand.New(rand.NewSource(3))
+	for k := 0; k < 4; k++ {
+		solverEditScript(t, s, editRng, k)
+		if _, err := s.Resolve(context.Background()); err != nil {
+			t.Fatalf("edit %d: %v", k, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	for i := range held {
+		for p, g := range held[i].Best.Groups {
+			want := frozen[i][p]
+			if len(g) != len(want) {
+				t.Fatalf("snapshot %d paper %d mutated: %v != %v", i, p, g, want)
+			}
+			for j := range g {
+				if g[j] != want[j] {
+					t.Fatalf("snapshot %d paper %d mutated: %v != %v", i, p, g, want)
+				}
+			}
+		}
+	}
+}
