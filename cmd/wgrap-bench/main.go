@@ -44,8 +44,13 @@ type Result struct {
 
 // Snapshot is the JSON file layout.
 type Snapshot struct {
-	Note       string            `json:"note,omitempty"`
-	Benchmarks map[string]Result `json:"benchmarks"`
+	Note string `json:"note,omitempty"`
+	// CandidateCap records the WithCandidateCap(k) setting the benchmark run
+	// used (0 = dense): snapshots of sparse candidate-pruned runs are not
+	// comparable to dense ones, so the cap is provenance the gate's reader
+	// needs next to the numbers.
+	CandidateCap int               `json:"candidate_cap,omitempty"`
+	Benchmarks   map[string]Result `json:"benchmarks"`
 }
 
 // benchLine matches one result line of `go test -bench` output, e.g.
@@ -80,8 +85,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wgrap-bench", flag.ContinueOnError)
 	inPath := fs.String("in", "-", "bench text input file (- = stdin)")
 	outPath := fs.String("out", "", "write the JSON snapshot to this file")
-	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit|TransportStageSequencePaperScale|SolveColdPaperScale", "regexp of benchmarks recorded in the snapshot")
+	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit|TransportStageSequencePaperScale|SolveColdPaperScale|SolveHugeScale", "regexp of benchmarks recorded in the snapshot")
 	note := fs.String("note", "", "free-form note stored in the snapshot")
+	candidateCap := fs.Int("candidate-cap", 0, "WithCandidateCap(k) setting of the benchmarked run, recorded in the snapshot for provenance (0 = dense)")
 	baseline := fs.String("baseline", "", "baseline JSON to gate against (no gating when empty)")
 	gatePat := fs.String("gate", "BenchmarkTransportSolve/dijkstra|BenchmarkResolveAfterEdit/warm", "regexp selecting the baseline benchmarks that gate")
 	maxRegression := fs.Float64("max-regression", 0.20, "allowed fractional ns/op slowdown before failing")
@@ -114,7 +120,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("bad -keep pattern: %w", err)
 	}
-	snap := Snapshot{Note: *note, Benchmarks: make(map[string]Result)}
+	snap := Snapshot{Note: *note, CandidateCap: *candidateCap, Benchmarks: make(map[string]Result)}
 	for name, res := range current {
 		if keep.MatchString(name) {
 			snap.Benchmarks[name] = res

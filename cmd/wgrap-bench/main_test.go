@@ -16,6 +16,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkTransportSolve/dijkstra-200x400-8         	      10	   5233623 ns/op	  492745 B/op	     230 allocs/op
 BenchmarkTransportSolve/legacy-200x400-8           	      10	 508076954 ns/op	55548472 B/op	    8989 allocs/op
 BenchmarkProfitMatrixCI-8                          	       3	   2345678 ns/op	      16 B/op	       1 allocs/op
+BenchmarkSolveHugeScale/solve_huge_scale_sparse-8  	       1	28348720444 ns/op	         0.7534 avg-coverage
 BenchmarkSDGAConference-8                          	       2	 123456789 ns/op
 PASS
 `
@@ -50,7 +51,7 @@ func TestRunWritesSnapshot(t *testing.T) {
 	in := writeSample(t)
 	out := filepath.Join(t.TempDir(), "snap.json")
 	var buf strings.Builder
-	if err := run([]string{"-in", in, "-out", out, "-note", "test"}, nil, &buf); err != nil {
+	if err := run([]string{"-in", in, "-out", out, "-note", "test", "-candidate-cap", "64"}, nil, &buf); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -64,9 +65,16 @@ func TestRunWritesSnapshot(t *testing.T) {
 	if snap.Note != "test" {
 		t.Fatalf("note = %q", snap.Note)
 	}
-	// Default -keep records the transport and profit-matrix benchmarks only.
-	if len(snap.Benchmarks) != 3 {
-		t.Fatalf("kept %d benchmarks, want 3: %v", len(snap.Benchmarks), snap.Benchmarks)
+	if snap.CandidateCap != 64 {
+		t.Fatalf("candidate cap = %d, want 64", snap.CandidateCap)
+	}
+	// Default -keep records the transport, profit-matrix and solve-scale
+	// benchmarks only.
+	if len(snap.Benchmarks) != 4 {
+		t.Fatalf("kept %d benchmarks, want 4: %v", len(snap.Benchmarks), snap.Benchmarks)
+	}
+	if _, ok := snap.Benchmarks["BenchmarkSolveHugeScale/solve_huge_scale_sparse"]; !ok {
+		t.Fatal("huge-scale sparse benchmark not kept by the default -keep")
 	}
 	if _, ok := snap.Benchmarks["BenchmarkSDGAConference"]; ok {
 		t.Fatal("-keep did not filter")

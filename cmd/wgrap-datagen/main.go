@@ -30,6 +30,7 @@ func run(args []string) error {
 	scale := fs.Float64("scale", 0.2, "scale factor applied to the Table 3 sizes")
 	seed := fs.Int64("seed", 1, "random seed")
 	authors := fs.Int("authors", 400, "authors generated per area")
+	skew := fs.Float64("skew", 0, "Zipf exponent of topic popularity within each area (0 = uniform); skewed corpora concentrate expertise on hot topics, the stress case for candidate-pruned solves")
 	out := fs.String("out", "", "output file (default stdout)")
 	abstracts := fs.Bool("abstracts", false, "include paper abstracts in the JSON")
 	if err := fs.Parse(args); err != nil {
@@ -40,6 +41,7 @@ func run(args []string) error {
 		Scale:          *scale,
 		Seed:           *seed,
 		AuthorsPerArea: *authors,
+		Skew:           *skew,
 	})
 	d, err := gen.Dataset(corpus.Area(*area), *year)
 	if err != nil {

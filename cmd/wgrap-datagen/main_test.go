@@ -43,3 +43,24 @@ func TestRunRejectsUnwritableOutput(t *testing.T) {
 		t.Fatal("unwritable output accepted")
 	}
 }
+
+func TestRunSkewFlag(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "skewed.json")
+	if err := run([]string{"-area", "DM", "-year", "2008", "-scale", "0.03", "-authors", "40", "-skew", "1.5", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	d, err := corpus.LoadJSON(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot-topic mass: with a Zipf exponent the area's first topic carries
+	// far more aggregate reviewer expertise than its last.
+	first, last := 0.0, 0.0
+	for _, r := range d.Reviewers {
+		first += r.Topics[0]
+		last += r.Topics[len(r.Topics)/3-1]
+	}
+	if first < 2*last {
+		t.Fatalf("skewed dataset not skewed: first topic mass %.3f vs last %.3f", first, last)
+	}
+}

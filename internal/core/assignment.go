@@ -28,6 +28,21 @@ func (a *Assignment) Clone() *Assignment {
 	return c
 }
 
+// CloneInto deep-copies a into dst, reusing dst's group slices when they
+// have capacity — the allocation-free variant of Clone for hot loops that
+// re-derive a scratch assignment from a base one every iteration (the
+// refinement's removal phase).
+func (a *Assignment) CloneInto(dst *Assignment) {
+	if cap(dst.Groups) < len(a.Groups) {
+		dst.Groups = make([][]int, len(a.Groups))
+	} else {
+		dst.Groups = dst.Groups[:len(a.Groups)]
+	}
+	for p, g := range a.Groups {
+		dst.Groups[p] = append(dst.Groups[p][:0], g...)
+	}
+}
+
 // Assign adds reviewer r to paper p. It does not check constraints.
 func (a *Assignment) Assign(p, r int) {
 	a.Groups[p] = append(a.Groups[p], r)

@@ -20,6 +20,7 @@ package corpus
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
@@ -73,6 +74,14 @@ type Config struct {
 	// Concentration is the Dirichlet concentration of an author's profile on
 	// the topics of their home area (default 0.25; smaller = more peaked).
 	Concentration float64
+	// Skew, when positive, makes topic popularity Zipf-distributed within
+	// each area: the Dirichlet alpha of an area's i-th topic is scaled by
+	// 1/(i+1)^Skew, so early topics are "hot" and late ones long-tail. Real
+	// conference corpora are skewed this way, and the skew is what makes
+	// candidate-pruned solves collide on the same popular reviewers — the
+	// sparse benchmarks set it to exercise exactly that. 0 (the default)
+	// keeps the uniform per-area alphas.
+	Skew float64
 	// Seed makes generation reproducible (default 1).
 	Seed int64
 }
@@ -239,7 +248,7 @@ func (g *Generator) buildAuthors(rng *rand.Rand) {
 			alphas := make([]float64, g.cfg.Topics)
 			for t := range alphas {
 				if t >= s.topicLo && t < s.topicHi {
-					alphas[t] = g.cfg.Concentration
+					alphas[t] = g.cfg.Concentration * zipfWeight(t-s.topicLo, g.cfg.Skew)
 				} else {
 					alphas[t] = g.cfg.Concentration / 20
 				}
@@ -294,6 +303,15 @@ func (g *Generator) buildPublications(rng *rand.Rand) {
 			g.pubsByVenueYear[key] = append(g.pubsByVenueYear[key], pi)
 		}
 	}
+}
+
+// zipfWeight is the Zipf popularity weight 1/(rank+1)^skew of a topic's rank
+// within its area; skew <= 0 keeps every topic equally popular.
+func zipfWeight(rank int, skew float64) float64 {
+	if skew <= 0 {
+		return 1
+	}
+	return math.Pow(float64(rank+1), -skew)
 }
 
 func areaOffset(a Area, perArea int) int {

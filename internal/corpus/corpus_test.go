@@ -273,3 +273,24 @@ func TestScaledHelper(t *testing.T) {
 		t.Fatal("identity scale broken")
 	}
 }
+
+func TestSkewConcentratesTopicPopularity(t *testing.T) {
+	mass := func(skew float64) (first, last float64) {
+		g := NewGenerator(Config{Scale: 0.02, AuthorsPerArea: 80, Seed: 5, Skew: skew})
+		per := g.Config().Topics / 3
+		for _, a := range g.Authors() {
+			lo := areaOffset(a.Area, 1) * per
+			first += a.Profile[lo]
+			last += a.Profile[lo+per-1]
+		}
+		return first, last
+	}
+	uf, ul := mass(0)
+	if ratio := uf / ul; ratio > 2 || ratio < 0.5 {
+		t.Fatalf("uniform corpus already skewed: first/last mass ratio %.2f", ratio)
+	}
+	sf, sl := mass(2)
+	if sf < 4*sl {
+		t.Fatalf("skew=2 corpus not skewed: first topic mass %.2f vs last %.2f", sf, sl)
+	}
+}

@@ -1,0 +1,92 @@
+package cra
+
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/topics"
+)
+
+// effectiveCandidateCap normalises a candidate-cap setting against the
+// instance: 0 (or negative) disables pruning, as does a cap at or above the
+// reviewer pool (the candidate lists would be the full pool); a positive cap
+// is raised to the group size so every paper can at least fill its group
+// from its own candidates.
+func effectiveCandidateCap(in *core.Instance, k int) int {
+	if k <= 0 || k >= in.NumReviewers() {
+		return 0
+	}
+	if k < in.GroupSize {
+		return in.GroupSize
+	}
+	return k
+}
+
+// spreadDenominator sets the fraction of every candidate list reserved for
+// the deterministic stride over the whole pool: 1/4 spread, 3/4 topical.
+//
+// Purely topical top-k lists collapse onto the same popular reviewers when
+// the pool's expertise overlaps (the more uniform the topic vectors, the
+// worse): the union of all candidates is then a small slice of the pool, its
+// aggregate workload cannot carry P papers, and the transport's densify
+// escape hatch fires for nearly every row — correct, but at full dense cost.
+// Striding a quarter of each list across the pool keeps every reviewer
+// reachable from ~P·spread/R papers, so aggregate candidate capacity always
+// spans the whole pool's workload and saturation stays the rare per-row case
+// the escape hatch is meant for.
+const spreadDenominator = 4
+
+// buildCandidates computes the per-paper candidate reviewer lists (ascending,
+// length k): the top topical reviewers by approximate coverage score through
+// the inverted topic index, plus the stride slots described at
+// spreadDenominator. One flat backing array holds all P·k ids; papers are
+// sharded across workers, each with its own scorer scratch. Lists depend only
+// on (paper, pool), never on worker count, so sharding cannot change results.
+func buildCandidates(in *core.Instance, k, workers int) [][]int32 {
+	P, R := in.NumPapers(), in.NumReviewers()
+	vecs := make([][]float64, R)
+	for r := 0; r < R; r++ {
+		vecs[r] = in.Reviewers[r].Topics
+	}
+	ix := topics.BuildIndex(vecs)
+	spread := k / spreadDenominator
+	flat := make([]int32, P*k)
+	cands := make([][]int32, P)
+	fill := func(sc *topics.Scorer, p int) []int32 {
+		row := sc.TopK(in.Papers[p].Topics, k-spread, flat[p*k:p*k:(p+1)*k])
+		for j := 0; j < spread; j++ {
+			r := int32((p*spread + j) % R)
+			for slices.Contains(row, r) {
+				r = (r + 1) % int32(R)
+			}
+			row = append(row, r)
+		}
+		slices.Sort(row)
+		return row
+	}
+	if workers > P {
+		workers = P
+	}
+	if workers <= 1 {
+		sc := ix.NewScorer()
+		for p := 0; p < P; p++ {
+			cands[p] = fill(sc, p)
+		}
+		return cands
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*P/workers, (w+1)*P/workers
+		go func(lo, hi int) {
+			defer wg.Done()
+			sc := ix.NewScorer()
+			for p := lo; p < hi; p++ {
+				cands[p] = fill(sc, p)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return cands
+}

@@ -62,6 +62,14 @@ type SDGA struct {
 	// GainWeight scales the coverage part of the marginal gain when a
 	// PairBonus is supplied (0 means 1, i.e. plain coverage).
 	GainWeight float64
+	// CandidateCap, when positive, restricts every stage to the top-k
+	// candidate reviewers per paper (by approximate coverage score, via the
+	// inverted topic index), making the matrix build and each stage solve
+	// O(P·k) instead of O(P·R). Papers whose candidates saturate are widened
+	// to the full pool by the transport's escape hatch, so feasibility never
+	// regresses. 0 keeps the exact dense path. Ignored by StageHungarian and
+	// the Legacy transport (kept dense for the ablation baselines).
+	CandidateCap int
 }
 
 // Name implements Algorithm.
@@ -93,8 +101,12 @@ func (s SDGA) AssignContext(ctx context.Context, instance *core.Instance) (*core
 	var m engine.Matrix
 	tr := flow.NewTransport()
 	tr.Workers = shardWorkers(s.Shards)
+	var cands [][]int32
+	if k := effectiveCandidateCap(in, s.CandidateCap); k > 0 && s.Solver != StageHungarian && s.Transport != flow.Legacy {
+		cands = buildCandidates(in, k, shardWorkers(s.Shards))
+	}
 	for stage := 0; stage < in.GroupSize; stage++ {
-		if err := s.runStage(ctx, eng, a, groupVecs, rem, &m, tr); err != nil {
+		if err := s.runStage(ctx, eng, a, groupVecs, rem, &m, tr, cands); err != nil {
 			return nil, fmt.Errorf("cra: SDGA stage %d: %w", stage+1, err)
 		}
 	}
@@ -102,8 +114,10 @@ func (s SDGA) AssignContext(ctx context.Context, instance *core.Instance) (*core
 }
 
 // runStage solves one Stage-WGRAP sub-problem and applies its assignment.
-// tr is the transportation solver shared across all stages of one assignment.
-func (s SDGA) runStage(ctx context.Context, eng *engine.Oracle, a *core.Assignment, groupVecs []core.Vector, rem []int, m *engine.Matrix, tr *flow.Transport) error {
+// tr is the transportation solver shared across all stages of one assignment;
+// cands, when non-nil, holds the per-paper candidate reviewers of the sparse
+// solve path.
+func (s SDGA) runStage(ctx context.Context, eng *engine.Oracle, a *core.Assignment, groupVecs []core.Vector, rem []int, m *engine.Matrix, tr *flow.Transport, cands [][]int32) error {
 	in := eng.Instance()
 	P, R := in.NumPapers(), in.NumReviewers()
 	stageCap := in.StageWorkload()
@@ -132,7 +146,8 @@ func (s SDGA) runStage(ctx context.Context, eng *engine.Oracle, a *core.Assignme
 
 	solveStage := func(caps []int) ([]int, error) {
 		// Profit matrix: marginal gain of adding reviewer r to paper p's
-		// group, built in parallel into the stage-shared flat matrix.
+		// group, built in parallel into the stage-shared flat matrix (only
+		// the candidate cells in sparse mode).
 		spec := engine.ProfitSpec{
 			GroupVecs: groupVecs,
 			Forbidden: func(p, r int) bool {
@@ -141,6 +156,28 @@ func (s SDGA) runStage(ctx context.Context, eng *engine.Oracle, a *core.Assignme
 			ForbiddenValue: flow.Forbidden,
 			Bonus:          bonus,
 			GainWeight:     s.GainWeight,
+		}
+		if cands != nil && s.Solver != StageHungarian && s.Transport != flow.Legacy {
+			if err := eng.FillProfitSparse(ctx, m, spec, cands); err != nil {
+				return nil, err
+			}
+			need := make([]int, P)
+			for p := range need {
+				need[p] = 1
+			}
+			// The escape hatch densifies a paper whose candidates all
+			// saturate; the callback stays valid through the fallback Resolve
+			// because the forbidden set is capacity-identical there (caps[r]
+			// and rem[r] zero together).
+			tr.DenseRow = func(i int, buf []float64) []float64 {
+				eng.FillRowInto(buf, i, spec)
+				return buf
+			}
+			rows, _, err := tr.SolveSparse(m.Rows(), cands, R, need, caps)
+			if err != nil {
+				return nil, err
+			}
+			return perPaperColumns(rows), nil
 		}
 		if err := eng.FillProfit(ctx, m, spec); err != nil {
 			return nil, err

@@ -30,6 +30,13 @@ type SessionConfig struct {
 	// see cra.SDGA.Shards). The solved assignment is identical for every
 	// value.
 	Shards int
+	// CandidateCap, when positive, restricts every stage (and the
+	// refinement's pair scores and completions) to the top-k candidate
+	// reviewers per paper — the sparse solve path, see SDGA.CandidateCap.
+	// Candidate lists depend only on topic vectors, so they survive every
+	// session edit except reviewer additions (a structural rebuild
+	// recomputes them). 0 keeps the exact dense path.
+	CandidateCap int
 	// OnConstruct, when set, receives a private copy of the construction
 	// (SDGA) assignment before refinement starts.
 	OnConstruct func(a *core.Assignment)
@@ -81,6 +88,10 @@ type Session struct {
 	pairsValid bool
 	fill       engine.Matrix
 	sraTr      flow.Transport
+
+	// cands holds the per-paper candidate reviewers of the sparse solve path
+	// (nil when CandidateCap is off); rebuilt on structural resolves.
+	cands [][]int32
 
 	// Reused replay scratch.
 	groupVecs []core.Vector
@@ -323,6 +334,17 @@ func (s *Session) resolve(ctx context.Context) (*core.Assignment, error) {
 		s.sraTr.Workers = workers
 	}
 	structural := s.structural || s.last == nil
+	if structural {
+		// Candidate lists depend on the topic vectors and the pool size, both
+		// of which only change through structural edits; the pair-score matrix
+		// retains the candidate slices, so it must be rebuilt alongside them.
+		if k := effectiveCandidateCap(in, s.cfg.CandidateCap); k > 0 {
+			s.cands = buildCandidates(in, k, workers)
+			s.pairsValid = false
+		} else {
+			s.cands = nil
+		}
+	}
 
 	// Replay scratch.
 	if s.groupVecs == nil {
@@ -421,10 +443,23 @@ func (s *Session) runStage(ctx context.Context, stage int, a *core.Assignment, s
 		Bonus:          tieBreak,
 	}
 
+	if s.cands != nil {
+		// Sparse mode: the escape hatch (and the warm re-read of densified
+		// rows) needs this stage's spec, whose closures read replay state
+		// valid only within the call — re-point the callback every stage.
+		st.tr.DenseRow = func(i int, buf []float64) []float64 {
+			s.eng.FillRowInto(buf, i, spec)
+			return buf
+		}
+	}
 	var rows [][]int
 	var err error
 	if structural {
-		if err = s.eng.FillProfit(ctx, &st.m, spec); err == nil {
+		if s.cands != nil {
+			if err = s.eng.FillProfitSparse(ctx, &st.m, spec, s.cands); err == nil {
+				rows, _, err = st.tr.SolveSparse(st.m.Rows(), s.cands, R, s.need, s.caps)
+			}
+		} else if err = s.eng.FillProfit(ctx, &st.m, spec); err == nil {
 			rows, _, err = st.tr.SolveDense(st.m.Rows(), s.need, s.caps)
 		}
 	} else {
@@ -499,7 +534,13 @@ func (s *Session) refineConstruction(ctx context.Context, construction *core.Ass
 		defer cancel()
 	}
 	if !s.pairsValid {
-		if err := s.eng.FillPairScores(ctx, &s.pairs); err != nil {
+		var err error
+		if s.cands != nil {
+			err = s.eng.FillProfitSparse(ctx, &s.pairs, engine.ProfitSpec{}, s.cands)
+		} else {
+			err = s.eng.FillPairScores(ctx, &s.pairs)
+		}
+		if err != nil {
 			// Context exhausted before refinement: anytime semantics.
 			return construction, nil
 		}
@@ -513,8 +554,9 @@ func (s *Session) refineConstruction(ctx context.Context, construction *core.Ass
 		cfg:           cfg,
 		eng:           s.eng,
 		pairScore:     s.pairs.Rows(),
-		reviewerTotal: pairReviewerTotals(s.pairs.Rows(), active, s.in.NumReviewers()),
+		reviewerTotal: pairReviewerTotals(s.pairs.Rows(), active, s.in.NumReviewers(), s.cands),
 		active:        active,
+		cands:         s.cands,
 		fill:          &s.fill,
 		tr:            &s.sraTr,
 		rng:           rand.New(rand.NewSource(cfg.Seed)),

@@ -66,6 +66,15 @@ type SRA struct {
 	// to load its instance (0 = GOMAXPROCS, 1 = serial; see SDGA.Shards).
 	// The refinement trajectory is identical for every value.
 	Shards int
+	// CandidateCap, when positive, restricts the pair-score precomputation
+	// and every per-round completion to the top-k candidate reviewers per
+	// paper (see SDGA.CandidateCap): the O(P·R) precomputation and each
+	// completion solve become O(P·k). Pairs outside a paper's candidates fall
+	// back to an exact on-demand score in the probability model, and the
+	// completion transport densifies papers whose candidates saturate, so
+	// refinement quality degrades only by the candidate truncation itself.
+	// 0 keeps the exact dense path.
+	CandidateCap int
 	// OnRound, when set, is called after every refinement round with the
 	// 1-based round number, the best score so far and the elapsed time; the
 	// refinement-progress experiment (Figure 12) uses it to record a trace.
@@ -119,11 +128,22 @@ func (s SRA) RefineContext(ctx context.Context, instance *core.Instance, start *
 	}
 	eng := engine.New(in)
 
-	// Pre-compute all pair coverage scores and the per-reviewer totals of the
+	// Pre-compute the pair coverage scores and the per-reviewer totals of the
 	// probability model (the denominator of Equation 9). O(P·R) work, filled
-	// in parallel by the oracle, as stated in the paper.
+	// in parallel by the oracle, as stated in the paper — O(P·k) under a
+	// candidate cap.
+	var cands [][]int32
+	if k := effectiveCandidateCap(in, s.CandidateCap); k > 0 {
+		cands = buildCandidates(in, k, shardWorkers(s.Shards))
+	}
 	var pairs engine.Matrix
-	if err := eng.FillPairScores(ctx, &pairs); err != nil {
+	var err2 error
+	if cands != nil {
+		err2 = eng.FillProfitSparse(ctx, &pairs, engine.ProfitSpec{}, cands)
+	} else {
+		err2 = eng.FillPairScores(ctx, &pairs)
+	}
+	if err2 != nil {
 		// Context already exhausted before the first round: anytime
 		// semantics, the input is the best known assignment.
 		return start.Clone(), nil
@@ -133,7 +153,8 @@ func (s SRA) RefineContext(ctx context.Context, instance *core.Instance, start *
 		cfg:           s,
 		eng:           eng,
 		pairScore:     pairs.Rows(),
-		reviewerTotal: pairReviewerTotals(pairs.Rows(), nil, in.NumReviewers()),
+		reviewerTotal: pairReviewerTotals(pairs.Rows(), nil, in.NumReviewers(), cands),
+		cands:         cands,
 		fill:          &engine.Matrix{},
 		tr:            tr,
 		rng:           rand.New(rand.NewSource(s.Seed)),
@@ -142,21 +163,29 @@ func (s SRA) RefineContext(ctx context.Context, instance *core.Instance, start *
 }
 
 // pairReviewerTotals sums each reviewer's pair scores over the active papers
-// (the denominator of Equation 9). A nil active mask means every paper.
-// Non-finite scores (a custom ScoreFunc gone wrong) are skipped so one bad
-// cell cannot poison a reviewer's whole denominator with NaN — the
-// probability model then degrades to the uniform floor for that reviewer
+// (the denominator of Equation 9). A nil active mask means every paper; a
+// non-nil cands means pairScore rows are candidate-aligned (row p holds one
+// cell per entry of cands[p]), so totals run over candidate pairs only — the
+// truncated pairs carry exactly the score mass the pruning already deemed
+// negligible. Non-finite scores (a custom ScoreFunc gone wrong) are skipped
+// so one bad cell cannot poison a reviewer's whole denominator with NaN —
+// the probability model then degrades to the uniform floor for that reviewer
 // instead of producing a zero-mass removal distribution.
-func pairReviewerTotals(pairScore [][]float64, active []bool, R int) []float64 {
+func pairReviewerTotals(pairScore [][]float64, active []bool, R int, cands [][]int32) []float64 {
 	totals := make([]float64, R)
 	for p := range pairScore {
 		if active != nil && !active[p] {
 			continue
 		}
-		for r, c := range pairScore[p] {
-			if !math.IsInf(c, 0) && !math.IsNaN(c) {
-				totals[r] += c
+		for x, c := range pairScore[p] {
+			if math.IsInf(c, 0) || math.IsNaN(c) {
+				continue
 			}
+			r := x
+			if cands != nil {
+				r = int(cands[p][x])
+			}
+			totals[r] += c
 		}
 	}
 	return totals
@@ -174,9 +203,43 @@ type sraRun struct {
 	// active masks the papers that participate (nil = all); withdrawn papers
 	// keep empty groups and are never touched by removal or completion.
 	active []bool
-	fill   *engine.Matrix
-	tr     *flow.Transport
-	rng    *rand.Rand
+	// cands, when non-nil, holds the per-paper candidate lists of the sparse
+	// mode; pairScore rows are then candidate-aligned.
+	cands [][]int32
+	fill  *engine.Matrix
+	tr    *flow.Transport
+	rng   *rand.Rand
+}
+
+// pairScoreAt returns the pair score c(r, p) regardless of layout: a direct
+// cell in dense mode, a binary search over the candidate list in sparse mode
+// with an exact on-demand oracle evaluation for the (rare) assigned pair
+// outside it — a densified completion can assign any reviewer, and the
+// removal model must price such pairs correctly rather than as zero.
+func (run *sraRun) pairScoreAt(p, r int) float64 {
+	// Kept small enough to inline: the dense lookup is on the removal
+	// sampler's hot path, where an outlined call costs ~5% of the round.
+	if run.cands == nil {
+		return run.pairScore[p][r]
+	}
+	return run.pairScoreSparse(p, r)
+}
+
+func (run *sraRun) pairScoreSparse(p, r int) float64 {
+	c := run.cands[p]
+	lo, hi := 0, len(c)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c[mid] < int32(r) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(c) && c[lo] == int32(r) {
+		return run.pairScore[p][lo]
+	}
+	return run.eng.PairScore(r, p)
 }
 
 func (run *sraRun) prob(r, p int, iteration int) float64 {
@@ -188,11 +251,11 @@ func (run *sraRun) prob(r, p int, iteration int) float64 {
 		if run.reviewerTotal[r] == 0 {
 			return 1 / float64(R)
 		}
-		return run.pairScore[p][r] / run.reviewerTotal[r]
+		return run.pairScoreAt(p, r) / run.reviewerTotal[r]
 	default: // ProbCoverageDecay, Equation 10
 		base := 0.0
 		if run.reviewerTotal[r] > 0 {
-			base = run.pairScore[p][r] / run.reviewerTotal[r]
+			base = run.pairScoreAt(p, r) / run.reviewerTotal[r]
 		}
 		v := math.Exp(-run.cfg.Lambda*float64(iteration)) * base
 		if floor := 1 / float64(R); v < floor {
@@ -211,12 +274,23 @@ func (run *sraRun) refine(ctx context.Context, start *core.Assignment) (*core.As
 
 	best := start.Clone()
 	current := start.Clone()
-	// Per-paper scores of the current assignment, kept incrementally.
+	// trial is the round's scratch assignment: re-derived from current by
+	// CloneInto every round (no per-round allocation) and swapped into
+	// current's place when the round completes.
+	trial := start.Clone()
+	// Per-paper scores of the current assignment, kept incrementally; the
+	// trial scores double-buffer them the same way the assignments do.
 	currentScores := run.eng.PaperScores(current)
+	trialScores := append([]float64(nil), currentScores...)
 	bestScore := sum(currentScores)
 	stale := 0
 	startTime := time.Now()
 
+	// Remaining reviewer capacity of current, maintained incrementally across
+	// rounds: removals free a slot, completions take one back, and a failed
+	// completion reverts its removals — so the O(P·δp + R) rebuild happens
+	// once, not per round.
+	rem := remainingCapacity(in, current)
 	victims := make([]int, P)
 	comp := newCompletion(P)
 	weights := make([]float64, in.GroupSize)
@@ -227,8 +301,7 @@ func (run *sraRun) refine(ctx context.Context, start *core.Assignment) (*core.As
 		}
 		// Removal phase: drop one reviewer from every paper, preferring pairs
 		// with a low probability of being "correct".
-		trial := current.Clone()
-		rem := remainingCapacity(in, trial)
+		current.CloneInto(trial)
 		for p := 0; p < P; p++ {
 			victims[p] = -1
 			if run.active != nil && !run.active[p] {
@@ -257,6 +330,13 @@ func (run *sraRun) refine(ctx context.Context, start *core.Assignment) (*core.As
 		// group actually changed since the previous round (see complete).
 		added, err := run.complete(ctx, comp, trial, rem)
 		if err != nil {
+			// Whatever failed, the completion applied nothing: revert the
+			// removal phase's capacity releases so rem describes current again.
+			for p := 0; p < P; p++ {
+				if victims[p] >= 0 {
+					rem[victims[p]]--
+				}
+			}
 			if ctx.Err() != nil {
 				break
 			}
@@ -268,7 +348,7 @@ func (run *sraRun) refine(ctx context.Context, start *core.Assignment) (*core.As
 		// Delta re-scoring: only papers whose group changed need a fresh
 		// group-score evaluation; a paper that got its removed reviewer back
 		// keeps its cached score.
-		trialScores := append([]float64(nil), currentScores...)
+		copy(trialScores, currentScores)
 		for p := 0; p < P; p++ {
 			if len(added[p]) == 1 && added[p][0] == victims[p] {
 				continue
@@ -291,8 +371,10 @@ func (run *sraRun) refine(ctx context.Context, start *core.Assignment) (*core.As
 		}
 		// Continue refining from the trial even if it did not improve: the
 		// stochastic walk may escape local maxima; the best is kept separately.
-		current = trial
-		currentScores = trialScores
+		// Swapping (not assigning) keeps the other buffer alive as the next
+		// round's scratch; rem already describes the new current.
+		current, trial = trial, current
+		currentScores, trialScores = trialScores, currentScores
 		if s.OnRound != nil {
 			s.OnRound(iter, bestScore, time.Since(startTime))
 		}
@@ -378,16 +460,34 @@ func (run *sraRun) complete(ctx context.Context, c *completion, trial *core.Assi
 		},
 		ForbiddenValue: flow.Forbidden,
 	}
+	if run.cands != nil {
+		// The escape hatch (and the warm re-read of already-densified rows)
+		// needs this round's spec; the closure over trial and c.need is only
+		// valid within the round, so re-point the callback every call.
+		run.tr.DenseRow = func(i int, buf []float64) []float64 {
+			run.eng.FillRowInto(buf, i, spec)
+			return buf
+		}
+	}
 	var rows [][]int
 	var err error
 	if !c.started {
-		if err = run.eng.FillProfit(ctx, run.fill, spec); err != nil {
+		if run.cands != nil {
+			err = run.eng.FillProfitSparse(ctx, run.fill, spec, run.cands)
+		} else {
+			err = run.eng.FillProfit(ctx, run.fill, spec)
+		}
+		if err != nil {
 			return nil, err
 		}
-		rows, _, err = run.tr.SolveDense(run.fill.Rows(), c.need, rem)
+		if run.cands != nil {
+			rows, _, err = run.tr.SolveSparse(run.fill.Rows(), run.cands, in.NumReviewers(), c.need, rem)
+		} else {
+			rows, _, err = run.tr.SolveDense(run.fill.Rows(), c.need, rem)
+		}
 		if err == nil || errors.Is(err, flow.ErrInfeasible) {
-			// The dense CSR (and on infeasibility the partial flow) is loaded;
-			// later rounds can re-solve incrementally either way.
+			// The edit-stable CSR (and on infeasibility the partial flow) is
+			// loaded; later rounds can re-solve incrementally either way.
 			c.started = true
 		}
 	} else {

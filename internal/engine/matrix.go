@@ -14,15 +14,25 @@ import (
 // zero value is ready to use; Reset reuses the backing buffer across solver
 // invocations (SDGA rebuilds the matrix every stage, SRA every round), so a
 // steady-state fill performs no allocation.
+//
+// A Matrix has two layouts. In the dense layout (Reset) row p holds one cell
+// per column. In the sparse-row layout (ResetSparse) row p holds one cell per
+// entry of its candidate list, in candidate order: Row(p)[x] is the profit of
+// pairing p with candidate cand[p][x]. The sparse layout is what the
+// candidate-pruned solve path hands to flow.Transport.SolveSparse, keeping
+// every downstream pass O(P·k) instead of O(P·R).
 type Matrix struct {
 	rows, cols int
 	data       []float64
 	views      [][]float64
+	// cand, when non-nil, holds the per-row candidate column lists of the
+	// sparse-row layout (ascending; owned by the caller and only read here).
+	cand [][]int32
 }
 
-// Reset resizes the matrix to rows×cols, reusing the backing storage when it
-// is large enough. Cell contents are unspecified after Reset; fills overwrite
-// every cell.
+// Reset resizes the matrix to the dense rows×cols layout, reusing the backing
+// storage when it is large enough. Cell contents are unspecified after Reset;
+// fills overwrite every cell.
 func (m *Matrix) Reset(rows, cols int) {
 	n := rows * cols
 	if cap(m.data) < n {
@@ -39,15 +49,50 @@ func (m *Matrix) Reset(rows, cols int) {
 		m.views[p] = m.data[p*cols : (p+1)*cols : (p+1)*cols]
 	}
 	m.rows, m.cols = rows, cols
+	m.cand = nil
 }
 
-// Dims returns the current (rows, cols).
+// ResetSparse resizes the matrix to the sparse-row layout: logically
+// rows×cols, but row p physically holds len(cand[p]) cells, one per
+// candidate column. cand is retained (not copied) and must stay immutable
+// while the matrix is in use.
+func (m *Matrix) ResetSparse(rows, cols int, cand [][]int32) {
+	total := 0
+	for _, c := range cand {
+		total += len(c)
+	}
+	if cap(m.data) < total {
+		m.data = make([]float64, total)
+	} else {
+		m.data = m.data[:total]
+	}
+	if cap(m.views) < rows {
+		m.views = make([][]float64, rows)
+	} else {
+		m.views = m.views[:rows]
+	}
+	off := 0
+	for p := 0; p < rows; p++ {
+		end := off + len(cand[p])
+		m.views[p] = m.data[off:end:end]
+		off = end
+	}
+	m.rows, m.cols = rows, cols
+	m.cand = cand
+}
+
+// Dims returns the current logical (rows, cols).
 func (m *Matrix) Dims() (int, int) { return m.rows, m.cols }
 
-// At returns the cell (p, r).
+// Sparse reports whether the matrix is in the sparse-row layout.
+func (m *Matrix) Sparse() bool { return m.cand != nil }
+
+// At returns the cell (p, r) of a dense-layout matrix. In the sparse-row
+// layout cells are addressed by candidate position via Row instead.
 func (m *Matrix) At(p, r int) float64 { return m.views[p][r] }
 
-// Row returns row p as a slice view into the flat buffer.
+// Row returns row p as a slice view into the flat buffer: one cell per
+// column in the dense layout, one per candidate in the sparse-row layout.
 func (m *Matrix) Row(p int) []float64 { return m.views[p] }
 
 // Rows returns all row views; the result aliases the flat buffer and can be
@@ -90,31 +135,60 @@ const (
 	fillColBlock = 128
 )
 
-// fillRowCells computes the cells [c0, c1) of row p per spec — the single
-// definition of the profit-cell semantics, shared by the full tiled build
-// and the dirty-row refill so the two can never drift apart. w is the
+// profitCell computes the value of cell (p, r) per spec — the single
+// definition of the profit-cell semantics, shared by the dense tiled build,
+// the sparse candidate build and the dirty-row refills so none of them can
+// drift apart. gv is the paper's group vector (nil for pair scores), w the
 // resolved gain weight.
+func (o *Oracle) profitCell(p, r int, gv core.Vector, spec *ProfitSpec, w float64) float64 {
+	if spec.Forbidden != nil && spec.Forbidden(p, r) {
+		return spec.ForbiddenValue
+	}
+	var gain float64
+	if gv == nil {
+		gain = o.PairScore(r, p)
+	} else {
+		gain = o.Gain(p, gv, r)
+	}
+	if spec.Bonus != nil {
+		gain = w*gain + spec.Bonus(p, r)
+	}
+	return gain
+}
+
+// fillRowCells computes the dense cells [c0, c1) of row p per spec.
 func (o *Oracle) fillRowCells(row []float64, p, c0, c1 int, spec *ProfitSpec, w float64) {
 	var gv core.Vector
 	if spec.GroupVecs != nil {
 		gv = spec.GroupVecs[p]
 	}
 	for r := c0; r < c1; r++ {
-		if spec.Forbidden != nil && spec.Forbidden(p, r) {
-			row[r] = spec.ForbiddenValue
-			continue
-		}
-		var gain float64
-		if gv == nil {
-			gain = o.PairScore(r, p)
-		} else {
-			gain = o.Gain(p, gv, r)
-		}
-		if spec.Bonus != nil {
-			gain = w*gain + spec.Bonus(p, r)
-		}
-		row[r] = gain
+		row[r] = o.profitCell(p, r, gv, spec, w)
 	}
+}
+
+// fillRowCellsSparse computes the candidate cells of sparse row p per spec:
+// row[x] receives the profit of pairing p with candidate cand[x].
+func (o *Oracle) fillRowCellsSparse(row []float64, p int, cand []int32, spec *ProfitSpec, w float64) {
+	var gv core.Vector
+	if spec.GroupVecs != nil {
+		gv = spec.GroupVecs[p]
+	}
+	for x, r := range cand {
+		row[x] = o.profitCell(p, int(r), gv, spec, w)
+	}
+}
+
+// FillRowInto fills one full-width profit row for paper p into row (len R),
+// per spec. It is the densification callback of the sparse solve path:
+// flow.Transport widens a row to full width when its candidate set saturates,
+// and needs the row's dense profits on demand without a Matrix rebuild.
+func (o *Oracle) FillRowInto(row []float64, p int, spec ProfitSpec) {
+	w := spec.GainWeight
+	if w == 0 {
+		w = 1
+	}
+	o.fillRowCells(row, p, 0, len(row), &spec, w)
 }
 
 // FillProfit builds the P×R profit matrix described by spec into m. Tiles of
@@ -147,11 +221,41 @@ func (o *Oracle) FillProfit(ctx context.Context, m *Matrix, spec ProfitSpec) err
 	})
 }
 
+// FillProfitSparse builds the sparse-row profit matrix described by spec
+// into m: row p receives one cell per entry of cand[p] (its candidate
+// reviewers, ascending), so the build costs O(P·k·T) instead of O(P·R·T).
+// Blocks of rows are filled in parallel as in FillProfit. cand is retained
+// by the matrix (see Matrix.ResetSparse).
+func (o *Oracle) FillProfitSparse(ctx context.Context, m *Matrix, spec ProfitSpec, cand [][]int32) error {
+	P, R := o.in.NumPapers(), o.in.NumReviewers()
+	if len(cand) != P {
+		return errors.New("engine: FillProfitSparse candidate lists do not cover the papers")
+	}
+	m.ResetSparse(P, R, cand)
+	w := spec.GainWeight
+	if w == 0 {
+		w = 1
+	}
+	blocks := (P + fillRowBlock - 1) / fillRowBlock
+	return parallelUnits(ctx, blocks, func(b int) {
+		p0 := b * fillRowBlock
+		p1 := p0 + fillRowBlock
+		if p1 > P {
+			p1 = P
+		}
+		for p := p0; p < p1; p++ {
+			o.fillRowCellsSparse(m.views[p], p, cand[p], &spec, w)
+		}
+	})
+}
+
 // FillProfitRows rebuilds only the given rows of a previously filled profit
 // matrix (the dirty-row refill of session warm re-solves: after a small
 // instance edit most papers' gains are unchanged, so refilling the handful
 // of dirty rows replaces an O(P·R·T) full build with an O(|rows|·R·T) one).
-// m must already hold a P×R fill; the untouched rows keep their contents.
+// m must already hold a P×R fill — dense or sparse-row; a sparse matrix
+// refills only the dirty rows' candidate cells. The untouched rows keep
+// their contents.
 func (o *Oracle) FillProfitRows(ctx context.Context, m *Matrix, spec ProfitSpec, rows []int) error {
 	P, R := o.in.NumPapers(), o.in.NumReviewers()
 	if m.rows != P || m.cols != R {
@@ -160,6 +264,12 @@ func (o *Oracle) FillProfitRows(ctx context.Context, m *Matrix, spec ProfitSpec,
 	w := spec.GainWeight
 	if w == 0 {
 		w = 1
+	}
+	if m.cand != nil {
+		return parallelUnits(ctx, len(rows), func(u int) {
+			p := rows[u]
+			o.fillRowCellsSparse(m.views[p], p, m.cand[p], &spec, w)
+		})
 	}
 	return parallelUnits(ctx, len(rows), func(u int) {
 		p := rows[u]

@@ -139,18 +139,43 @@ type Transport struct {
 	// serial in row order.
 	Workers int
 
+	// DenseRow, when set, supplies the full-width profit row of row i on
+	// demand (into buf, len m; the returned slice is read immediately). It is
+	// the escape hatch of the sparse mode: when a row's candidate columns all
+	// saturate (conflicted or at capacity), the solver widens that one row to
+	// full width instead of failing, so candidate pruning can never make a
+	// feasible instance infeasible. The callback must stay consistent with
+	// the last loaded instance until the next SolveSparse/Solve/SolveDense.
+	DenseRow func(row int, buf []float64) []float64
+
 	n, m int
 
 	// CSR of the usable cells: row i's cells are
 	// colIdx[rowStart[i]:rowStart[i+1]], cost holds the negated profit.
 	// Solve drops Forbidden cells from the CSR; SolveDense keeps every cell
 	// (Forbidden ones carry +Inf cost), making the sparsity pattern
-	// edit-stable so ResolveRows can re-cost any row in place.
+	// edit-stable so ResolveRows can re-cost any row in place. SolveSparse
+	// keeps one cell per candidate column (Forbidden candidates carry +Inf
+	// cost), so its P×k pattern is edit-stable the same way.
 	rowStart []int32
 	colIdx   []int32
 	cost     []float64
 	assigned []bool
 	dense    bool
+	sparse   bool
+	// rowFull marks sparse rows widened to full width by the densification
+	// escape hatch; their CSR segment covers every column (position == column
+	// index, like a dense row).
+	rowFull []bool
+	// stuck collects the deficit rows whose shortest-path search failed in
+	// the current attempt — the densification candidates.
+	stuck    []int32
+	denseBuf []float64
+	// Spare CSR buffers for rebuildSparseCSR (swapped with the live arrays on
+	// every densification so repeated rebuilds do not allocate).
+	rowStartTmp []int32
+	colIdxTmp   []int32
+	costTmp     []float64
 
 	rowNeed []int
 	colCap  []int
@@ -247,6 +272,7 @@ func (t *Transport) solve(profit [][]float64, rowNeed, colCap []int, dense bool)
 	m := len(profit[0])
 	t.n, t.m = n, m
 	t.dense = dense
+	t.sparse = false
 
 	t.buildCSR(profit, dense)
 	t.assigned = growBool(t.assigned, len(t.colIdx))
@@ -370,6 +396,137 @@ func (t *Transport) buildCSR(profit [][]float64, dense bool) {
 	})
 }
 
+// validateTransportSparse checks the preconditions of the sparse-row mode:
+// matching row counts, position-aligned vals/cols rows, strictly ascending
+// in-range candidate columns, non-negative demands and capacities.
+func validateTransportSparse(vals [][]float64, cols [][]int32, m int, rowNeed, colCap []int) error {
+	n := len(vals)
+	if len(cols) != n || len(rowNeed) != n || len(colCap) != m {
+		return errors.New("flow: dimension mismatch")
+	}
+	if m < 0 {
+		return errors.New("flow: negative column count")
+	}
+	for i := range vals {
+		if len(vals[i]) != len(cols[i]) {
+			return errors.New("flow: ragged candidate rows")
+		}
+		if rowNeed[i] < 0 {
+			return errors.New("flow: negative row demand")
+		}
+		prev := int32(-1)
+		for _, j := range cols[i] {
+			if j <= prev || int(j) >= m {
+				return errors.New("flow: candidate columns must be strictly ascending and in range")
+			}
+			prev = j
+		}
+	}
+	for _, c := range colCap {
+		if c < 0 {
+			return errors.New("flow: negative column capacity")
+		}
+	}
+	return nil
+}
+
+// SolveSparse solves the instance restricted to per-row candidate columns:
+// vals[i][x] is the profit of pairing row i with column cols[i][x] (columns
+// strictly ascending per row); pairs outside the candidate lists do not
+// exist. Every pass — CSR build, cold duals, greedy seeding, Dijkstra
+// phases, ResolveRows — then scales with the candidate count instead of m.
+//
+// Forbidden candidate cells are kept at +Inf cost (as in SolveDense), so the
+// P×k pattern is edit-stable and ResolveRows can re-cost candidate rows in
+// place for warm re-solves. When a row's candidates saturate and its demand
+// cannot be met, the solver widens that row to full width through the
+// DenseRow callback and retries (see Transport.DenseRow) — with the callback
+// set, SolveSparse is infeasible only when the underlying dense instance is.
+func (t *Transport) SolveSparse(vals [][]float64, cols [][]int32, m int, rowNeed, colCap []int) ([][]int, float64, error) {
+	if err := t.LoadSparse(vals, cols, m, rowNeed, colCap); err != nil {
+		return nil, 0, err
+	}
+	if t.n == 0 {
+		return nil, 0, nil
+	}
+	if err := t.run(); err != nil {
+		return nil, 0, err
+	}
+	return t.extract()
+}
+
+// LoadSparse validates and loads a sparse-row instance into the solver's
+// flat buffers — CSR from the candidate lists (sharded across rows when
+// Workers > 1), capacities, zero flow and cold duals — without running the
+// solve. SolveSparse is LoadSparse followed by the augmentation run;
+// LoadSparse is exposed for callers that stage instance loading separately
+// (and for tests of the construction pass).
+func (t *Transport) LoadSparse(vals [][]float64, cols [][]int32, m int, rowNeed, colCap []int) error {
+	if err := validateTransportSparse(vals, cols, m, rowNeed, colCap); err != nil {
+		return err
+	}
+	n := len(vals)
+	if n == 0 {
+		t.n, t.m = 0, 0
+		t.solved = true
+		return nil
+	}
+	t.n, t.m = n, m
+	t.dense = false
+	t.sparse = true
+	t.rowFull = growBool(t.rowFull, n)
+	clear(t.rowFull)
+
+	t.rowStart = growInt32(t.rowStart, n+1)
+	t.rowStart[0] = 0
+	for i := 0; i < n; i++ {
+		t.rowStart[i+1] = t.rowStart[i] + int32(len(cols[i]))
+	}
+	total := int(t.rowStart[n])
+	t.colIdx = growInt32(t.colIdx, total)
+	t.cost = growFloat(t.cost, total)
+	shardRows(t.loadWorkers(), n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := int(t.rowStart[i])
+			copy(t.colIdx[base:base+len(cols[i])], cols[i])
+			for x, p := range vals[i] {
+				if math.IsInf(p, -1) {
+					t.cost[base+x] = math.Inf(1)
+				} else {
+					t.cost[base+x] = -p
+				}
+			}
+		}
+	})
+	t.assigned = growBool(t.assigned, total)
+	clear(t.assigned)
+
+	t.rowNeed = growInt(t.rowNeed, n)
+	copy(t.rowNeed, rowNeed)
+	t.colCap = growInt(t.colCap, m)
+	copy(t.colCap, colCap)
+	t.rowFlow = growInt(t.rowFlow, n)
+	clear(t.rowFlow)
+	t.deficit = 0
+	for _, need := range rowNeed {
+		t.deficit += need
+	}
+	if cap(t.colPairs) < m {
+		t.colPairs = make([][]colArc, m)
+	}
+	t.colPairs = t.colPairs[:m]
+	for j := range t.colPairs {
+		t.colPairs[j] = t.colPairs[j][:0]
+	}
+
+	t.v = growFloat(t.v, m)
+	clear(t.v)
+	t.u = growFloat(t.u, n)
+	t.resetDualsForEmptyFlow()
+	t.solved = true
+	return nil
+}
+
 // loadWorkers returns the effective worker count for the instance-load
 // passes: Workers capped to something useful for the instance size.
 func (t *Transport) loadWorkers() int {
@@ -445,25 +602,30 @@ func (t *Transport) Resolve(colCap []int) ([][]int, float64, error) {
 	return t.extract()
 }
 
-// ResolveRows re-solves the instance of the preceding SolveDense after
-// in-place edits to the profit rows listed in rows: each dirty row's costs
-// are re-read from profit (the dense CSR pattern is unchanged, so Forbidden
-// cells simply become +Inf), its flow is released and its dual repaired, its
-// demand is updated from rowNeed, and column capacities are updated as in
-// Resolve. Only the released units are re-augmented unless the sink-side
-// dual turns infeasible, in which case the flow restarts from cold duals on
-// the kept CSR (still far cheaper than a cold Solve, which would also rescan
-// every clean row).
+// ResolveRows re-solves the instance of the preceding SolveDense or
+// SolveSparse after in-place edits to the profit rows listed in rows: each
+// dirty row's costs are re-read from profit (the CSR pattern is unchanged,
+// so Forbidden cells simply become +Inf), its flow is released and its dual
+// repaired, its demand is updated from rowNeed, and column capacities are
+// updated as in Resolve. Only the released units are re-augmented unless the
+// sink-side dual turns infeasible, in which case the flow restarts from cold
+// duals on the kept CSR (still far cheaper than a cold Solve, which would
+// also rescan every clean row).
 //
-// rowNeed and colCap are the full new vectors; rowNeed may differ from the
-// previous solve only at the dirty rows. Rows not listed in rows must have
-// unchanged profits.
+// profit rows are position-aligned with the loaded CSR: the full dense row
+// after SolveDense, the candidate cells (in candidate order) after
+// SolveSparse. A sparse row the escape hatch widened to full width is
+// re-read through the DenseRow callback instead of profit[i], so callers
+// keep handing the same P×k rows regardless of densification. rowNeed and
+// colCap are the full new vectors; rowNeed may differ from the previous
+// solve only at the dirty rows. Rows not listed in rows must have unchanged
+// profits.
 func (t *Transport) ResolveRows(profit [][]float64, rows []int, rowNeed, colCap []int) ([][]int, float64, error) {
 	if !t.solved {
 		return nil, 0, errors.New("flow: ResolveRows called before Solve")
 	}
-	if !t.dense {
-		return nil, 0, errors.New("flow: ResolveRows requires SolveDense")
+	if !t.dense && !t.sparse {
+		return nil, 0, errors.New("flow: ResolveRows requires SolveDense or SolveSparse")
 	}
 	if len(profit) != t.n || len(rowNeed) != t.n || len(colCap) != t.m {
 		return nil, 0, errors.New("flow: dimension mismatch")
@@ -479,6 +641,18 @@ func (t *Transport) ResolveRows(profit [][]float64, rows []int, rowNeed, colCap 
 			return nil, 0, errors.New("flow: negative row demand")
 		}
 		base := int(t.rowStart[i])
+		seg := int(t.rowStart[i+1]) - base
+		rowVals := profit[i]
+		if t.sparse && t.rowFull[i] {
+			if t.DenseRow == nil {
+				return nil, 0, errors.New("flow: densified row edited without a DenseRow callback")
+			}
+			t.denseBuf = growFloat(t.denseBuf, t.m)
+			rowVals = t.DenseRow(i, t.denseBuf[:t.m])
+		}
+		if len(rowVals) != seg {
+			return nil, 0, errors.New("flow: dirty row not position-aligned with the loaded pattern")
+		}
 		// Fast path: when the row's demand is unchanged, no assigned cell
 		// changed cost, and every unassigned cell keeps a non-negative
 		// reduced cost under the current duals (always true for pure cost
@@ -491,8 +665,8 @@ func (t *Transport) ResolveRows(profit [][]float64, rows []int, rowNeed, colCap 
 		if rowNeed[i] == t.rowNeed[i] {
 			keep := true
 			ui := t.u[i]
-			for j, p := range profit[i] {
-				e := base + j
+			for x, p := range rowVals {
+				e := base + x
 				nc := -p
 				if math.IsInf(p, -1) {
 					nc = math.Inf(1)
@@ -504,30 +678,30 @@ func (t *Transport) ResolveRows(profit [][]float64, rows []int, rowNeed, colCap 
 					}
 					continue
 				}
-				if nc+ui-t.v[j] < -tightEps {
+				if nc+ui-t.v[t.colIdx[e]] < -tightEps {
 					keep = false
 					break
 				}
 			}
 			if keep {
-				for j, p := range profit[i] {
+				for x, p := range rowVals {
 					if math.IsInf(p, -1) {
-						t.cost[base+j] = math.Inf(1)
+						t.cost[base+x] = math.Inf(1)
 					} else {
-						t.cost[base+j] = -p
+						t.cost[base+x] = -p
 					}
 				}
 				continue
 			}
 		}
 		t.releaseRow(i)
-		// Re-cost the row's dense CSR segment in place; the pattern (one edge
-		// per column) is unchanged by construction.
-		for j, p := range profit[i] {
+		// Re-cost the row's CSR segment in place; the pattern (one edge per
+		// column / per candidate) is unchanged by construction.
+		for x, p := range rowVals {
 			if math.IsInf(p, -1) {
-				t.cost[base+j] = math.Inf(1)
+				t.cost[base+x] = math.Inf(1)
 			} else {
-				t.cost[base+j] = -p
+				t.cost[base+x] = -p
 			}
 		}
 		// Repair the row dual for the new costs (releaseRow already set it for
@@ -863,44 +1037,133 @@ func (t *Transport) removeArc(j int, edge int32) {
 // row at once (the previous multi-source formulation) settled and relaxed the
 // whole near-tight neighbourhood of all deficit rows for every single unit
 // placed — two orders of magnitude more edge relaxations at paper scale.
+//
+// In sparse mode with a DenseRow callback, an attempt that leaves stuck rows
+// (sink unreachable within their candidate columns) widens those rows to
+// full width and retries from a flow reset; each row widens at most once, so
+// the loop terminates, and a final failure means the full-width instance is
+// genuinely infeasible.
 func (t *Transport) run() error {
-	if t.deficit == 0 {
-		return nil
-	}
-	t.ensureScratch()
-	t.collectDeficitRows()
-	t.beginPhase()
-	t.seed()
-	t.augmentTight(t.deficitRows)
-	// Every augmentation fills exactly one spare column slot, so once none
-	// are left the remaining deficit rows cannot possibly be served — skip
-	// their (individually failing) searches wholesale.
-	spare := 0
-	for j := 0; j < t.m; j++ {
-		spare += t.colCap[j] - len(t.colPairs[j])
-	}
-	infeasible := false
-	for _, i32 := range t.deficitRows {
-		i := int(i32)
-		for t.rowFlow[i] < t.rowNeed[i] && spare > 0 {
-			jStar, ok := t.shortestPathFrom(i)
-			if !ok {
-				// This row cannot reach the sink (residual reachability
-				// accounts for every rerouting of the placed flow), but later
-				// deficit rows may still be satisfiable: keep augmenting them
-				// so the retained partial flow is maximal — the contract a
-				// follow-up Resolve with enlarged capacities continues from.
-				infeasible = true
-				break
+	for {
+		if t.deficit == 0 {
+			return nil
+		}
+		t.ensureScratch()
+		t.collectDeficitRows()
+		t.beginPhase()
+		t.seed()
+		t.augmentTight(t.deficitRows)
+		// Every augmentation fills exactly one spare column slot, so once none
+		// are left the remaining deficit rows cannot possibly be served — skip
+		// their (individually failing) searches wholesale.
+		spare := 0
+		for j := 0; j < t.m; j++ {
+			spare += t.colCap[j] - len(t.colPairs[j])
+		}
+		t.stuck = t.stuck[:0]
+		for _, i32 := range t.deficitRows {
+			i := int(i32)
+			for t.rowFlow[i] < t.rowNeed[i] && spare > 0 {
+				jStar, ok := t.shortestPathFrom(i)
+				if !ok {
+					// This row cannot reach the sink (residual reachability
+					// accounts for every rerouting of the placed flow), but
+					// later deficit rows may still be satisfiable: keep
+					// augmenting them so the retained partial flow is maximal —
+					// the contract a follow-up Resolve with enlarged capacities
+					// continues from. In sparse mode the row is also the
+					// densification candidate of the retry below.
+					t.stuck = append(t.stuck, i32)
+					break
+				}
+				t.augmentParentChain(jStar)
+				spare--
 			}
-			t.augmentParentChain(jStar)
-			spare--
+		}
+		if t.deficit == 0 {
+			return nil
+		}
+		if !t.densifyStuck() {
+			return ErrInfeasible
 		}
 	}
-	if infeasible || t.deficit > 0 {
-		return ErrInfeasible
+}
+
+// densifyStuck is the sparse escape hatch: it widens every not-yet-full
+// stuck row to the full column width (costs via the DenseRow callback),
+// rebuilds the CSR and restarts the flow from cold duals. It reports whether
+// anything was widened — false means densification cannot help (dense mode,
+// no callback, or every stuck row already full) and the caller fails with
+// ErrInfeasible. The flow reset it forces is acceptable because saturated
+// candidate sets are the rare tail case the escape hatch exists for, not the
+// steady state.
+func (t *Transport) densifyStuck() bool {
+	if !t.sparse || t.DenseRow == nil || len(t.stuck) == 0 {
+		return false
 	}
-	return nil
+	newly := 0
+	for _, i32 := range t.stuck {
+		if !t.rowFull[i32] {
+			t.rowFull[i32] = true
+			newly++
+		}
+	}
+	if newly == 0 {
+		return false
+	}
+	if densifyHook != nil {
+		densifyHook(newly)
+	}
+	t.rebuildSparseCSR()
+	t.resetFlow()
+	return true
+}
+
+// rebuildSparseCSR rebuilds the CSR with every rowFull row widened to the
+// full column width (position == column index, like a dense row); other
+// rows' segments are copied unchanged. The live and spare CSR buffers are
+// swapped, so repeated densifications reuse the same two generations of
+// arrays.
+func (t *Transport) rebuildSparseCSR() {
+	n, m := t.n, t.m
+	newStart := growInt32(t.rowStartTmp, n+1)
+	newStart[0] = 0
+	for i := 0; i < n; i++ {
+		seg := t.rowStart[i+1] - t.rowStart[i]
+		if t.rowFull[i] {
+			seg = int32(m)
+		}
+		newStart[i+1] = newStart[i] + seg
+	}
+	total := int(newStart[n])
+	newIdx := growInt32(t.colIdxTmp, total)
+	newCost := growFloat(t.costTmp, total)
+	t.denseBuf = growFloat(t.denseBuf, m)
+	for i := 0; i < n; i++ {
+		base := int(newStart[i])
+		oldBase := int(t.rowStart[i])
+		oldSeg := int(t.rowStart[i+1]) - oldBase
+		if t.rowFull[i] && oldSeg < m {
+			row := t.DenseRow(i, t.denseBuf[:m])
+			for j := 0; j < m; j++ {
+				newIdx[base+j] = int32(j)
+				if p := row[j]; math.IsInf(p, -1) {
+					newCost[base+j] = math.Inf(1)
+				} else {
+					newCost[base+j] = -p
+				}
+			}
+			continue
+		}
+		copy(newIdx[base:base+oldSeg], t.colIdx[oldBase:oldBase+oldSeg])
+		copy(newCost[base:base+oldSeg], t.cost[oldBase:oldBase+oldSeg])
+	}
+	t.rowStartTmp, t.rowStart = t.rowStart, newStart
+	t.colIdxTmp, t.colIdx = t.colIdx, newIdx
+	t.costTmp, t.cost = t.cost, newCost
+	t.assigned = growBool(t.assigned, total)
+	// resetFlow (the caller's next step) clears assigned and re-derives duals
+	// and seeds from the new CSR; the old edge indices die with the old flow.
 }
 
 // collectDeficitRows rebuilds the deficit-row list (ascending) — the one
@@ -1401,3 +1664,8 @@ func growBool(s []bool, n int) []bool {
 // falls back to restarting the flow from cold duals; tests and benchmarks
 // use it to count resets.
 var resetFlowHook func()
+
+// densifyHook, when non-nil, is invoked with the number of rows newly widened
+// whenever the sparse escape hatch densifies stuck rows; tests use it to
+// assert the hatch fires (or stays quiet) where expected.
+var densifyHook func(rows int)

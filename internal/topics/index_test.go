@@ -1,0 +1,153 @@
+package topics
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+// randVecs draws n sparse-ish random topic vectors of the given dimension:
+// a handful of positive weights each, normalized to sum 1 — the shape the
+// reviewer pool has after topic inference.
+func randVecs(rng *rand.Rand, n, dim, hot int) [][]float64 {
+	vecs := make([][]float64, n)
+	for i := range vecs {
+		v := make([]float64, dim)
+		total := 0.0
+		for h := 0; h < hot; h++ {
+			t := rng.Intn(dim)
+			w := rng.Float64()
+			v[t] += w
+			total += w
+		}
+		for t := range v {
+			v[t] /= total
+		}
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// coverageScore is the exact numerator of the weighted-coverage objective.
+func coverageScore(v, q []float64) float64 {
+	s := 0.0
+	for t := range q {
+		if v[t] < q[t] {
+			s += v[t]
+		} else {
+			s += q[t]
+		}
+	}
+	return s
+}
+
+func TestTopKRecallsHighCoverageVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, dim, k = 500, 30, 32
+	vecs := randVecs(rng, n, dim, 4)
+	ix := BuildIndex(vecs)
+	sc := ix.NewScorer()
+	for trial := 0; trial < 20; trial++ {
+		q := randVecs(rng, 1, dim, 4)[0]
+		got := sc.TopK(q, k, nil)
+		if len(got) != k {
+			t.Fatalf("TopK returned %d candidates, want %d", len(got), k)
+		}
+		if !slices.IsSorted(got) {
+			t.Fatalf("TopK result not ascending: %v", got)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] == got[i-1] {
+				t.Fatalf("TopK result has duplicate %d", got[i])
+			}
+		}
+		// The exact top-(k/4) by full coverage score must (nearly) all appear
+		// within the k candidates; the budgeted posting scan may lose deep-tail
+		// mass but not the strong matches.
+		type rs struct {
+			id int
+			s  float64
+		}
+		ranked := make([]rs, n)
+		for id, v := range vecs {
+			ranked[id] = rs{id: id, s: coverageScore(v, q)}
+		}
+		slices.SortFunc(ranked, func(a, b rs) int {
+			switch {
+			case a.s > b.s:
+				return -1
+			case a.s < b.s:
+				return 1
+			default:
+				return a.id - b.id
+			}
+		})
+		missed := 0
+		for _, top := range ranked[:k/4] {
+			if !slices.Contains(got, int32(top.id)) {
+				missed++
+			}
+		}
+		if missed > 1 {
+			t.Fatalf("trial %d: %d of the exact top-%d missing from the %d candidates", trial, missed, k/4, k)
+		}
+	}
+}
+
+func TestTopKDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	vecs := randVecs(rng, 300, 25, 3)
+	q := randVecs(rng, 1, 25, 3)[0]
+	ix := BuildIndex(vecs)
+	a := ix.NewScorer().TopK(q, 24, nil)
+	sc := ix.NewScorer()
+	sc.TopK(randVecs(rng, 1, 25, 3)[0], 24, nil) // interleave another query
+	b := sc.TopK(q, 24, nil)
+	if !slices.Equal(a, b) {
+		t.Fatalf("TopK not deterministic:\n%v\n%v", a, b)
+	}
+}
+
+func TestTopKEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vecs := randVecs(rng, 20, 10, 3)
+	ix := BuildIndex(vecs)
+	sc := ix.NewScorer()
+
+	if got := sc.TopK(vecs[0], 0, nil); len(got) != 0 {
+		t.Fatalf("k=0: got %v, want empty", got)
+	}
+	got := sc.TopK(vecs[0], 50, nil)
+	if len(got) != 20 {
+		t.Fatalf("k>=n: got %d candidates, want all 20", len(got))
+	}
+	for i, id := range got {
+		if id != int32(i) {
+			t.Fatalf("k>=n: candidate %d is %d, want %d", i, id, i)
+		}
+	}
+	// A zero query has no topic signal: the result must still have k entries
+	// (the padding keeps downstream instances feasible).
+	zero := make([]float64, 10)
+	got = sc.TopK(zero, 5, nil)
+	want := []int32{0, 1, 2, 3, 4}
+	if !slices.Equal(got, want) {
+		t.Fatalf("zero query: got %v, want %v", got, want)
+	}
+	// Reusing the out buffer must not allocate new backing when it fits.
+	buf := make([]int32, 0, 8)
+	got = sc.TopK(vecs[1], 8, buf)
+	if len(got) != 8 || &got[0] != &buf[:1][0] {
+		t.Fatalf("out buffer not reused")
+	}
+}
+
+func TestBuildIndexEmpty(t *testing.T) {
+	ix := BuildIndex(nil)
+	if ix.Len() != 0 || ix.Dim() != 0 {
+		t.Fatalf("empty index: Len=%d Dim=%d", ix.Len(), ix.Dim())
+	}
+	if got := ix.NewScorer().TopK([]float64{0.5}, 3, nil); len(got) != 0 {
+		t.Fatalf("empty index TopK: got %v", got)
+	}
+}

@@ -22,6 +22,7 @@ type options struct {
 	refinementBudget time.Duration
 	seed             int64
 	shards           int
+	candidateCap     int
 	progress         func(Snapshot)
 }
 
@@ -43,7 +44,8 @@ func resolveOptions(opts []Option) options {
 // options; the single constructor both Refine and the SDGA-SRA pipelines
 // share, so their defaults can never diverge.
 func (o options) sra() cra.SRA {
-	return cra.SRA{Omega: o.omega, TimeBudget: o.refinementBudget, Seed: o.seed, Shards: o.shards}
+	return cra.SRA{Omega: o.omega, TimeBudget: o.refinementBudget, Seed: o.seed, Shards: o.shards,
+		CandidateCap: o.candidateCap}
 }
 
 // WithMethod selects the assignment algorithm (default MethodSDGASRA).
@@ -99,6 +101,26 @@ func WithShards(n int) Option {
 	return func(o *options) { o.shards = n }
 }
 
+// WithCandidateCap enables sparse candidate pruning: every solve restricts
+// each paper to its top-k candidate reviewers (ranked by approximate coverage
+// score through an inverted topic index), making the per-stage matrix builds
+// and transportation solves O(P·k) instead of O(P·R) — the sub-quadratic path
+// that carries the solver to very large pools. Papers whose candidates all
+// saturate are transparently widened back to the full pool, so a feasible
+// instance never becomes infeasible under pruning; the objective may drop by
+// the candidate truncation, a measured epsilon at paper scale (see the
+// README's candidate-pruning section). The default 0 (and any non-positive
+// value, and any k at or above the pool size) keeps the exact dense path and
+// bit-identical results. Ignored by the non-flow methods and the legacy
+// transport.
+func WithCandidateCap(k int) Option {
+	return func(o *options) {
+		if k > 0 {
+			o.candidateCap = k
+		}
+	}
+}
+
 // algorithmParts maps the resolved options to a cold construction algorithm
 // plus an optional refinement flag — the execution path of the baseline
 // methods and of the legacy-transport ablation (the session methods run
@@ -108,9 +130,9 @@ func WithShards(n int) Option {
 func (o options) algorithmParts() (base cra.Algorithm, refine bool, err error) {
 	switch o.method {
 	case MethodSDGASRA:
-		return cra.SDGA{Transport: o.transport, Shards: o.shards}, true, nil
+		return cra.SDGA{Transport: o.transport, Shards: o.shards, CandidateCap: o.candidateCap}, true, nil
 	case MethodSDGA:
-		return cra.SDGA{Transport: o.transport, Shards: o.shards}, false, nil
+		return cra.SDGA{Transport: o.transport, Shards: o.shards, CandidateCap: o.candidateCap}, false, nil
 	case MethodGreedy:
 		return cra.Greedy{}, false, nil
 	case MethodBRGG:

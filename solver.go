@@ -92,9 +92,10 @@ func NewSolver(in *Instance, opts ...Option) (*Solver, error) {
 		s.alg, s.algRefine = alg, refine
 	}
 	cfg := cra.SessionConfig{
-		Refine: o.method == MethodSDGASRA && o.sessionable(),
-		SRA:    o.sra(),
-		Shards: o.shards,
+		Refine:       o.method == MethodSDGASRA && o.sessionable(),
+		SRA:          o.sra(),
+		Shards:       o.shards,
+		CandidateCap: o.candidateCap,
 	}
 	cfg.OnConstruct = s.constructHook()
 	cfg.SRA.OnImprovement = s.improvementHook()
