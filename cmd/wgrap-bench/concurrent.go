@@ -1,0 +1,190 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	wgrap "repro"
+)
+
+// concurrentConfig sizes the -concurrent mixed workload. Goroutine counts and
+// edit scripts are deterministic so CI runs are comparable across commits.
+type concurrentConfig struct {
+	papers    int
+	reviewers int
+	topics    int
+	delta     int
+	readers   int
+	resolves  int
+	editBurst int
+	// maxReadP99 fails the run when the read-latency p99 exceeds it while
+	// warm re-solves are in flight (0 disables the assertion). This is the
+	// snapshot-isolation acceptance gate: reads must never block on the
+	// solve lock.
+	maxReadP99 time.Duration
+}
+
+// runConcurrent drives a mixed read/write workload against one live Solver:
+// cfg.readers goroutines spin on View/Progress while a writer issues
+// deterministic edit bursts and drains each through ResolveAsync. It reports
+// read latency (p50/p99, reads/sec) and per-burst coalesced-resolve latency
+// (p50/p99) both as a human summary and as `go test -bench`-format lines
+// (BenchmarkConcurrentMixed/...), so the returned map plugs into the same
+// snapshot and regression-gate machinery as real benchmarks.
+func runConcurrent(stdout io.Writer, cfg concurrentConfig) (map[string]Result, error) {
+	in := concurrentInstance(cfg)
+	s, err := wgrap.NewSolver(in, wgrap.WithMethod(wgrap.MethodSDGA), wgrap.WithSeed(1))
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	if _, err := s.Solve(ctx); err != nil {
+		return nil, err
+	}
+
+	stop := make(chan struct{})
+	var readerErr atomic.Value
+	lat := make([][]time.Duration, cfg.readers)
+	var readers sync.WaitGroup
+	for r := 0; r < cfg.readers; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			samples := make([]time.Duration, 0, 1<<20)
+			var last uint64
+			for {
+				select {
+				case <-stop:
+					lat[r] = samples
+					return
+				default:
+				}
+				t0 := time.Now()
+				v := s.View()
+				_ = s.Progress()
+				d := time.Since(t0)
+				if len(samples) < cap(samples) {
+					samples = append(samples, d)
+				}
+				if v == nil || v.Version < last {
+					readerErr.Store(fmt.Errorf("reader %d: torn or regressed view (version %d after %d)", r, v.Version, last))
+					lat[r] = samples
+					return
+				}
+				last = v.Version
+				runtime.Gosched()
+			}
+		}(r)
+	}
+
+	// Writer: cfg.resolves deterministic edit bursts, each coalesced into one
+	// async warm re-solve. Latency is enqueue-to-completion of the ticket.
+	resolveLat := make([]time.Duration, 0, cfg.resolves)
+	rng := rand.New(rand.NewSource(99))
+	writeStart := time.Now()
+	for i := 0; i < cfg.resolves; i++ {
+		for e := 0; e < cfg.editBurst; e++ {
+			p := rng.Intn(cfg.papers)
+			switch e % 3 {
+			case 0:
+				err = s.WithdrawPaper(p)
+			case 1:
+				err = s.RestorePaper(p)
+			case 2:
+				err = s.AddConflict(rng.Intn(cfg.reviewers), p)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("edit burst %d: %w", i, err)
+			}
+		}
+		t0 := time.Now()
+		if _, err := s.ResolveAsync().Wait(ctx); err != nil {
+			return nil, fmt.Errorf("coalesced resolve %d: %w", i, err)
+		}
+		resolveLat = append(resolveLat, time.Since(t0))
+	}
+	window := time.Since(writeStart)
+	close(stop)
+	readers.Wait()
+	if err, ok := readerErr.Load().(error); ok {
+		return nil, err
+	}
+
+	var reads []time.Duration
+	for _, s := range lat {
+		reads = append(reads, s...)
+	}
+	if len(reads) == 0 {
+		return nil, fmt.Errorf("no reads completed during the %v write window", window)
+	}
+	sort.Slice(reads, func(i, j int) bool { return reads[i] < reads[j] })
+	sort.Slice(resolveLat, func(i, j int) bool { return resolveLat[i] < resolveLat[j] })
+	readP50, readP99 := quantile(reads, 0.50), quantile(reads, 0.99)
+	resP50, resP99 := quantile(resolveLat, 0.50), quantile(resolveLat, 0.99)
+	readsPerSec := float64(len(reads)) / window.Seconds()
+
+	fmt.Fprintf(stdout, "concurrent: P=%d R=%d, %d readers x %d resolves (%d-edit bursts): %d reads in %v (%.0f reads/sec)\n",
+		cfg.papers, cfg.reviewers, cfg.readers, cfg.resolves, cfg.editBurst, len(reads), window.Round(time.Millisecond), readsPerSec)
+	fmt.Fprintf(stdout, "concurrent: read latency p50=%v p99=%v; coalesced resolve p50=%v p99=%v\n",
+		readP50, readP99, resP50.Round(time.Microsecond), resP99.Round(time.Microsecond))
+
+	out := map[string]Result{
+		"BenchmarkConcurrentMixed/read-p50":    {Iterations: len(reads), NsPerOp: float64(readP50.Nanoseconds())},
+		"BenchmarkConcurrentMixed/read-p99":    {Iterations: len(reads), NsPerOp: float64(readP99.Nanoseconds())},
+		"BenchmarkConcurrentMixed/resolve-p50": {Iterations: len(resolveLat), NsPerOp: float64(resP50.Nanoseconds())},
+		"BenchmarkConcurrentMixed/resolve-p99": {Iterations: len(resolveLat), NsPerOp: float64(resP99.Nanoseconds())},
+	}
+	for name, res := range out {
+		fmt.Fprintf(stdout, "%s \t%d\t%.0f ns/op\n", name, res.Iterations, res.NsPerOp)
+	}
+	if cfg.maxReadP99 > 0 && readP99 > cfg.maxReadP99 {
+		return nil, fmt.Errorf("read p99 %v exceeds the %v budget: snapshot reads are blocking on the solve", readP99, cfg.maxReadP99)
+	}
+	return out, nil
+}
+
+// quantile reads the q-quantile of an ascending-sorted slice.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q*float64(len(sorted))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// concurrentInstance mirrors the paper-scale conference generator of the
+// package benchmarks (seed-8 normalized random topic vectors, minimum
+// balanced workload) so -concurrent latencies are measured against the same
+// instance family the gated benchmarks use.
+func concurrentInstance(cfg concurrentConfig) *wgrap.Instance {
+	rng := rand.New(rand.NewSource(8))
+	vec := func() wgrap.Vector {
+		v := make(wgrap.Vector, cfg.topics)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v.Normalized()
+	}
+	papers := make([]wgrap.Paper, cfg.papers)
+	for i := range papers {
+		papers[i] = wgrap.Paper{Topics: vec()}
+	}
+	reviewers := make([]wgrap.Reviewer, cfg.reviewers)
+	for i := range reviewers {
+		reviewers[i] = wgrap.Reviewer{Topics: vec()}
+	}
+	return wgrap.NewInstance(papers, reviewers, cfg.delta, 0)
+}

@@ -85,7 +85,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wgrap-bench", flag.ContinueOnError)
 	inPath := fs.String("in", "-", "bench text input file (- = stdin)")
 	outPath := fs.String("out", "", "write the JSON snapshot to this file")
-	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit|TransportStageSequencePaperScale|SolveColdPaperScale|SolveHugeScale", "regexp of benchmarks recorded in the snapshot")
+	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit|ResolveAfterWithdraw|ConcurrentMixed|TransportStageSequencePaperScale|SolveColdPaperScale|SolveHugeScale", "regexp of benchmarks recorded in the snapshot")
 	note := fs.String("note", "", "free-form note stored in the snapshot")
 	candidateCap := fs.Int("candidate-cap", 0, "WithCandidateCap(k) setting of the benchmarked run, recorded in the snapshot for provenance (0 = dense)")
 	baseline := fs.String("baseline", "", "baseline JSON to gate against (no gating when empty)")
@@ -95,22 +95,43 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	speedupNum := fs.String("speedup-num", "", "benchmark expected to be SLOWER in a same-run speedup assertion (e.g. the single-CPU variant)")
 	speedupDen := fs.String("speedup-den", "", "benchmark expected to be FASTER in a same-run speedup assertion (e.g. the sharded variant)")
 	minSpeedup := fs.Float64("min-speedup", 0, "fail unless speedup-num's ns/op is at least this multiple of speedup-den's (0 disables)")
+	concurrent := fs.Bool("concurrent", false, "run the live concurrent-serving workload instead of parsing bench text: readers spin on View/Progress while edit bursts drain through ResolveAsync")
+	ccPapers := fs.Int("papers", 1000, "-concurrent: number of papers")
+	ccReviewers := fs.Int("reviewers", 2000, "-concurrent: number of reviewers")
+	ccTopics := fs.Int("topics", 40, "-concurrent: topic vector dimension")
+	ccDelta := fs.Int("delta", 3, "-concurrent: reviewers per paper δp")
+	ccReaders := fs.Int("readers", 4, "-concurrent: snapshot reader goroutines")
+	ccResolves := fs.Int("resolves", 12, "-concurrent: coalesced async re-solves")
+	ccBurst := fs.Int("edit-burst", 6, "-concurrent: edits coalesced per re-solve")
+	maxReadP99 := fs.Duration("max-read-p99", 0, "-concurrent: fail when read p99 exceeds this while re-solves run (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	in := stdin
-	if *inPath != "" && *inPath != "-" {
-		f, err := os.Open(*inPath)
+	var current map[string]Result
+	var err error
+	if *concurrent {
+		current, err = runConcurrent(stdout, concurrentConfig{
+			papers: *ccPapers, reviewers: *ccReviewers, topics: *ccTopics, delta: *ccDelta,
+			readers: *ccReaders, resolves: *ccResolves, editBurst: *ccBurst, maxReadP99: *maxReadP99,
+		})
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		in = f
-	}
-	current, err := parseBench(in)
-	if err != nil {
-		return err
+	} else {
+		in := stdin
+		if *inPath != "" && *inPath != "-" {
+			f, err := os.Open(*inPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		current, err = parseBench(in)
+		if err != nil {
+			return err
+		}
 	}
 	if len(current) == 0 {
 		return fmt.Errorf("no benchmark results found in input")

@@ -150,6 +150,85 @@ func TestResolveRowsPlanMatchesColdPlan(t *testing.T) {
 	}
 }
 
+// TestResolveRowsShardedDeterminism: warm re-solves must produce
+// bit-identical plans at any worker count now that three pieces of the warm
+// path run concurrently when Workers > 1 — the sharded dirty-row read phase
+// of ResolveRows, the pooled row-relaxation shards inside the repair and
+// phase searches, and the batched improving-cycle cancellation they feed.
+// The instance is drawn wide enough that every parallel path actually
+// engages (m ≥ relaxShardMin for the relax pool, dirty-set × m above the
+// read-phase threshold), and the edit script replays withdrawal waves,
+// restores with cost perturbations and conflict batches — the coalesced
+// batch shapes the session layer drains. This is the re-augment counterpart
+// of TestShardedLoadDeterminism.
+func TestResolveRowsShardedDeterminism(t *testing.T) {
+	const P, R, wave = 80, 1100, 32
+	run := func(workers int) (plans [][][]int, totals []float64) {
+		rng := rand.New(rand.NewSource(331))
+		profit := benchProfit(rng, P, R)
+		need := fillInts(P, 1)
+		caps := fillInts(R, 1)
+		tr := Transport{Workers: workers}
+		record := func(rows [][]int, total float64, err error) {
+			if err != nil {
+				t.Fatalf("workers %d step %d: %v", workers, len(plans), err)
+			}
+			cp := make([][]int, len(rows))
+			for i := range rows {
+				cp[i] = append([]int(nil), rows[i]...)
+			}
+			plans, totals = append(plans, cp), append(totals, total)
+		}
+		record(tr.SolveDense(profit, need, caps))
+		for trial := 0; trial < 4; trial++ {
+			dirty := rng.Perm(P)[:wave]
+			// A withdrawal wave: the freed columns force the sink-dual
+			// repair (and its batched cycle cancellation) on the resolve.
+			for _, i := range dirty {
+				need[i] = 0
+			}
+			record(tr.ResolveRows(profit, dirty, need, caps))
+			// Restore the wave with perturbed rows: every restored row
+			// re-reads its full width and re-augments.
+			for _, i := range dirty {
+				need[i] = 1
+				for j := range profit[i] {
+					if !math.IsInf(profit[i][j], -1) {
+						profit[i][j] = rng.Float64()
+					}
+				}
+			}
+			record(tr.ResolveRows(profit, dirty, need, caps))
+			// A conflict batch across distinct rows.
+			coi := rng.Perm(P)[:8]
+			for _, i := range coi {
+				profit[i][rng.Intn(R)] = Forbidden
+			}
+			record(tr.ResolveRows(profit, coi, need, caps))
+		}
+		return plans, totals
+	}
+	refPlans, refTotals := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		plans, totals := run(workers)
+		for s := range refPlans {
+			if totals[s] != refTotals[s] {
+				t.Fatalf("workers %d step %d: total %v != serial %v", workers, s, totals[s], refTotals[s])
+			}
+			for i := range refPlans[s] {
+				if len(plans[s][i]) != len(refPlans[s][i]) {
+					t.Fatalf("workers %d step %d row %d: plan %v != serial %v", workers, s, i, plans[s][i], refPlans[s][i])
+				}
+				for k := range refPlans[s][i] {
+					if plans[s][i][k] != refPlans[s][i][k] {
+						t.Fatalf("workers %d step %d row %d: plan %v != serial %v", workers, s, i, plans[s][i], refPlans[s][i])
+					}
+				}
+			}
+		}
+	}
+}
+
 // TestResolveRowsInfeasibleRow: a row whose cells all become Forbidden makes
 // the instance infeasible; the dense path must report that rather than hang
 // or corrupt state, and a later fix must recover.

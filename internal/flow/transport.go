@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // ErrInfeasible is returned when a transportation instance cannot satisfy the
@@ -145,7 +146,9 @@ type Transport struct {
 	// saturate (conflicted or at capacity), the solver widens that one row to
 	// full width instead of failing, so candidate pruning can never make a
 	// feasible instance infeasible. The callback must stay consistent with
-	// the last loaded instance until the next SolveSparse/Solve/SolveDense.
+	// the last loaded instance until the next SolveSparse/Solve/SolveDense,
+	// and — with Workers > 1 — must be safe to call from multiple goroutines
+	// for distinct rows (the ResolveRows read phase is sharded).
 	DenseRow func(row int, buf []float64) []float64
 
 	n, m int
@@ -218,6 +221,26 @@ type Transport struct {
 	onPath []bool
 	path   []pathStep
 
+	// cycleCands collects every improving-cycle candidate settled by one
+	// repair search (cancelImprovingCycle applies a node-disjoint batch of
+	// them per search instead of the single best).
+	cycleCands []cycleCand
+
+	// relax, when non-nil, is the persistent worker pool that shards wide row
+	// relaxations during a search (started around run and repairSinkDual when
+	// Workers > 1 and the instance is wide enough); relaxBufs holds one
+	// label-candidate buffer per worker (see relaxRowSharded).
+	relax     *relaxPool
+	relaxBufs [][]relaxCand
+
+	// Scratch of the ResolveRows dirty-row pass: per-dirty-row keep decision
+	// and released-dual value computed by the (possibly sharded) read phase,
+	// consumed by the serial claim phase; rrBufs holds one DenseRow buffer per
+	// worker so densified rows can be re-read concurrently.
+	rrKeep []bool
+	rrBest []float64
+	rrBufs [][]float64
+
 	// deficitRows lists the rows still short of their demand, rebuilt once
 	// per run and compacted lazily, so phases iterate deficits instead of
 	// scanning all n rows.
@@ -236,6 +259,21 @@ type Transport struct {
 type heapNode struct {
 	d float64
 	x int32
+}
+
+// cycleCand is one improving-cycle candidate of a repair search: an
+// underpriced spare column settled through the flow, with its cycle value
+// (settled distance + sink gap, < 0 for an improvement).
+type cycleCand struct {
+	cand float64
+	j    int32
+}
+
+// relaxCand is one improving label found by a sharded row-relaxation worker:
+// the edge and the tentative distance of its column.
+type relaxCand struct {
+	d float64
+	e int32
 }
 
 // NewTransport returns an empty reusable solver (equivalent to new(Transport)).
@@ -544,11 +582,46 @@ func (t *Transport) loadWorkers() int {
 	return w
 }
 
+// resolveRowsWorkers bounds the goroutines of the ResolveRows read phase:
+// the per-row work is O(m), so small batches (a single withdrawal, one late
+// conflict) stay serial — the handoff would cost more than it saves.
+func (t *Transport) resolveRowsWorkers(nr int) int {
+	w := t.Workers
+	if w <= 1 || nr < 2 {
+		return 1
+	}
+	if nr*t.m < 1<<15 {
+		return 1
+	}
+	if w > nr {
+		w = nr
+	}
+	return w
+}
+
+// duplicateRows reports whether rows lists the same index twice.
+func duplicateRows(rows []int) bool {
+	seen := make(map[int]struct{}, len(rows))
+	for _, i := range rows {
+		if _, ok := seen[i]; ok {
+			return true
+		}
+		seen[i] = struct{}{}
+	}
+	return false
+}
+
 // shardRows runs fn over [0, n) split into one contiguous block per worker.
 // Blocks are disjoint, so fn may write per-row state without synchronisation.
 func shardRows(workers, n int, fn func(lo, hi int)) {
+	shardRowsID(workers, n, func(_, lo, hi int) { fn(lo, hi) })
+}
+
+// shardRowsID is shardRows with the worker index passed through, for shards
+// that need per-worker scratch buffers.
+func shardRowsID(workers, n int, fn func(w, lo, hi int)) {
 	if workers <= 1 {
-		fn(0, n)
+		fn(0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -556,10 +629,10 @@ func shardRows(workers, n int, fn func(lo, hi int)) {
 	for w := 0; w < workers; w++ {
 		lo := w * n / workers
 		hi := (w + 1) * n / workers
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
+			fn(w, lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 }
@@ -619,7 +692,17 @@ func (t *Transport) Resolve(colCap []int) ([][]int, float64, error) {
 // keep handing the same P×k rows regardless of densification. rowNeed and
 // colCap are the full new vectors; rowNeed may differ from the previous
 // solve only at the dirty rows. Rows not listed in rows must have unchanged
-// profits.
+// profits; listing the same row twice is allowed but defeats the sharded
+// read phase below.
+//
+// With Workers > 1 and enough dirty rows to pay for the goroutine handoff,
+// the per-row read phase — keep/release decision, CSR re-cost, released-dual
+// value — runs sharded across the dirty rows: it only reads shared state the
+// claim phase never writes (column duals and each row's own CSR segment), so
+// per-row results land in disjoint scratch slots. The order-sensitive claim
+// phase (flow releases mutate the shared per-column pair lists) then replays
+// them serially in rows order — the same deterministic split as the sharded
+// instance load, so the plan is bit-identical for every worker count.
 func (t *Transport) ResolveRows(profit [][]float64, rows []int, rowNeed, colCap []int) ([][]int, float64, error) {
 	if !t.solved {
 		return nil, 0, errors.New("flow: ResolveRows called before Solve")
@@ -633,6 +716,9 @@ func (t *Transport) ResolveRows(profit [][]float64, rows []int, rowNeed, colCap 
 	if t.n == 0 {
 		return nil, 0, nil
 	}
+	// Validation pass (serial, cheap): everything the sharded read phase
+	// relies on is checked up front so the phase itself cannot fail.
+	needBuf := false
 	for _, i := range rows {
 		if i < 0 || i >= t.n {
 			return nil, 0, errors.New("flow: dirty row out of range")
@@ -640,80 +726,112 @@ func (t *Transport) ResolveRows(profit [][]float64, rows []int, rowNeed, colCap 
 		if rowNeed[i] < 0 {
 			return nil, 0, errors.New("flow: negative row demand")
 		}
-		base := int(t.rowStart[i])
-		seg := int(t.rowStart[i+1]) - base
-		rowVals := profit[i]
 		if t.sparse && t.rowFull[i] {
 			if t.DenseRow == nil {
 				return nil, 0, errors.New("flow: densified row edited without a DenseRow callback")
 			}
-			t.denseBuf = growFloat(t.denseBuf, t.m)
-			rowVals = t.DenseRow(i, t.denseBuf[:t.m])
-		}
-		if len(rowVals) != seg {
+			needBuf = true
+		} else if len(profit[i]) != int(t.rowStart[i+1]-t.rowStart[i]) {
 			return nil, 0, errors.New("flow: dirty row not position-aligned with the loaded pattern")
 		}
-		// Fast path: when the row's demand is unchanged, no assigned cell
-		// changed cost, and every unassigned cell keeps a non-negative
-		// reduced cost under the current duals (always true for pure cost
-		// increases — a new conflict turns an unassigned cell +Inf), the
-		// retained flow stays optimal as-is: patch the costs in place and
-		// keep the row's flow, duals and everything downstream untouched.
-		// This is the dominant session case — a late COI on a pair the stage
-		// never assigned — and it avoids the release → re-augment → possible
-		// flow-reset cascade entirely.
-		if rowNeed[i] == t.rowNeed[i] {
-			keep := true
-			ui := t.u[i]
-			for x, p := range rowVals {
-				e := base + x
-				nc := -p
-				if math.IsInf(p, -1) {
-					nc = math.Inf(1)
+	}
+	workers := t.resolveRowsWorkers(len(rows))
+	if workers > 1 && duplicateRows(rows) {
+		// A repeated row would make the sharded segment writes race; the
+		// serial order handles it (the second pass is a no-op).
+		workers = 1
+	}
+	t.rrKeep = growBool(t.rrKeep, len(rows))
+	t.rrBest = growFloat(t.rrBest, len(rows))
+	if needBuf {
+		if cap(t.rrBufs) < workers {
+			t.rrBufs = make([][]float64, workers)
+		}
+		t.rrBufs = t.rrBufs[:workers]
+	}
+	var badAlign atomic.Bool
+	shardRowsID(workers, len(rows), func(w, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i := rows[k]
+			base := int(t.rowStart[i])
+			seg := int(t.rowStart[i+1]) - base
+			rowVals := profit[i]
+			if t.sparse && t.rowFull[i] {
+				t.rrBufs[w] = growFloat(t.rrBufs[w], t.m)
+				rowVals = t.DenseRow(i, t.rrBufs[w][:t.m])
+				if len(rowVals) != seg {
+					badAlign.Store(true)
+					return
 				}
-				if t.assigned[e] {
-					if nc != t.cost[e] {
+			}
+			// Fast path: when the row's demand is unchanged, no assigned cell
+			// changed cost, and every unassigned cell keeps a non-negative
+			// reduced cost under the current duals (always true for pure cost
+			// increases — a new conflict turns an unassigned cell +Inf), the
+			// retained flow stays optimal as-is: patch the costs in place and
+			// keep the row's flow, duals and everything downstream untouched.
+			// This is the dominant session case — a late COI on a pair the
+			// stage never assigned — and it avoids the release → re-augment →
+			// possible flow-reset cascade entirely.
+			keep := false
+			if rowNeed[i] == t.rowNeed[i] {
+				keep = true
+				ui := t.u[i]
+				for x, p := range rowVals {
+					e := base + x
+					nc := -p
+					if math.IsInf(p, -1) {
+						nc = math.Inf(1)
+					}
+					if t.assigned[e] {
+						if nc != t.cost[e] {
+							keep = false
+							break
+						}
+						continue
+					}
+					if nc+ui-t.v[t.colIdx[e]] < -tightEps {
 						keep = false
 						break
 					}
-					continue
-				}
-				if nc+ui-t.v[t.colIdx[e]] < -tightEps {
-					keep = false
-					break
 				}
 			}
-			if keep {
-				for x, p := range rowVals {
-					if math.IsInf(p, -1) {
-						t.cost[base+x] = math.Inf(1)
-					} else {
-						t.cost[base+x] = -p
+			// Re-cost the row's CSR segment in place; the pattern (one edge
+			// per column / per candidate) is unchanged by construction.
+			for x, p := range rowVals {
+				if math.IsInf(p, -1) {
+					t.cost[base+x] = math.Inf(1)
+				} else {
+					t.cost[base+x] = -p
+				}
+			}
+			t.rrKeep[k] = keep
+			if !keep {
+				// Released dual for the new costs: with no assigned pairs,
+				// u[i] = max_j (v[j] − cost) keeps every residual edge of the
+				// row at non-negative reduced cost.
+				best := 0.0
+				for e := t.rowStart[i]; e < t.rowStart[i+1]; e++ {
+					if rd := t.v[t.colIdx[e]] - t.cost[e]; e == t.rowStart[i] || rd > best {
+						best = rd
 					}
 				}
-				continue
+				t.rrBest[k] = best
 			}
 		}
-		t.releaseRow(i)
-		// Re-cost the row's CSR segment in place; the pattern (one edge per
-		// column / per candidate) is unchanged by construction.
-		for x, p := range rowVals {
-			if math.IsInf(p, -1) {
-				t.cost[base+x] = math.Inf(1)
-			} else {
-				t.cost[base+x] = -p
-			}
+	})
+	if badAlign.Load() {
+		return nil, 0, errors.New("flow: dirty row not position-aligned with the loaded pattern")
+	}
+	// Claim phase (serial, in rows order): flow releases mutate the shared
+	// per-column pair lists, and their swap-remove order must match the
+	// serial replay for bit-identical plans.
+	for k, i := range rows {
+		if t.rrKeep[k] {
+			continue
 		}
-		// Repair the row dual for the new costs (releaseRow already set it for
-		// the old ones): with no assigned pairs, u[i] = max_j (v[j] − cost)
-		// keeps every residual edge of the row at non-negative reduced cost.
-		best := 0.0
-		for e := t.rowStart[i]; e < t.rowStart[i+1]; e++ {
-			if rd := t.v[t.colIdx[e]] - t.cost[e]; e == t.rowStart[i] || rd > best {
-				best = rd
-			}
-		}
-		t.u[i] = best
+		t.releaseRowFlow(i)
+		t.u[i] = t.rrBest[k]
 		t.deficit += rowNeed[i] - t.rowNeed[i]
 		t.rowNeed[i] = rowNeed[i]
 	}
@@ -758,6 +876,9 @@ func (t *Transport) repairSinkDual() {
 	// on the kept CSR — with the greedy seed re-placing most units — is far
 	// cheaper than cancelling the backlog one full-graph search at a time.
 	const bound = 8
+	if t.startRelaxPool() {
+		defer t.stopRelaxPool()
+	}
 	for iter := 0; iter < bound; iter++ {
 		if t.trySinkDualPin() {
 			return
@@ -1016,6 +1137,21 @@ func (t *Transport) releaseRow(r int) {
 	t.u[r] = best
 }
 
+// releaseRowFlow is the flow half of releaseRow: it cancels row r's units
+// without recomputing the dual. ResolveRows uses it when the released dual
+// was already computed (against the row's new costs) by the sharded read
+// phase.
+func (t *Transport) releaseRowFlow(r int) {
+	for e := t.rowStart[r]; e < t.rowStart[r+1]; e++ {
+		if t.assigned[e] {
+			t.assigned[e] = false
+			t.removeArc(int(t.colIdx[e]), e)
+		}
+	}
+	t.deficit += t.rowFlow[r]
+	t.rowFlow[r] = 0
+}
+
 // removeArc deletes the unit carried by edge from column j's list.
 func (t *Transport) removeArc(j int, edge int32) {
 	arcs := t.colPairs[j]
@@ -1044,6 +1180,9 @@ func (t *Transport) removeArc(j int, edge int32) {
 // the loop terminates, and a final failure means the full-width instance is
 // genuinely infeasible.
 func (t *Transport) run() error {
+	if t.startRelaxPool() {
+		defer t.stopRelaxPool()
+	}
 	for {
 		if t.deficit == 0 {
 			return nil
@@ -1240,7 +1379,12 @@ func (t *Transport) relaxNode(x int32, bd float64) {
 	}
 	r := int(x)
 	ur := t.u[r]
-	for e := t.rowStart[r]; e < t.rowStart[r+1]; e++ {
+	lo, hi := t.rowStart[r], t.rowStart[r+1]
+	if t.relax != nil && int(hi-lo) >= relaxShardMin {
+		t.relaxRowSharded(x, bd, ur, lo, hi)
+		return
+	}
+	for e := lo; e < hi; e++ {
 		if t.assigned[e] {
 			continue
 		}
@@ -1259,6 +1403,78 @@ func (t *Transport) relaxNode(x int32, bd float64) {
 		}
 		t.label(y, bd+rd, e, x)
 	}
+}
+
+// relaxShardMin is the row width below which the sharded relaxation is not
+// worth the goroutine handoff.
+const relaxShardMin = 1024
+
+// relaxRowSharded relaxes a settled row's outgoing arcs with the reduced-cost
+// scan sharded across the relax pool's workers. A CSR row holds each column
+// at most once, so the per-edge computations are independent: workers only
+// read shared search state (cost, duals, dist, settled — nothing writes them
+// while a scan is dispatched) and collect their improving labels into
+// per-worker buffers; the label/heap mutation then replays serially in
+// ascending edge order, the exact order the serial scan issues, so the heap
+// sequence — and with it every downstream settle, parent and potential — is
+// bit-identical for any worker count. This is the lever that parallelises
+// the warm repair searches: each one is a near-full-graph Dijkstra whose
+// time is almost entirely this scan.
+func (t *Transport) relaxRowSharded(x int32, bd, ur float64, lo, hi int32) {
+	p := t.relax
+	p.dispatch(x, bd, ur, lo, hi)
+	n := t.n
+	for _, buf := range t.relaxBufs[:p.workers] {
+		for _, rc := range buf {
+			t.label(int32(n)+t.colIdx[rc.e], rc.d, rc.e, x)
+		}
+	}
+}
+
+// relaxScan is one worker's shard of a dispatched row relaxation: the
+// contiguous edge range [lo + wi·seg/w, lo + (wi+1)·seg/w) of the row,
+// filtered and priced exactly like the serial loop in relaxNode, with the
+// improving labels appended to the worker's relaxBufs entry instead of
+// applied. Concatenating the buffers in worker order restores ascending edge
+// order.
+func (t *Transport) relaxScan(wi, w int, x int32, bd, ur float64, lo, hi int32) {
+	buf := t.relaxBufs[wi][:0]
+	n, seg := t.n, int(hi-lo)
+	for e := lo + int32(wi*seg/w); e < lo+int32((wi+1)*seg/w); e++ {
+		if t.assigned[e] {
+			continue
+		}
+		c := t.cost[e]
+		if math.IsInf(c, 1) {
+			continue // Forbidden cell of a dense CSR
+		}
+		j := t.colIdx[e]
+		y := int32(n) + j
+		if t.isSettled(y) {
+			continue
+		}
+		nd := bd + (c + ur - t.v[j])
+		if nd < bd {
+			nd = bd // same clamp as the serial rd < 0 branch
+		}
+		// Cheap pre-filter; label re-applies the same check on the serial
+		// side, so a label another shard outprices is still dropped.
+		if t.mark[y] == t.gen && nd >= t.dist[y] {
+			continue
+		}
+		buf = append(buf, relaxCand{d: nd, e: e})
+	}
+	t.relaxBufs[wi] = buf
+}
+
+// searchWorkers resolves the sharded-relaxation worker count: Workers, off
+// for narrow instances where no row can clear relaxShardMin.
+func (t *Transport) searchWorkers() int {
+	w := t.Workers
+	if w <= 1 || t.m < relaxShardMin {
+		return 1
+	}
+	return w
 }
 
 // shortestPathFrom runs one heap-frontier Dijkstra from deficit row root
@@ -1483,27 +1699,37 @@ func (t *Transport) augmentParentChain(jStar int) {
 	t.apply(x)
 }
 
-// cancelImprovingCycle removes one negative residual cycle through a freed
-// spare slot, the targeted alternative to a full flow reset: a withdrawal
-// (or capacity shrink) that frees a slot on a priced column creates exactly
-// one family of negative residual arcs — column→sink on the underpriced
-// spare columns — while every other residual arc keeps a non-negative
-// reduced cost. The cheapest improving reroute is therefore a shortest path
-// from the sink (entering through some flowed column, alternating backward
-// and forward pair arcs) into an underpriced spare column, computable with
-// one Dijkstra. The search stops early once no unsettled node can close a
-// better cycle (popped distance + the most negative spare-column sink gap
-// can no longer beat the best candidate); the Johnson update is then capped
-// at the exit distance B, which is exact: every unsettled label is ≥ B, so
-// min(dist, cap) with cap ≤ B matches what the full search would have
-// computed for every arc that matters. The update makes the chosen path
-// tight and the cycle is applied in place: one unit leaves the entry column
-// and cascades into the freed slot. Returns false when no improving cycle
-// remains, after a capped potential update that certifies the repaired dual
-// for the reachable columns (the caller then re-checks the band and only
-// resets in the residual pathological cases). Unlike the phase update of
-// shortestPathFrom, potT stays fixed here, so the update is the plain
-// (unshifted) Johnson shift over all nodes — acceptable on this repair path.
+// cancelImprovingCycle removes a batch of negative residual cycles through
+// freed spare slots, the targeted alternative to a full flow reset: a
+// withdrawal (or capacity shrink) that frees a slot on a priced column
+// creates exactly one family of negative residual arcs — column→sink on the
+// underpriced spare columns — while every other residual arc keeps a
+// non-negative reduced cost. Each improving reroute is therefore a shortest
+// path from the sink (entering through some flowed column, alternating
+// backward and forward pair arcs) into an underpriced spare column,
+// computable with one Dijkstra. The search stops early once no unsettled
+// node can close a better cycle (popped distance + the most negative
+// spare-column sink gap can no longer beat the best candidate); it records
+// every improving candidate it settles along the way, and applies a maximal
+// node-disjoint set of them — best first — under a single Johnson update
+// capped at B, the largest selected target distance. The cap is exact: every
+// unsettled label is ≥ the exit distance ≥ B, so min(dist, cap) matches what
+// the full search would have computed for every arc that matters; and every
+// node of a selected path carries dist ≤ its target's distance ≤ B, so each
+// selected path comes out tight. Disjointness makes the applications
+// independent — the paths of the parent tree either share a suffix toward
+// the sink or nothing, so a batch of node-disjoint tree paths flips disjoint
+// arc sets — and the selection order (ascending cycle value, column index as
+// tie-break) is deterministic, so the repair is Workers-independent.
+// Batching matters because one edit wave frees many slots at once: a
+// coalesced withdrawal batch used to cost one full-graph search per freed
+// slot, and now costs one search per cascade depth. Returns false when no
+// improving cycle remains, after a capped potential update that certifies
+// the repaired dual for the reachable columns (the caller then re-checks the
+// band and only resets in the residual pathological cases). Unlike the phase
+// update of shortestPathFrom, potT stays fixed here, so the update is the
+// plain (unshifted) Johnson shift over all nodes — acceptable on this repair
+// path.
 func (t *Transport) cancelImprovingCycle() bool {
 	t.ensureScratch()
 	t.beginPhase()
@@ -1526,7 +1752,8 @@ func (t *Transport) cancelImprovingCycle() bool {
 			}
 		}
 	}
-	jStar, candBest := -1, -tightEps
+	t.cycleCands = t.cycleCands[:0]
+	candBest := -tightEps
 	exitB := math.Inf(1)
 	for len(t.heap) > 0 {
 		hn := t.heapPop()
@@ -1548,8 +1775,11 @@ func (t *Transport) cancelImprovingCycle() bool {
 			// straight from the sink, which would close a zero cycle) is an
 			// improving-cycle candidate.
 			if len(t.colPairs[j]) < t.colCap[j] && t.parentNode[x] != -2 {
-				if cand := bd + t.v[j] - t.potT; cand < candBest {
-					candBest, jStar = cand, j
+				if cand := bd + t.v[j] - t.potT; cand < -tightEps {
+					t.cycleCands = append(t.cycleCands, cycleCand{cand: cand, j: int32(j)})
+					if cand < candBest {
+						candBest = cand
+					}
 				}
 			}
 		}
@@ -1561,7 +1791,7 @@ func (t *Transport) cancelImprovingCycle() bool {
 			maxD = d
 		}
 	}
-	if jStar < 0 {
+	if len(t.cycleCands) == 0 {
 		// No improving cycle: raise the reachable potentials so every
 		// non-improving spare column becomes sink-feasible, then report
 		// exhaustion. The cap is maxD on natural exhaustion (every label
@@ -1576,41 +1806,92 @@ func (t *Transport) cancelImprovingCycle() bool {
 		}
 		return false
 	}
-	// Johnson update capped at the target distance turns the shortest path
-	// tight while keeping every residual reduced cost non-negative (D ≤ the
-	// exit distance by the exit condition, so the cap argument above holds).
-	D := t.dist[n+jStar]
-	for i := 0; i < n; i++ {
-		t.u[i] += math.Min(t.distOf(int32(i)), D)
-	}
-	for j := 0; j < m; j++ {
-		t.v[j] += math.Min(t.distOf(int32(n+j)), D)
-	}
-	// Extract the path sink→j2→r1→…→jStar from the parent pointers; after
-	// reversal the first step is the released pair (r1, j2) and the rest is
-	// a standard alternating augmenting path from r1 into jStar.
-	t.path = t.path[:0]
-	x := n + jStar
-	for t.parentNode[x] != -2 {
-		if x >= n {
-			t.path = append(t.path, pathStep{edge: t.parentEdge[x], row: t.parentNode[x]})
-			x = int(t.parentNode[x])
-		} else {
-			t.path = append(t.path, pathStep{edge: t.parentEdge[x], row: int32(x)})
-			x = n + int(t.colIdx[t.parentEdge[x]])
+	// Select a maximal node-disjoint candidate set, best cycle first. Used
+	// nodes are marked in arcMark (free under the fresh generation: the tight
+	// DFS that shares it never runs inside this search). Paths of the parent
+	// tree that touch any marked node would share their whole tail toward the
+	// sink, so a single mark check per node is a complete overlap test.
+	sort.Slice(t.cycleCands, func(a, b int) bool {
+		ca, cb := t.cycleCands[a], t.cycleCands[b]
+		if ca.cand != cb.cand {
+			return ca.cand < cb.cand
+		}
+		return ca.j < cb.j
+	})
+	sel := t.cycleCands[:0]
+	B := 0.0
+	for _, c := range t.cycleCands {
+		x, free := n+int(c.j), true
+		for {
+			if t.arcMark[x] == t.gen {
+				free = false
+				break
+			}
+			if t.parentNode[x] == -2 {
+				break
+			}
+			if x >= n {
+				x = int(t.parentNode[x])
+			} else {
+				x = n + int(t.colIdx[t.parentEdge[x]])
+			}
+		}
+		if !free {
+			continue
+		}
+		x = n + int(c.j)
+		for {
+			t.arcMark[x] = t.gen
+			if t.parentNode[x] == -2 {
+				break
+			}
+			if x >= n {
+				x = int(t.parentNode[x])
+			} else {
+				x = n + int(t.colIdx[t.parentEdge[x]])
+			}
+		}
+		sel = append(sel, c)
+		if d := t.dist[n+int(c.j)]; d > B {
+			B = d
 		}
 	}
-	for l, r := 0, len(t.path)-1; l < r; l, r = l+1, r-1 {
-		t.path[l], t.path[r] = t.path[r], t.path[l]
+	// One capped Johnson update covers the whole batch: B ≤ the exit
+	// distance, so the cap argument above holds, and every selected path's
+	// nodes sit at dist ≤ B, so all selected paths turn tight at once.
+	for i := 0; i < n; i++ {
+		t.u[i] += math.Min(t.distOf(int32(i)), B)
 	}
-	first := t.path[0]
-	j2 := int(t.colIdx[first.edge])
-	t.assigned[first.edge] = false
-	t.removeArc(j2, first.edge)
-	t.rowFlow[first.row]--
-	t.deficit++
-	t.path = t.path[1:]
-	t.apply(int(first.row))
+	for j := 0; j < m; j++ {
+		t.v[j] += math.Min(t.distOf(int32(n+j)), B)
+	}
+	for _, c := range sel {
+		// Extract the path sink→j2→r1→…→jStar from the parent pointers; after
+		// reversal the first step is the released pair (r1, j2) and the rest
+		// is a standard alternating augmenting path from r1 into jStar.
+		t.path = t.path[:0]
+		x := n + int(c.j)
+		for t.parentNode[x] != -2 {
+			if x >= n {
+				t.path = append(t.path, pathStep{edge: t.parentEdge[x], row: t.parentNode[x]})
+				x = int(t.parentNode[x])
+			} else {
+				t.path = append(t.path, pathStep{edge: t.parentEdge[x], row: int32(x)})
+				x = n + int(t.colIdx[t.parentEdge[x]])
+			}
+		}
+		for l, r := 0, len(t.path)-1; l < r; l, r = l+1, r-1 {
+			t.path[l], t.path[r] = t.path[r], t.path[l]
+		}
+		first := t.path[0]
+		j2 := int(t.colIdx[first.edge])
+		t.assigned[first.edge] = false
+		t.removeArc(j2, first.edge)
+		t.rowFlow[first.row]--
+		t.deficit++
+		t.path = t.path[1:]
+		t.apply(int(first.row))
+	}
 	return true
 }
 

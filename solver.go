@@ -2,8 +2,8 @@ package wgrap
 
 import (
 	"context"
-	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -45,18 +45,27 @@ type Snapshot struct {
 // the stage optima are unique, which holds with probability one for
 // continuous scores). Baseline methods re-run cold on Resolve.
 //
-// All methods are safe for concurrent use: a mutex serialises every call, so
-// a session is effectively single-flight (concurrent Solves queue; use one
-// Solver per goroutine for parallel solving — sessions are cheap and fully
-// independent). Progress callbacks run synchronously on the solving
-// goroutine and must not call back into the Solver.
+// All methods are safe for concurrent use, and the session is built to be
+// served: solves are single-flight behind a solve lock, but reads and writes
+// are not. View, Result and Progress return atomically-published immutable
+// snapshots and never block on a Solve/Resolve in flight; the edit mutators
+// validate against a mirror of the session state and enqueue into a pending
+// batch, so they return their verdict immediately even mid-solve; and
+// ResolveAsync drains everything pending as one coalesced warm re-solve in
+// the background, publishing a new View on completion (see concurrent.go).
+// Progress callbacks run synchronously on the solving goroutine; they must
+// not call the blocking Solve/Resolve (enforced with a panic — it would
+// deadlock), but View, Progress, the mutators and ResolveAsync are all
+// callback-safe.
 type Solver struct {
+	// mu is the solve lock: it guards the session, the non-session algorithm
+	// state (lastA, edited), start, editsSince and applyErr. Lock order is
+	// always mu → pendMu; pendMu is never held while acquiring mu.
 	mu        sync.Mutex
 	opts      options
 	sess      *cra.Session
 	alg       cra.Algorithm // cold construction of the non-session methods
 	algRefine bool          // run the stochastic refinement after alg
-	progress  func(Snapshot)
 	solved    bool
 	// edited and lastA implement the no-edit Resolve fast path for the
 	// non-session methods (the session keeps its own equivalent state).
@@ -65,6 +74,30 @@ type Solver struct {
 	// start is the wall-clock origin of the running Solve/Resolve, read by
 	// the progress hooks (only touched while mu is held).
 	start time.Time
+	// editsSince counts the edits drained since the last published View
+	// (guarded by mu); applyErr keeps a mirror/session divergence for the
+	// next solve to surface (a bug guard — see drainLocked).
+	editsSince int
+	applyErr   error
+
+	// Lock-free read surface: the latest published View, the latest mid-solve
+	// progress snapshot, the View version counter, the registered progress
+	// callback, and the goroutine id of the in-flight solve (0 when idle,
+	// used to turn callback re-entry deadlocks into panics).
+	view     atomic.Pointer[View]
+	live     atomic.Pointer[Snapshot]
+	version  atomic.Uint64
+	progress atomic.Pointer[func(Snapshot)]
+	solveGID atomic.Int64
+
+	// pendMu guards the pending edit batch, its validation mirror and the
+	// ResolveAsync ticket queue. It is only ever held for O(1) work, so the
+	// mutators and mirror reads stay non-blocking even mid-solve.
+	pendMu  sync.Mutex
+	pending []pendingEdit
+	tickets []*Ticket
+	asyncOn bool
+	mirror  editMirror
 }
 
 // NewSolver builds a solver session for the instance. The instance is
@@ -83,7 +116,11 @@ func NewSolver(in *Instance, opts ...Option) (*Solver, error) {
 	if err := own.Validate(); err != nil {
 		return nil, wrapInstanceErr(own, err)
 	}
-	s := &Solver{opts: o, progress: o.progress}
+	s := &Solver{opts: o}
+	if o.progress != nil {
+		fn := o.progress
+		s.progress.Store(&fn)
+	}
 	if !o.sessionable() {
 		alg, refine, err := o.algorithmParts()
 		if err != nil {
@@ -104,16 +141,36 @@ func NewSolver(in *Instance, opts ...Option) (*Solver, error) {
 		return nil, wrapErr(err)
 	}
 	s.sess = sess
+	s.mirror = newEditMirror(own)
+	s.view.Store(&View{When: time.Now()})
 	return s, nil
+}
+
+// progressFn returns the registered progress callback, or nil.
+func (s *Solver) progressFn() func(Snapshot) {
+	if p := s.progress.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// emitSnapshot publishes sn as the latest anytime snapshot (readable via
+// Progress without any lock) and forwards it to the registered callback.
+// Runs on the solving goroutine, inside the solve lock: the callback must
+// not call the blocking Solve/Resolve (checkReentry turns that deadlock into
+// a panic), but every snapshot-safe entry point — View, Progress, the edit
+// mutators, ResolveAsync, OnImprovement — works from inside it.
+func (s *Solver) emitSnapshot(sn Snapshot) {
+	s.live.Store(&sn)
+	if fn := s.progressFn(); fn != nil {
+		fn(sn)
+	}
 }
 
 // constructHook emits the construction-phase snapshot.
 func (s *Solver) constructHook() func(*core.Assignment) {
 	return func(a *core.Assignment) {
-		if s.progress == nil {
-			return
-		}
-		s.progress(Snapshot{
+		s.emitSnapshot(Snapshot{
 			Phase:   "construct",
 			Score:   s.activeScore(a),
 			Best:    a,
@@ -125,10 +182,7 @@ func (s *Solver) constructHook() func(*core.Assignment) {
 // improvementHook emits a refinement-phase snapshot per improving round.
 func (s *Solver) improvementHook() func(int, *core.Assignment, float64, time.Duration) {
 	return func(round int, best *core.Assignment, score float64, _ time.Duration) {
-		if s.progress == nil {
-			return
-		}
-		s.progress(Snapshot{
+		s.emitSnapshot(Snapshot{
 			Phase:   "refine",
 			Round:   round,
 			Score:   score,
@@ -142,36 +196,44 @@ func (s *Solver) improvementHook() func(int, *core.Assignment, float64, time.Dur
 // progress callback for subsequent Solve/Resolve calls. Every configuration
 // emits at least the construction snapshot; refinement snapshots follow for
 // the refining methods (MethodSDGASRA). A no-edit Resolve confirms the
-// cached assignment without re-solving and emits nothing.
+// cached assignment without re-solving and emits nothing. The registration
+// is atomic: it never blocks, even while a solve is in flight (the new
+// callback takes effect from the next snapshot).
 func (s *Solver) OnImprovement(fn func(Snapshot)) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.progress = fn
+	if fn == nil {
+		s.progress.Store(nil)
+		return
+	}
+	s.progress.Store(&fn)
 }
 
 // Method returns the configured assignment method.
 func (s *Solver) Method() Method { return s.opts.method }
 
 // Instance returns a read-only view of the session's instance. The returned
-// value must not be mutated; edits go through the Solver's mutators.
+// value must not be mutated; edits go through the Solver's mutators (and a
+// value held across later edits may observe them — take what you need and
+// drop it, or read through View for an immutable snapshot).
 func (s *Solver) Instance() *Instance {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	return s.sess.Instance()
 }
 
-// Active reports whether paper p currently participates in the assignment.
+// Active reports whether paper p currently participates in the assignment,
+// including the effect of accepted edits still pending in the batch. It
+// never blocks on a solve in flight.
 func (s *Solver) Active(p int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return p >= 0 && p < s.sess.Instance().NumPapers() && s.sess.Active(p)
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	return p >= 0 && p < s.mirror.papers && !s.mirror.withdrawn[p]
 }
 
-// ActivePapers returns the number of non-withdrawn papers.
+// ActivePapers returns the number of non-withdrawn papers, including the
+// effect of accepted edits still pending in the batch. It never blocks on a
+// solve in flight.
 func (s *Solver) ActivePapers() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sess.ActivePapers()
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	return s.mirror.activeN
 }
 
 // AddConflict registers a late conflict of interest between reviewer r and
@@ -179,49 +241,39 @@ func (s *Solver) ActivePapers() int {
 // with ErrConflictSaturated when it would leave an active paper without δp
 // eligible reviewers, and with ErrInvalidEdit on out-of-range indices.
 func (s *Solver) AddConflict(r, p int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	in := s.sess.Instance()
-	if r < 0 || r >= in.NumReviewers() || p < 0 || p >= in.NumPapers() {
-		return fmt.Errorf("%w: conflict (%d,%d) out of range", ErrInvalidEdit, r, p)
-	}
-	return s.noteEdit(s.sess.AddConflict(r, p))
+	return s.enqueueEdit(pendingEdit{kind: editConflict, r: r, p: p})
 }
 
 // WithdrawPaper removes paper p from the workload (e.g. a withdrawn
 // submission): it keeps its index but receives no reviewers until restored.
 func (s *Solver) WithdrawPaper(p int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p < 0 || p >= s.sess.Instance().NumPapers() {
-		return fmt.Errorf("%w: paper %d out of range", ErrInvalidEdit, p)
-	}
-	return s.noteEdit(s.sess.WithdrawPaper(p))
+	return s.enqueueEdit(pendingEdit{kind: editWithdraw, p: p})
 }
 
 // RestorePaper re-activates a withdrawn paper. Errors: ErrConflictSaturated
 // when conflicts accumulated during the withdrawal, ErrInfeasible when the
 // pool cannot absorb the extra load, ErrInvalidEdit on a bad index.
 func (s *Solver) RestorePaper(p int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if p < 0 || p >= s.sess.Instance().NumPapers() {
-		return fmt.Errorf("%w: paper %d out of range", ErrInvalidEdit, p)
-	}
-	return s.noteEdit(s.sess.RestorePaper(p))
+	return s.enqueueEdit(pendingEdit{kind: editRestore, p: p})
 }
 
 // AddReviewer appends a reviewer to the pool and returns its index. The
 // edit is structural, so the next Resolve rebuilds the warm state (still
 // reusing the session's buffers).
 func (s *Solver) AddReviewer(r Reviewer) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	idx, err := s.sess.AddReviewer(r)
-	if err != nil {
-		return -1, fmt.Errorf("%w: %v", ErrInvalidEdit, err)
+	s.pendMu.Lock()
+	op := pendingEdit{kind: editReviewer, rev: r}
+	if err := s.mirror.validate(&op); err != nil {
+		s.pendMu.Unlock()
+		return -1, wrapErr(err)
 	}
-	s.edited = true
+	idx := s.mirror.reviewers - 1 // validate advanced the mirror
+	s.pending = append(s.pending, op)
+	s.pendMu.Unlock()
+	if s.mu.TryLock() {
+		s.drainLocked()
+		s.mu.Unlock()
+	}
 	return idx, nil
 }
 
@@ -229,44 +281,47 @@ func (s *Solver) AddReviewer(r Reviewer) (int, error) {
 // when the new capacity cannot cover the active demand, ErrInvalidEdit for
 // non-positive values.
 func (s *Solver) SetWorkload(workload int) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if workload <= 0 {
-		return fmt.Errorf("%w: workload δr must be positive, got %d", ErrInvalidEdit, workload)
-	}
-	return s.noteEdit(s.sess.SetWorkload(workload))
-}
-
-// noteEdit records a successful mutation (it invalidates the non-session
-// no-edit Resolve cache) and maps the error onto the public sentinels.
-func (s *Solver) noteEdit(err error) error {
-	if err == nil {
-		s.edited = true
-	}
-	return wrapErr(err)
+	return s.enqueueEdit(pendingEdit{kind: editWorkload, workload: workload})
 }
 
 // Solve computes the assignment from a cold start, recording the warm state
 // later Resolve calls reuse. Cancelling ctx aborts construction with the
 // context error; the refinement phase is anytime — at the deadline it stops
-// and keeps the best assignment found.
+// and keeps the best assignment found. A successful Solve publishes a new
+// View.
 func (s *Solver) Solve(ctx context.Context) (*Result, error) {
+	s.checkReentry()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.solveGID.Store(curGID())
+	defer s.solveGID.Store(0)
 	return s.run(ctx, true)
 }
 
 // Resolve re-solves after the pending edits, warm where the method supports
 // it (the SDGA-based defaults); with no pending edits it cheaply confirms
-// the current assignment. Calling Resolve before any Solve solves cold.
+// the current assignment. Calling Resolve before any Solve solves cold. A
+// successful Resolve publishes a new View.
 func (s *Solver) Resolve(ctx context.Context) (*Result, error) {
+	s.checkReentry()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.solveGID.Store(curGID())
+	defer s.solveGID.Store(0)
 	return s.run(ctx, !s.solved)
 }
 
+// run executes one solve under the held solve lock: it first drains the
+// pending edit batch into the session (so concurrent edits coalesce into
+// this warm re-solve), then solves, then publishes the new View.
 func (s *Solver) run(ctx context.Context, cold bool) (*Result, error) {
+	s.drainLocked()
+	if err := s.applyErr; err != nil {
+		s.applyErr = nil
+		return nil, err
+	}
 	s.start = time.Now()
+	warm := !cold
 	var a *core.Assignment
 	var err error
 	switch {
@@ -275,7 +330,9 @@ func (s *Solver) run(ctx context.Context, cold bool) (*Result, error) {
 			// No pending edits: confirm the recorded assignment without
 			// re-running the cold algorithm (and without progress snapshots),
 			// matching the session methods' behavior.
-			return s.buildResult(s.lastA.Clone(), time.Since(s.start)), nil
+			res := s.buildResult(s.lastA.Clone(), time.Since(s.start))
+			s.publishLocked(res, warm)
+			return res, nil
 		}
 		a, err = s.runBaseline(ctx)
 	case cold:
@@ -291,7 +348,9 @@ func (s *Solver) run(ctx context.Context, cold bool) (*Result, error) {
 		s.lastA = a.Clone()
 		s.edited = false
 	}
-	return s.buildResult(a, time.Since(s.start)), nil
+	res := s.buildResult(a, time.Since(s.start))
+	s.publishLocked(res, warm)
+	return res, nil
 }
 
 // runBaseline executes a non-session method cold: on an unedited paper set
@@ -308,9 +367,7 @@ func (s *Solver) runBaseline(ctx context.Context) (*core.Assignment, error) {
 		if err != nil {
 			return nil, err
 		}
-		if s.progress != nil {
-			s.constructHook()(a.Clone())
-		}
+		s.constructHook()(a.Clone())
 		if s.algRefine {
 			sra := s.opts.sra()
 			sra.OnImprovement = s.improvementHook()
@@ -356,16 +413,12 @@ func (s *Solver) runBaseline(ctx context.Context) (*core.Assignment, error) {
 		}
 		return full
 	}
-	if s.progress != nil {
-		s.constructHook()(scatter(compact))
-	}
+	s.constructHook()(scatter(compact))
 	if s.algRefine {
 		sra := s.opts.sra()
-		if s.progress != nil {
-			hook := s.improvementHook()
-			sra.OnImprovement = func(round int, best *core.Assignment, score float64, elapsed time.Duration) {
-				hook(round, scatter(best), score, elapsed)
-			}
+		hook := s.improvementHook()
+		sra.OnImprovement = func(round int, best *core.Assignment, score float64, elapsed time.Duration) {
+			hook(round, scatter(best), score, elapsed)
 		}
 		refined, err := sra.RefineContext(ctx, sub, compact)
 		if err != nil {

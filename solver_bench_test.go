@@ -137,6 +137,66 @@ func TestResolveAfterEditSpeedup(t *testing.T) {
 	}
 }
 
+// BenchmarkResolveAfterWithdraw is the acceptance benchmark for the parallel
+// warm re-solve at the paper's conference scale (P=1000, R=2000, T=40,
+// δp=3): a coalesced withdrawal wave — withdrawWave papers withdrawn, one
+// warm Resolve, then restored, one warm Resolve — exactly the batch shape
+// ResolveAsync's write coalescing drains. The wave exercises both parallel
+// levers at once: the sharded dirty-row read phase of ResolveRows and the
+// batched improving-cycle repair (one search per cascade depth instead of
+// one per freed slot). The single-worker variant pins GOMAXPROCS and shards
+// to 1 (the name avoids a trailing digit, which the wgrap-bench parser would
+// strip as a GOMAXPROCS suffix); CI requires multicore to beat it by ≥1.3x
+// (see cmd/wgrap-bench -min-speedup) while the two produce bit-identical
+// assignments (TestResolveRowsShardedDeterminism pins that at the flow
+// layer, TestSolverWithdrawWaveShardParity end to end).
+func BenchmarkResolveAfterWithdraw(b *testing.B) {
+	in := benchConferenceInstance(1000, 2000, 40, 3)
+	run := func(b *testing.B, shards int) {
+		s, err := NewSolver(in, WithMethod(MethodSDGA), WithShards(shards))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Solve(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for w := 0; w < withdrawWave; w++ {
+				if err := s.WithdrawPaper((i*withdrawWave + w*61) % in.NumPapers()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := s.Resolve(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			for w := 0; w < withdrawWave; w++ {
+				if err := s.RestorePaper((i*withdrawWave + w*61) % in.NumPapers()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := s.Resolve(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("single-worker", func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(prev)
+		run(b, 1)
+	})
+	b.Run("multicore", func(b *testing.B) {
+		run(b, 0)
+	})
+}
+
+// withdrawWave is the wave width of BenchmarkResolveAfterWithdraw and its
+// parity test: wide enough to engage the sharded dirty-row read phase
+// (withdrawWave × R = 40000 cells, above the flow layer's 1<<15 parallel
+// threshold), small enough to stay a realistic pre-deadline burst.
+const withdrawWave = 20
+
 // BenchmarkSolveColdPaperScale is the multi-core acceptance benchmark for
 // the sharded stage solve: one full cold SDGA solve at the paper's
 // conference scale (P=1000, R=2000, T=40, δp=3), run once pinned to a

@@ -40,6 +40,31 @@
 // engine of internal/engine; the transportation solves through the
 // warm-startable Dijkstra solver of internal/flow.
 //
+// # Concurrent serving
+//
+// A Solver is safe for concurrent use, with a read path that never blocks on
+// a running solve. Every successful Solve or Resolve publishes an immutable,
+// versioned View (an atomically swapped snapshot); View, Result and Progress
+// read the latest one lock-free from any goroutine, at any time — including
+// mid-solve:
+//
+//	v := solver.View()           // never blocks; v.Version is monotone
+//	_ = v.Result, v.Warm, v.Edits
+//
+// Edits from concurrent goroutines are validated immediately and coalesced
+// into a pending batch; when no solve is running they apply synchronously,
+// otherwise they wait for the running solve to finish and drain with the
+// next one. ResolveAsync returns a Ticket right away and drains the whole
+// pending batch as one warm re-solve in the background; several outstanding
+// tickets coalesce into a single solve and all complete with the same
+// published Result. The coalesced warm re-solve returns the same assignment
+// a cold solve of the identically edited instance would.
+//
+// Progress callbacks run on the solving goroutine while the solve lock is
+// held: calling the blocking Solve or Resolve from inside one panics (it
+// would deadlock); View, Progress, Result, the edit mutators and
+// ResolveAsync are all callback-safe.
+//
 // For single-paper (journal) assignment, AssignJournalContext returns the
 // exact optimum via branch and bound and TopReviewerGroupsContext the k best
 // groups.
