@@ -1,0 +1,269 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	wgrap "repro"
+	"repro/client"
+	"repro/internal/serve"
+	"repro/internal/wire"
+)
+
+func testWireInstance(p, r, t int, seed int64) *wire.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	vec := func() []float64 {
+		v := make(wgrap.Vector, t)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v.Normalized()
+	}
+	in := &wire.Instance{GroupSize: 3}
+	for i := 0; i < p; i++ {
+		in.Papers = append(in.Papers, wire.Paper{ID: fmt.Sprintf("p%d", i), Topics: vec()})
+	}
+	for i := 0; i < r; i++ {
+		in.Reviewers = append(in.Reviewers, wire.Reviewer{ID: fmt.Sprintf("r%d", i), Topics: vec()})
+	}
+	return in
+}
+
+// scriptOutcome is everything the duality script observes through a Client.
+type scriptOutcome struct {
+	coldScore   float64
+	warmScore   float64
+	asyncScore  float64
+	seq         uint64
+	version     uint64
+	active      int
+	reviewerIdx int
+	progressed  bool
+	editErr     error
+	missingErr  error
+}
+
+// runScript drives the full tenant lifecycle through c. It is THE duality
+// check: the same function runs against mem:// and http:// backends and the
+// caller asserts identical outcomes.
+func runScript(t *testing.T, c client.Client) scriptOutcome {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var out scriptOutcome
+
+	in := testWireInstance(18, 14, 6, 42)
+	st, err := c.CreateTenant(ctx, &wire.CreateRequest{
+		ID: "venue", Instance: in, Config: wire.TenantConfig{Omega: 3, Seed: 11},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Papers != 18 || st.Reviewers != 14 {
+		t.Fatalf("create status: %+v", st)
+	}
+	ids, err := c.Tenants(ctx)
+	if err != nil || len(ids) != 1 || ids[0] != "venue" {
+		t.Fatalf("tenant list %v (%v)", ids, err)
+	}
+
+	// Progress subscription before the solve: both backends must deliver at
+	// least the construction snapshot.
+	progress, stopProgress, err := c.Progress(ctx, "venue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopProgress()
+
+	res, err := c.Solve(ctx, "venue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.coldScore = res.Score
+
+	select {
+	case p, ok := <-progress:
+		out.progressed = ok && p.Phase == "construct" && p.Score > 0
+	case <-time.After(10 * time.Second):
+	}
+
+	// Edit batch: conflict, withdrawal, a new reviewer.
+	topics := make(wgrap.Vector, 6)
+	for i := range topics {
+		topics[i] = 1
+	}
+	eresp, err := c.Edit(ctx, "venue",
+		wire.Edit{Op: wire.OpAddConflict, R: 2, P: 3},
+		wire.Edit{Op: wire.OpWithdraw, P: 1},
+		wire.Edit{Op: wire.OpAddReviewer, Reviewer: &wire.Reviewer{ID: "late", Topics: topics.Normalized()}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eresp.Accepted != 3 || len(eresp.ReviewerIndices) != 1 {
+		t.Fatalf("edit response: %+v", eresp)
+	}
+	out.reviewerIdx = eresp.ReviewerIndices[0]
+
+	res, err = c.Resolve(ctx, "venue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.warmScore = res.Score
+
+	// Async resolve after one more edit; poll the ticket to completion.
+	if _, err := c.Edit(ctx, "venue", wire.Edit{Op: wire.OpRestore, P: 1}); err != nil {
+		t.Fatal(err)
+	}
+	token, err := c.ResolveAsync(ctx, "venue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		ts, err := c.Ticket(ctx, "venue", token)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ts.Done {
+			if ts.Error != nil || ts.Result == nil {
+				t.Fatalf("ticket failed: %+v", ts)
+			}
+			out.asyncScore = ts.Result.Score
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	v, err := c.View(ctx, "venue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.version = v.Version
+	st, err = c.Status(ctx, "venue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.seq, out.active = st.Seq, st.Active
+
+	// Error surface: both backends reject the same edit with the same
+	// sentinel, and miss the same unknown tenant.
+	_, out.editErr = c.Edit(ctx, "venue", wire.Edit{Op: wire.OpAddConflict, R: -1, P: 0})
+	_, out.missingErr = c.Status(ctx, "ghost")
+
+	if err := c.DeleteTenant(ctx, "venue"); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestClientDuality is the embedded↔remote acceptance test: the identical
+// client script runs against a mem:// backend and an http:// backend over a
+// real loopback server, and every observable — scores (to 1e-9), sequence
+// numbers, view versions, reviewer indices, error classification — matches.
+func TestClientDuality(t *testing.T) {
+	mem, err := client.Open("mem://")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.Close()
+	memOut := runScript(t, mem)
+
+	reg, err := serve.NewRegistry("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	srv := httptest.NewServer(serve.Handler(reg))
+	defer srv.Close()
+	remote, err := client.Open(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+	httpOut := runScript(t, remote)
+
+	if math.Abs(memOut.coldScore-httpOut.coldScore) > 1e-9 ||
+		math.Abs(memOut.warmScore-httpOut.warmScore) > 1e-9 ||
+		math.Abs(memOut.asyncScore-httpOut.asyncScore) > 1e-9 {
+		t.Fatalf("backend scores diverge: mem %+v, http %+v", memOut, httpOut)
+	}
+	if memOut.seq != httpOut.seq || memOut.version != httpOut.version ||
+		memOut.active != httpOut.active || memOut.reviewerIdx != httpOut.reviewerIdx {
+		t.Fatalf("backend state diverges: mem %+v, http %+v", memOut, httpOut)
+	}
+	if !memOut.progressed || !httpOut.progressed {
+		t.Fatalf("progress stream missing: mem %v, http %v", memOut.progressed, httpOut.progressed)
+	}
+	for _, o := range []scriptOutcome{memOut, httpOut} {
+		if !errors.Is(o.editErr, wgrap.ErrInvalidEdit) {
+			t.Fatalf("bad edit error: %v", o.editErr)
+		}
+		if !errors.Is(o.missingErr, client.ErrNotFound) {
+			t.Fatalf("missing tenant error: %v", o.missingErr)
+		}
+	}
+}
+
+func TestOpenRejectsUnknownScheme(t *testing.T) {
+	if _, err := client.Open("ftp://x"); err == nil {
+		t.Fatal("ftp:// must be rejected")
+	}
+}
+
+// TestMemDurable exercises the durable embedded backend: edits survive a
+// close/reopen of the same mem:///dir URL.
+func TestMemDurable(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	c, err := client.Open("mem://" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := testWireInstance(10, 8, 4, 7)
+	if _, err := c.CreateTenant(ctx, &wire.CreateRequest{
+		ID: "www", Instance: in, Config: wire.TenantConfig{Omega: 3, FsyncIntervalNS: -1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Edit(ctx, "www", wire.Edit{Op: wire.OpWithdraw, P: 2}); err != nil {
+		t.Fatal(err)
+	}
+	before, err := c.Solve(ctx, "www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := client.Open("mem://" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st, err := c2.Status(ctx, "www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 1 || !st.Durable || st.Active != 9 {
+		t.Fatalf("restored status: %+v", st)
+	}
+	after, err := c2.Resolve(ctx, "www")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(after.Score-before.Score) > 1e-9 {
+		t.Fatalf("restored score %v != pre-close %v", after.Score, before.Score)
+	}
+	// Creating over surviving durable state is refused with the shared
+	// sentinel.
+	if _, err := c2.CreateTenant(ctx, &wire.CreateRequest{ID: "www", Instance: in}); !errors.Is(err, client.ErrTenantExists) {
+		t.Fatalf("create over durable state: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+package client_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/client"
+)
+
+// ExampleClient runs a venue's assignment lifecycle against the embedded
+// backend. Swapping "mem://" for "http://host:port" of a wgrap-serve daemon
+// is the only change needed to run the identical code remotely.
+func ExampleClient() {
+	c, err := client.Open("mem://")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// Three papers, three reviewers, one reviewer per paper.
+	in := &client.Instance{
+		GroupSize: 1,
+		Papers: []client.Paper{
+			{ID: "p0", Topics: []float64{1, 0}},
+			{ID: "p1", Topics: []float64{0, 1}},
+			{ID: "p2", Topics: []float64{0.6, 0.8}},
+		},
+		Reviewers: []client.Reviewer{
+			{ID: "r0", Topics: []float64{1, 0}},
+			{ID: "r1", Topics: []float64{0, 1}},
+			{ID: "r2", Topics: []float64{0.6, 0.8}},
+		},
+	}
+	if _, err := c.CreateTenant(ctx, &client.CreateRequest{ID: "demo", Instance: in}); err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.Solve(ctx, "demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold solve: %d groups, score %.2f\n", len(res.Groups), res.Score)
+
+	// A paper is withdrawn; the warm re-solve reflects it immediately.
+	if _, err := c.Edit(ctx, "demo", client.Edit{Op: client.OpWithdraw, P: 2}); err != nil {
+		log.Fatal(err)
+	}
+	res, err = c.Resolve(ctx, "demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after withdrawal: %d reviewers on paper 2\n", len(res.Groups[2]))
+
+	st, err := c.Status(ctx, "demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accepted edits: %d\n", st.Seq)
+	// Output:
+	// cold solve: 3 groups, score 3.00
+	// after withdrawal: 0 reviewers on paper 2
+	// accepted edits: 1
+}

@@ -1,0 +1,191 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// httpClient is the remote backend: a thin JSON transport over the
+// wgrap-serve API. Every non-2xx response carries a wire.Error envelope that
+// fromWireError maps back onto the sentinel errors, so callers cannot tell
+// the backends apart by error behavior.
+type httpClient struct {
+	base string
+	hc   *http.Client
+}
+
+func openHTTP(base string) Client {
+	return &httpClient{base: base, hc: &http.Client{}}
+}
+
+// call issues one JSON request. out may be nil.
+func (c *httpClient) call(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var we wire.Error
+		if err := json.NewDecoder(resp.Body).Decode(&we); err != nil || we.Code == "" {
+			return fmt.Errorf("client: %s %s: unexpected status %d", method, path, resp.StatusCode)
+		}
+		return fromWireError(&we)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *httpClient) CreateTenant(ctx context.Context, req *wire.CreateRequest) (*wire.Status, error) {
+	st := &wire.Status{}
+	if err := c.call(ctx, "POST", "/v1/tenants", req, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (c *httpClient) Tenants(ctx context.Context) ([]string, error) {
+	var list wire.TenantList
+	if err := c.call(ctx, "GET", "/v1/tenants", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Tenants, nil
+}
+
+func (c *httpClient) Status(ctx context.Context, id string) (*wire.Status, error) {
+	st := &wire.Status{}
+	if err := c.call(ctx, "GET", "/v1/tenants/"+id, nil, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (c *httpClient) DeleteTenant(ctx context.Context, id string) error {
+	return c.call(ctx, "DELETE", "/v1/tenants/"+id, nil, nil)
+}
+
+func (c *httpClient) Edit(ctx context.Context, id string, edits ...wire.Edit) (*wire.EditResponse, error) {
+	resp := &wire.EditResponse{}
+	if err := c.call(ctx, "POST", "/v1/tenants/"+id+"/edits", wire.EditRequest{Edits: edits}, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (c *httpClient) Solve(ctx context.Context, id string) (*wire.Result, error) {
+	res := &wire.Result{}
+	if err := c.call(ctx, "POST", "/v1/tenants/"+id+"/solve", nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (c *httpClient) Resolve(ctx context.Context, id string) (*wire.Result, error) {
+	res := &wire.Result{}
+	if err := c.call(ctx, "POST", "/v1/tenants/"+id+"/resolve", nil, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (c *httpClient) ResolveAsync(ctx context.Context, id string) (string, error) {
+	var tk wire.Ticket
+	if err := c.call(ctx, "POST", "/v1/tenants/"+id+"/resolve-async", nil, &tk); err != nil {
+		return "", err
+	}
+	return tk.Ticket, nil
+}
+
+func (c *httpClient) Ticket(ctx context.Context, id, token string) (*wire.TicketStatus, error) {
+	st := &wire.TicketStatus{}
+	if err := c.call(ctx, "GET", "/v1/tenants/"+id+"/tickets/"+token, nil, st); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (c *httpClient) View(ctx context.Context, id string) (*wire.View, error) {
+	v := &wire.View{}
+	if err := c.call(ctx, "GET", "/v1/tenants/"+id+"/view", nil, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// Progress subscribes to the tenant's SSE stream. The reader goroutine
+// parses "data:" lines into wire.Progress events and closes the channel when
+// the stream ends (context cancelled, stop called, or server shutdown).
+func (c *httpClient) Progress(ctx context.Context, id string) (<-chan wire.Progress, func(), error) {
+	ctx, cancel := context.WithCancel(ctx)
+	req, err := http.NewRequestWithContext(ctx, "GET", c.base+"/v1/tenants/"+id+"/progress", nil)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		defer cancel()
+		var we wire.Error
+		if err := json.NewDecoder(resp.Body).Decode(&we); err == nil && we.Code != "" {
+			return nil, nil, fromWireError(&we)
+		}
+		return nil, nil, fmt.Errorf("client: progress stream: unexpected status %d", resp.StatusCode)
+	}
+	ch := make(chan wire.Progress, 64)
+	go func() {
+		defer close(ch)
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			data, ok := strings.CutPrefix(sc.Text(), "data: ")
+			if !ok {
+				continue
+			}
+			var p wire.Progress
+			if json.Unmarshal([]byte(data), &p) != nil {
+				continue
+			}
+			select {
+			case ch <- p:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch, cancel, nil
+}
+
+func (c *httpClient) Close() error {
+	c.hc.CloseIdleConnections()
+	return nil
+}

@@ -1,0 +1,47 @@
+package client
+
+import "repro/internal/wire"
+
+// The protocol payloads live in internal/wire, shared verbatim with the
+// server so the embedded↔remote duality is exact. These aliases re-export
+// the types a caller needs to construct requests and read responses —
+// without them an importer outside this module could not name the types at
+// all (internal packages are unimportable), making the Client interface
+// unusable externally.
+type (
+	// Instance is a conference instance in wire form (papers, reviewers,
+	// group size, optional named scoring function and conflict pairs).
+	Instance = wire.Instance
+	// Paper is the wire form of one paper.
+	Paper = wire.Paper
+	// Reviewer is the wire form of one reviewer.
+	Reviewer = wire.Reviewer
+	// Edit is one incremental session edit (see the Op* constants).
+	Edit = wire.Edit
+	// EditResponse acknowledges an accepted edit batch.
+	EditResponse = wire.EditResponse
+	// CreateRequest creates a tenant: id, instance and solver config.
+	CreateRequest = wire.CreateRequest
+	// TenantConfig is the serializable solver configuration of a tenant.
+	TenantConfig = wire.TenantConfig
+	// Status describes one tenant (sizes, accepted-edit seq, durability).
+	Status = wire.Status
+	// Result is a completed solve.
+	Result = wire.Result
+	// View is a lock-free versioned snapshot of a tenant's best result.
+	View = wire.View
+	// Progress is one anytime progress snapshot.
+	Progress = wire.Progress
+	// TicketStatus reports an async resolve; exactly one of Result and
+	// Error is set once Done.
+	TicketStatus = wire.TicketStatus
+)
+
+// Edit operations, matching the Solver's incremental mutators.
+const (
+	OpAddConflict = wire.OpAddConflict
+	OpWithdraw    = wire.OpWithdraw
+	OpRestore     = wire.OpRestore
+	OpAddReviewer = wire.OpAddReviewer
+	OpSetWorkload = wire.OpSetWorkload
+)

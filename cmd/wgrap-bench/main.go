@@ -85,7 +85,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wgrap-bench", flag.ContinueOnError)
 	inPath := fs.String("in", "-", "bench text input file (- = stdin)")
 	outPath := fs.String("out", "", "write the JSON snapshot to this file")
-	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit|ResolveAfterWithdraw|ConcurrentMixed|TransportStageSequencePaperScale|SolveColdPaperScale|SolveHugeScale", "regexp of benchmarks recorded in the snapshot")
+	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit|ResolveAfterWithdraw|ConcurrentMixed|ServeHTTP|TransportStageSequencePaperScale|SolveColdPaperScale|SolveHugeScale", "regexp of benchmarks recorded in the snapshot")
 	note := fs.String("note", "", "free-form note stored in the snapshot")
 	candidateCap := fs.Int("candidate-cap", 0, "WithCandidateCap(k) setting of the benchmarked run, recorded in the snapshot for provenance (0 = dense)")
 	baseline := fs.String("baseline", "", "baseline JSON to gate against (no gating when empty)")
@@ -96,13 +96,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	speedupDen := fs.String("speedup-den", "", "benchmark expected to be FASTER in a same-run speedup assertion (e.g. the sharded variant)")
 	minSpeedup := fs.Float64("min-speedup", 0, "fail unless speedup-num's ns/op is at least this multiple of speedup-den's (0 disables)")
 	concurrent := fs.Bool("concurrent", false, "run the live concurrent-serving workload instead of parsing bench text: readers spin on View/Progress while edit bursts drain through ResolveAsync")
-	ccPapers := fs.Int("papers", 1000, "-concurrent: number of papers")
-	ccReviewers := fs.Int("reviewers", 2000, "-concurrent: number of reviewers")
-	ccTopics := fs.Int("topics", 40, "-concurrent: topic vector dimension")
-	ccDelta := fs.Int("delta", 3, "-concurrent: reviewers per paper δp")
+	serveMode := fs.Bool("serve", false, "run the HTTP request-latency workload instead of parsing bench text: a real wgrap-serve handler on loopback driven through the remote client")
+	ccPapers := fs.Int("papers", 1000, "-concurrent/-serve: number of papers")
+	ccReviewers := fs.Int("reviewers", 2000, "-concurrent/-serve: number of reviewers")
+	ccTopics := fs.Int("topics", 40, "-concurrent/-serve: topic vector dimension")
+	ccDelta := fs.Int("delta", 3, "-concurrent/-serve: reviewers per paper δp")
 	ccReaders := fs.Int("readers", 4, "-concurrent: snapshot reader goroutines")
-	ccResolves := fs.Int("resolves", 12, "-concurrent: coalesced async re-solves")
-	ccBurst := fs.Int("edit-burst", 6, "-concurrent: edits coalesced per re-solve")
+	ccResolves := fs.Int("resolves", 12, "-concurrent/-serve: warm re-solve cycles")
+	ccBurst := fs.Int("edit-burst", 6, "-concurrent/-serve: edits coalesced per re-solve")
+	srvViews := fs.Int("views", 50, "-serve: view reads sampled per cycle")
 	maxReadP99 := fs.Duration("max-read-p99", 0, "-concurrent: fail when read p99 exceeds this while re-solves run (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -110,7 +112,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	var current map[string]Result
 	var err error
-	if *concurrent {
+	switch {
+	case *concurrent:
 		current, err = runConcurrent(stdout, concurrentConfig{
 			papers: *ccPapers, reviewers: *ccReviewers, topics: *ccTopics, delta: *ccDelta,
 			readers: *ccReaders, resolves: *ccResolves, editBurst: *ccBurst, maxReadP99: *maxReadP99,
@@ -118,7 +121,15 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-	} else {
+	case *serveMode:
+		current, err = runServe(stdout, serveConfig{
+			papers: *ccPapers, reviewers: *ccReviewers, topics: *ccTopics, delta: *ccDelta,
+			resolves: *ccResolves, editBurst: *ccBurst, views: *srvViews,
+		})
+		if err != nil {
+			return err
+		}
+	default:
 		in := stdin
 		if *inPath != "" && *inPath != "-" {
 			f, err := os.Open(*inPath)

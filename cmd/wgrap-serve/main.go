@@ -1,0 +1,110 @@
+// Command wgrap-serve is the assignment daemon: it hosts per-venue tenants —
+// each a long-lived wgrap.Solver session — behind the HTTP API of
+// internal/serve (instance upload, incremental edits, cold solve, warm
+// re-solve, async tickets, lock-free views, SSE progress streams).
+//
+// With -data the tenants are durable: each lives in its own subdirectory of
+// the data directory as a snapshot plus a checksummed append-only edit
+// journal, and a killed or restarted daemon replays every tenant back to its
+// exact pre-crash state — same accepted-edit sequence, same re-solve result
+// as the uninterrupted session (the crash-recovery CI job asserts this
+// end to end, SIGKILL included).
+//
+// Examples:
+//
+//	wgrap-serve -addr 127.0.0.1:8080                 # in-memory tenants
+//	wgrap-serve -addr :8080 -data /var/lib/wgrap     # durable tenants
+//
+// Drive it with the repro/client package: client.Open("http://127.0.0.1:8080")
+// speaks the same interface as the embedded client.Open("mem://").
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable daemon body: it returns the exit code instead of
+// exiting, so the crash-recovery test can host it in a child process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("wgrap-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
+	data := fs.String("data", "", "data directory for durable tenants (empty: in-memory only)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Catch shutdown signals before anything is announced: a SIGTERM racing
+	// the boot must drain, not kill.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	reg, err := serve.NewRegistry(*data)
+	if err != nil {
+		fmt.Fprintln(stderr, "wgrap-serve:", err)
+		return 1
+	}
+	if *data != "" {
+		fmt.Fprintf(stdout, "wgrap-serve: restored %d durable tenant(s) from %s\n", len(reg.List()), *data)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "wgrap-serve:", err)
+		return 1
+	}
+	srv := &http.Server{Handler: serve.Handler(reg)}
+	// The listening line is the readiness signal scripts and the CI crash
+	// test wait for; it carries the resolved address so -addr :0 is usable.
+	fmt.Fprintf(stdout, "wgrap-serve: listening on http://%s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(stdout, "wgrap-serve: %v, draining\n", sig)
+	case err := <-errc:
+		fmt.Fprintln(stderr, "wgrap-serve:", err)
+		reg.Close()
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(stderr, "wgrap-serve: shutdown:", err)
+		code = 1
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "wgrap-serve:", err)
+		code = 1
+	}
+	// Close every tenant last: journals flush and close only after the
+	// in-flight requests drained, so an acknowledged edit is never dropped by
+	// a graceful shutdown.
+	if err := reg.Close(); err != nil {
+		fmt.Fprintln(stderr, "wgrap-serve:", err)
+		code = 1
+	}
+	fmt.Fprintln(stdout, "wgrap-serve: stopped")
+	return code
+}

@@ -139,12 +139,13 @@ func newEditMirror(in *core.Instance) editMirror {
 
 func (m *editMirror) key(r, p int) int64 { return int64(r)*int64(m.papers) + int64(p) }
 
-// validate checks op against the mirror and, on acceptance, advances the
-// mirror as the session will when the op is applied. Idempotent no-ops (a
-// duplicate conflict, withdrawing a withdrawn paper) are accepted like the
-// session accepts them. The errors are the same internal sentinels the
-// session returns, pre-wrapping.
-func (m *editMirror) validate(op *pendingEdit) error {
+// check validates op against the mirror without mutating it, so the edit
+// journal can persist the record between acceptance and apply — a journal
+// write failure then rejects the edit with mirror and session untouched.
+// Idempotent no-ops (a duplicate conflict, withdrawing a withdrawn paper)
+// are accepted like the session accepts them. The errors are the same
+// internal sentinels the session returns, pre-wrapping.
+func (m *editMirror) check(op *pendingEdit) error {
 	switch op.kind {
 	case editConflict:
 		if op.r < 0 || op.r >= m.reviewers || op.p < 0 || op.p >= m.papers {
@@ -156,15 +157,9 @@ func (m *editMirror) validate(op *pendingEdit) error {
 		if !m.withdrawn[op.p] && m.reviewers-m.conflictN[op.p]-1 < m.groupSize {
 			return fmt.Errorf("%w (paper %d)", cra.ErrConflictSaturated, op.p)
 		}
-		m.conflicts[m.key(op.r, op.p)] = struct{}{}
-		m.conflictN[op.p]++
 	case editWithdraw:
 		if op.p < 0 || op.p >= m.papers {
 			return fmt.Errorf("%w: paper %d out of range", ErrInvalidEdit, op.p)
-		}
-		if !m.withdrawn[op.p] {
-			m.withdrawn[op.p] = true
-			m.activeN--
 		}
 	case editRestore:
 		if op.p < 0 || op.p >= m.papers {
@@ -179,13 +174,10 @@ func (m *editMirror) validate(op *pendingEdit) error {
 		if m.reviewers*m.workload < (m.activeN+1)*m.groupSize {
 			return cra.ErrInsufficientCapacity
 		}
-		m.withdrawn[op.p] = false
-		m.activeN++
 	case editReviewer:
 		if d := op.rev.Topics.Dim(); d != m.topics {
 			return fmt.Errorf("%w: cra: reviewer has %d topics, want %d", ErrInvalidEdit, d, m.topics)
 		}
-		m.reviewers++
 	case editWorkload:
 		if op.workload <= 0 {
 			return fmt.Errorf("%w: workload δr must be positive, got %d", ErrInvalidEdit, op.workload)
@@ -193,28 +185,74 @@ func (m *editMirror) validate(op *pendingEdit) error {
 		if m.reviewers*op.workload < m.activeN*m.groupSize {
 			return cra.ErrInsufficientCapacity
 		}
-		m.workload = op.workload
 	}
 	return nil
 }
 
-// enqueueEdit validates op against the mirror, queues it, and — when no
-// solve holds the lock — immediately drains the batch into the session, so
-// the uncontended path behaves exactly like the pre-concurrent solver.
-// Callback-safe: from a progress callback the TryLock fails (the solve owns
-// the lock) and the edit simply stays pending for the solve that follows.
+// apply advances the mirror as the session will when the checked op is
+// applied. Infallible: the op passed check against this exact mirror state.
+func (m *editMirror) apply(op *pendingEdit) {
+	switch op.kind {
+	case editConflict:
+		if _, dup := m.conflicts[m.key(op.r, op.p)]; !dup {
+			m.conflicts[m.key(op.r, op.p)] = struct{}{}
+			m.conflictN[op.p]++
+		}
+	case editWithdraw:
+		if !m.withdrawn[op.p] {
+			m.withdrawn[op.p] = true
+			m.activeN--
+		}
+	case editRestore:
+		if m.withdrawn[op.p] {
+			m.withdrawn[op.p] = false
+			m.activeN++
+		}
+	case editReviewer:
+		m.reviewers++
+	case editWorkload:
+		m.workload = op.workload
+	}
+}
+
+// enqueueEdit validates op against the mirror, journals it when the session
+// is durable, queues it, and — when no solve holds the lock — immediately
+// drains the batch into the session, so the uncontended path behaves exactly
+// like the pre-concurrent solver. Callback-safe: from a progress callback
+// the TryLock fails (the solve owns the lock) and the edit simply stays
+// pending for the solve that follows.
 func (s *Solver) enqueueEdit(op pendingEdit) error {
 	s.pendMu.Lock()
-	if err := s.mirror.validate(&op); err != nil {
+	if err := s.acceptLocked(&op); err != nil {
 		s.pendMu.Unlock()
-		return wrapErr(err)
+		return err
 	}
-	s.pending = append(s.pending, op)
 	s.pendMu.Unlock()
 	if s.mu.TryLock() {
 		s.drainLocked()
+		s.maybeCompactLocked()
 		s.mu.Unlock()
 	}
+	return nil
+}
+
+// acceptLocked runs the accept pipeline of one edit under pendMu: mirror
+// check, journal append (durable sessions), mirror apply, enqueue. An edit
+// is accepted — and therefore counted by Seq and visible to replay — exactly
+// when this returns nil.
+func (s *Solver) acceptLocked(op *pendingEdit) error {
+	if s.storeErr != nil {
+		return s.storeErr
+	}
+	if err := s.mirror.check(op); err != nil {
+		return wrapErr(err)
+	}
+	if err := s.journalLocked(op); err != nil {
+		return err
+	}
+	s.mirror.apply(op)
+	s.accepted++
+	s.pending = append(s.pending, *op)
 	return nil
 }
 

@@ -1,0 +1,273 @@
+package wgrap
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+)
+
+// durableEditScript applies the k-th scripted edit — cycling through all
+// five edit kinds — identically to any solver, durable or not, so journal
+// replay can be compared against an in-memory twin.
+func durableEditScript(t *testing.T, s *Solver, rng *rand.Rand, k int) {
+	t.Helper()
+	in := s.Instance()
+	P, R := in.NumPapers(), in.NumReviewers()
+	switch k % 5 {
+	case 0:
+		if err := s.AddConflict(rng.Intn(R), rng.Intn(P)); err != nil {
+			t.Fatalf("edit %d: %v", k, err)
+		}
+	case 1:
+		if err := s.WithdrawPaper(rng.Intn(P)); err != nil {
+			t.Fatalf("edit %d: %v", k, err)
+		}
+	case 2:
+		for p := 0; p < P; p++ {
+			if !s.Active(p) {
+				if err := s.RestorePaper(p); err != nil {
+					t.Fatalf("edit %d: %v", k, err)
+				}
+			}
+		}
+	case 3:
+		topics := make(Vector, len(in.Reviewers[0].Topics))
+		for i := range topics {
+			topics[i] = rng.Float64()
+		}
+		if _, err := s.AddReviewer(Reviewer{ID: "late", HIndex: 7, Topics: topics.Normalized()}); err != nil {
+			t.Fatalf("edit %d: %v", k, err)
+		}
+	case 4:
+		if err := s.SetWorkload(in.Workload + 1); err != nil {
+			t.Fatalf("edit %d: %v", k, err)
+		}
+	}
+}
+
+// TestDurableRestoreParity is the durability acceptance property: a random
+// edit script on a journaled session, Close, RestoreSolver — the restored
+// session must report the original Seq and its Resolve must match both the
+// original's last result and a cold solve of the identically edited
+// in-memory instance to 1e-9.
+func TestDurableRestoreParity(t *testing.T) {
+	for _, snapEvery := range []int{1000, 4} { // tail-heavy and compaction-heavy
+		rng := rand.New(rand.NewSource(77))
+		papers, reviewers := randomProblem(rng, 30, 22, 8)
+		in := NewInstance(papers, reviewers, 3, 0)
+		dir := t.TempDir()
+		opts := []Option{WithOmega(3), WithSeed(9), WithFsyncInterval(0), WithSnapshotEvery(snapEvery)}
+
+		s, err := NewSolver(in, append(opts, WithJournalDir(dir))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Solve(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		editRng := rand.New(rand.NewSource(31))
+		var last *Result
+		for k := 0; k < 12; k++ {
+			durableEditScript(t, s, editRng, k)
+			if k%4 == 3 { // interleave warm re-solves with the edits
+				if last, err = s.Resolve(context.Background()); err != nil {
+					t.Fatalf("edit %d: %v", k, err)
+				}
+			}
+		}
+		if last, err = s.Resolve(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		seq := s.Seq()
+		if seq == 0 {
+			t.Fatal("durable session accepted edits but Seq() == 0")
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddConflict(0, 0); err == nil {
+			t.Fatal("closed durable solver accepted an edit")
+		}
+
+		r, err := RestoreSolver(dir, opts...)
+		if err != nil {
+			t.Fatalf("snapEvery=%d: %v", snapEvery, err)
+		}
+		if got := r.Seq(); got != seq {
+			t.Fatalf("snapEvery=%d: restored Seq = %d, want %d", snapEvery, got, seq)
+		}
+		restored, err := r.Resolve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(restored.Score-last.Score) > 1e-9 {
+			t.Fatalf("snapEvery=%d: restored score %v != pre-close score %v", snapEvery, restored.Score, last.Score)
+		}
+
+		// Cold in-memory twin of the same edit history.
+		cold, err := NewSolver(in, opts[:2]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldRng := rand.New(rand.NewSource(31))
+		for k := 0; k < 12; k++ {
+			durableEditScript(t, cold, coldRng, k)
+		}
+		coldRes, err := cold.Solve(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(restored.Score-coldRes.Score) > 1e-9 {
+			t.Fatalf("snapEvery=%d: restored score %v != cold score %v", snapEvery, restored.Score, coldRes.Score)
+		}
+
+		// The restored session keeps journaling: another edit + close +
+		// restore round-trips.
+		if err := r.WithdrawPaper(0); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r2, err := RestoreSolver(dir, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r2.Seq(); got != seq+1 {
+			t.Fatalf("snapEvery=%d: Seq after restore+edit+restore = %d, want %d", snapEvery, got, seq+1)
+		}
+		if r2.Active(0) {
+			t.Fatal("withdrawal journaled after restore was lost")
+		}
+		r2.Close()
+	}
+}
+
+// TestDurableTornTailRecovery chops bytes off the journal (the residue of a
+// crash mid-write): RestoreSolver must come back at the surviving prefix's
+// sequence and stay consistent with an in-memory twin of that prefix.
+func TestDurableTornTailRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	papers, reviewers := randomProblem(rng, 18, 14, 6)
+	in := NewInstance(papers, reviewers, 3, 0)
+	dir := t.TempDir()
+	opts := []Option{WithOmega(3), WithSeed(4), WithFsyncInterval(0)}
+	s, err := NewSolver(in, append(opts, WithJournalDir(dir))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		if err := s.WithdrawPaper(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jpath := durable.JournalPath(dir)
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jpath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := RestoreSolver(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.Seq(); got != 3 {
+		t.Fatalf("Seq after torn tail = %d, want the 3-edit prefix", got)
+	}
+	if !r.Active(3) || r.Active(2) {
+		t.Fatal("torn-tail restore replayed the wrong withdrawal prefix")
+	}
+	if _, err := r.Resolve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableJournalRefusals covers the misuse surface: creating over
+// existing state, restoring from nothing, and journaling an instance whose
+// scoring function cannot be named.
+func TestDurableJournalRefusals(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	papers, reviewers := randomProblem(rng, 8, 6, 4)
+	in := NewInstance(papers, reviewers, 2, 0)
+	dir := t.TempDir()
+	s, err := NewSolver(in, WithJournalDir(dir), WithFsyncInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := NewSolver(in, WithJournalDir(dir)); !errors.Is(err, ErrJournalExists) {
+		t.Fatalf("NewSolver over existing journal: %v, want ErrJournalExists", err)
+	}
+	if _, err := RestoreSolver(filepath.Join(dir, "nope")); err == nil {
+		t.Fatal("RestoreSolver from an empty directory must fail")
+	}
+	custom := in.Clone()
+	custom.Score = func(g, p Vector) float64 { return 1 }
+	if _, err := NewSolver(custom, WithJournalDir(t.TempDir())); !errors.Is(err, ErrInvalidInstance) {
+		t.Fatalf("durable session with an unnamed score: %v, want ErrInvalidInstance", err)
+	}
+}
+
+// TestNonDurableCloseIsNoop: Close on an in-memory session leaves it usable.
+func TestNonDurableCloseIsNoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	papers, reviewers := randomProblem(rng, 8, 6, 4)
+	s, err := NewSolver(NewInstance(papers, reviewers, 2, 0), WithOmega(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WithdrawPaper(0); err != nil {
+		t.Fatalf("in-memory session unusable after Close: %v", err)
+	}
+	if _, err := s.Solve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableGroupCommitWindow exercises the flusher path end to end: a
+// positive fsync interval, edits, Sync, restore.
+func TestDurableGroupCommitWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	papers, reviewers := randomProblem(rng, 10, 8, 4)
+	in := NewInstance(papers, reviewers, 2, 0)
+	dir := t.TempDir()
+	s, err := NewSolver(in, WithJournalDir(dir), WithFsyncInterval(20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WithdrawPaper(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSolver(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Active(1) || r.Seq() != 1 {
+		t.Fatalf("group-commit session lost its synced edit: seq=%d", r.Seq())
+	}
+}

@@ -34,6 +34,10 @@ var (
 	// ErrInvalidEdit reports a session edit with out-of-range indices, a
 	// mismatched topic dimension, or a non-positive workload.
 	ErrInvalidEdit = errors.New("wgrap: invalid edit")
+	// ErrJournalExists reports that WithJournalDir points at a directory that
+	// already holds durable session state; restore it with RestoreSolver
+	// instead of overwriting.
+	ErrJournalExists = errors.New("wgrap: journal directory already holds session state")
 )
 
 // wrapErr maps internal-layer errors onto the public sentinels; context

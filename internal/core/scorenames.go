@@ -1,0 +1,54 @@
+package core
+
+import "reflect"
+
+// Score names identify the paper's four named scoring functions in
+// serialized contexts — instance wire payloads and durable session
+// snapshots — where a Go func value cannot travel. The empty name resolves
+// to WeightedCoverage, mirroring a nil Instance.Score.
+const (
+	ScoreWeightedCoverage = "weighted-coverage"
+	ScoreReviewerCoverage = "reviewer-coverage"
+	ScorePaperCoverage    = "paper-coverage"
+	ScoreDotProduct       = "dot-product"
+)
+
+// ScoreByName resolves a serialized score name to its function. The empty
+// name resolves to WeightedCoverage (the library-wide default); unknown
+// names report ok=false.
+func ScoreByName(name string) (ScoreFunc, bool) {
+	switch name {
+	case "", ScoreWeightedCoverage:
+		return WeightedCoverage, true
+	case ScoreReviewerCoverage:
+		return ReviewerCoverage, true
+	case ScorePaperCoverage:
+		return PaperCoverage, true
+	case ScoreDotProduct:
+		return DotProduct, true
+	}
+	return nil, false
+}
+
+// ScoreName returns the serialized name of fn when it is one of the four
+// named scoring functions (nil counts as WeightedCoverage), and "" with
+// ok=false for anything else — custom scoring functions have no wire or
+// snapshot representation.
+func ScoreName(fn ScoreFunc) (string, bool) {
+	if fn == nil {
+		return ScoreWeightedCoverage, true
+	}
+	// Func values are not comparable, but the code pointer of a top-level
+	// function is stable and unique among these four.
+	switch reflect.ValueOf(fn).Pointer() {
+	case reflect.ValueOf(WeightedCoverage).Pointer():
+		return ScoreWeightedCoverage, true
+	case reflect.ValueOf(ReviewerCoverage).Pointer():
+		return ScoreReviewerCoverage, true
+	case reflect.ValueOf(PaperCoverage).Pointer():
+		return ScorePaperCoverage, true
+	case reflect.ValueOf(DotProduct).Pointer():
+		return ScoreDotProduct, true
+	}
+	return "", false
+}

@@ -1,0 +1,278 @@
+package durable
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func testState(seq uint64) *State {
+	return &State{
+		Seq: seq,
+		Instance: &wire.Instance{
+			GroupSize: 2,
+			Workload:  3,
+			Papers:    []wire.Paper{{Topics: []float64{1, 0}}, {Topics: []float64{0, 1}}},
+			Reviewers: []wire.Reviewer{{Topics: []float64{1, 1}}, {Topics: []float64{0.5, 0.5}}},
+			Conflicts: [][2]int{{0, 1}},
+		},
+		Withdrawn: []int{1},
+	}
+}
+
+func testRecord(seq uint64) Record {
+	return Record{Seq: seq, Edit: wire.Edit{Op: wire.OpAddConflict, R: int(seq), P: 0}}
+}
+
+func mustCreate(t *testing.T, dir string, st *State, sync time.Duration) *Store {
+	t.Helper()
+	s, err := Create(dir, st, sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, testState(0), 0)
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := s.Append(testRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, st, tail, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st.Seq != 0 || len(st.Withdrawn) != 1 || st.Withdrawn[0] != 1 {
+		t.Fatalf("snapshot state mismatch: %+v", st)
+	}
+	if st.Instance.GroupSize != 2 || len(st.Instance.Papers) != 2 || len(st.Instance.Conflicts) != 1 {
+		t.Fatalf("snapshot instance mismatch: %+v", st.Instance)
+	}
+	if len(tail) != 5 {
+		t.Fatalf("want 5 journal records, got %d", len(tail))
+	}
+	for i, rec := range tail {
+		if rec.Seq != uint64(i+1) || rec.Edit.Op != wire.OpAddConflict || rec.Edit.R != i+1 {
+			t.Fatalf("record %d mismatch: %+v", i, rec)
+		}
+	}
+	// Appends continue after a reopen.
+	if err := s2.Append(testRecord(6)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	_, _, tail, err = openAndClose(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 6 {
+		t.Fatalf("want 6 records after reopen-append, got %d", len(tail))
+	}
+}
+
+func openAndClose(dir string) (*Store, *State, []Record, error) {
+	s, st, tail, err := Open(dir, 0)
+	if err == nil {
+		s.Close()
+	}
+	return s, st, tail, err
+}
+
+func TestCreateRefusesExistingState(t *testing.T) {
+	dir := t.TempDir()
+	mustCreate(t, dir, testState(0), 0).Close()
+	if _, err := Create(dir, testState(0), 0); err == nil {
+		t.Fatal("Create over existing state must fail")
+	}
+}
+
+func TestTruncatedTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, testState(0), 0)
+	for seq := uint64(1); seq <= 4; seq++ {
+		if err := s.Append(testRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	jpath := JournalPath(dir)
+	raw, err := os.ReadFile(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop a few bytes off the tail: the last record becomes torn.
+	if err := os.WriteFile(jpath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _, tail, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 3 {
+		t.Fatalf("want the 3-record valid prefix after a torn tail, got %d", len(tail))
+	}
+	// The torn tail was truncated away: a new append lands at seq 4 again
+	// and round-trips.
+	if err := s2.Append(testRecord(4)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	_, _, tail, err = openAndClose(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 4 || tail[3].Seq != 4 {
+		t.Fatalf("append after tail truncation did not extend the prefix: %+v", tail)
+	}
+}
+
+func TestCorruptChecksumStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, testState(0), 0)
+	var offsets []int64
+	for seq := uint64(1); seq <= 4; seq++ {
+		fi, _ := os.Stat(JournalPath(dir))
+		offsets = append(offsets, fi.Size())
+		if err := s.Append(testRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Flip one payload byte of record 3 (index 2): records 1-2 survive,
+	// 3 and everything after are dropped as a corrupt tail.
+	raw, err := os.ReadFile(JournalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[offsets[2]+frameHeader+2] ^= 0xFF
+	if err := os.WriteFile(JournalPath(dir), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, _, tail, err := openAndClose(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 2 {
+		t.Fatalf("want the 2-record prefix before the corrupt record, got %d", len(tail))
+	}
+}
+
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, testState(0), 0)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := s.Append(testRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.SinceCompact(); got != 3 {
+		t.Fatalf("SinceCompact = %d, want 3", got)
+	}
+	if err := s.Compact(testState(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SinceCompact(); got != 0 {
+		t.Fatalf("SinceCompact after Compact = %d, want 0", got)
+	}
+	// Post-compaction appends carry on from the compacted sequence.
+	if err := s.Append(testRecord(4)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	_, st, tail, err := openAndClose(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 3 {
+		t.Fatalf("snapshot seq = %d, want 3", st.Seq)
+	}
+	if len(tail) != 1 || tail[0].Seq != 4 {
+		t.Fatalf("post-compaction tail mismatch: %+v", tail)
+	}
+}
+
+// TestCompactionCrashBeforeTruncate simulates a crash between the snapshot
+// rename and the journal truncation: stale records with seq <= snapshot.Seq
+// must be skipped by the sequence filter on replay.
+func TestCompactionCrashBeforeTruncate(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, testState(0), 0)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := s.Append(testRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The crash-equivalent: new snapshot lands, journal keeps its records.
+	if err := writeSnapshot(dir, testState(2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	_, st, tail, err := openAndClose(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 2 {
+		t.Fatalf("snapshot seq = %d, want 2", st.Seq)
+	}
+	if len(tail) != 1 || tail[0].Seq != 3 {
+		t.Fatalf("want only record 3 past the snapshot, got %+v", tail)
+	}
+}
+
+func TestGroupCommitSyncAndClose(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, testState(0), 50*time.Millisecond)
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := s.Append(testRecord(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Double close is a no-op.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, tail, err := openAndClose(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tail) != 3 {
+		t.Fatalf("want 3 records after group-commit close, got %d", len(tail))
+	}
+}
+
+func TestJournalGapDetected(t *testing.T) {
+	dir := t.TempDir()
+	s := mustCreate(t, dir, testState(0), 0)
+	if err := s.Append(testRecord(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord(3)); err != nil { // seq 2 missing
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, _, _, err := openAndClose(dir); err == nil {
+		t.Fatal("a sequence gap must fail Open")
+	}
+}

@@ -1,0 +1,353 @@
+// Package durable persists a solver session as a snapshot plus an
+// append-only edit journal, so a killed or redeployed process replays back
+// to the exact warm state: snapshot ∘ journal ≡ the accepted-edit history.
+//
+// Layout of a session directory:
+//
+//	snapshot — one framed JSON State record, replaced atomically
+//	           (write tmp, fsync, rename) at creation and at every
+//	           compaction
+//	journal.wal — framed JSON Record entries, append-only, fsynced either
+//	           per record (SyncInterval <= 0) or by a group-commit flusher
+//
+// Every record carries the session's edit sequence number; the snapshot
+// records the sequence it includes. Replay loads the snapshot and applies
+// the journal records with a higher sequence, which makes compaction
+// crash-safe without coordination: a crash between the snapshot rename and
+// the journal truncation merely leaves already-included records behind, and
+// the sequence filter skips them.
+//
+// This journal is the durability layer of serving sessions (wgrap.Solver
+// and wgrap-serve tenants). It is unrelated to cmd/wgrap-journal, the
+// paper-track CLI for Journal Reviewer Assignment — "journal" there means an
+// academic journal's single-paper assignment problem.
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+const (
+	snapshotFile = "snapshot"
+	journalFile  = "journal.wal"
+)
+
+// State is the snapshot payload: the full instance (conflicts included),
+// the withdrawn-paper set and the edit sequence number the snapshot covers.
+type State struct {
+	Seq       uint64         `json:"seq"`
+	Instance  *wire.Instance `json:"instance"`
+	Withdrawn []int          `json:"withdrawn,omitempty"`
+}
+
+// Record is one journaled edit.
+type Record struct {
+	Seq  uint64    `json:"seq"`
+	Edit wire.Edit `json:"edit"`
+}
+
+// Store is the open handle of a session directory: it appends journal
+// records, batches fsyncs, and rewrites the snapshot at compaction.
+type Store struct {
+	dir          string
+	syncInterval time.Duration
+
+	mu           sync.Mutex
+	f            *os.File
+	dirty        bool // written records not yet fsynced
+	sinceCompact int
+	closed       bool
+	err          error // sticky write/fsync failure
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Exists reports whether dir holds durable session state.
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, snapshotFile))
+	return err == nil
+}
+
+// Create initialises dir (created if missing) with the initial snapshot and
+// an empty journal, both synced before it returns. It fails when dir
+// already holds a session — restore with Open instead of overwriting.
+func Create(dir string, st *State, syncInterval time.Duration) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if Exists(dir) {
+		return nil, fmt.Errorf("durable: %s already holds session state (open it instead)", dir)
+	}
+	if err := writeSnapshot(dir, st); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, journalFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return newStore(dir, f, syncInterval), nil
+}
+
+// Open loads the snapshot and the valid journal prefix of dir and returns
+// the store positioned for further appends, the snapshot state, and the
+// journal records newer than the snapshot in append order. A torn tail
+// (truncated or checksum-failing suffix, the residue of a crash) is
+// discarded and truncated away so new appends continue from the valid
+// prefix.
+func Open(dir string, syncInterval time.Duration) (*Store, *State, []Record, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("durable: reading snapshot: %w", err)
+	}
+	payload, err := readSingleFrame(raw, "snapshot")
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := &State{}
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, nil, nil, fmt.Errorf("durable: decoding snapshot: %w", err)
+	}
+
+	jpath := filepath.Join(dir, journalFile)
+	jraw, err := os.ReadFile(jpath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, nil, fmt.Errorf("durable: reading journal: %w", err)
+	}
+	payloads, validLen := readFrames(jraw)
+	var tail []Record
+	last := st.Seq
+	for _, p := range payloads {
+		var rec Record
+		if err := json.Unmarshal(p, &rec); err != nil {
+			return nil, nil, nil, fmt.Errorf("durable: decoding journal record: %w", err)
+		}
+		if rec.Seq <= st.Seq {
+			continue // included in the snapshot (pre-compaction residue)
+		}
+		if rec.Seq != last+1 {
+			return nil, nil, nil, fmt.Errorf("durable: journal gap: record seq %d after %d", rec.Seq, last)
+		}
+		last = rec.Seq
+		tail = append(tail, rec)
+	}
+
+	f, err := os.OpenFile(jpath, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if validLen < len(jraw) {
+		if err := f.Truncate(int64(validLen)); err != nil {
+			f.Close()
+			return nil, nil, nil, fmt.Errorf("durable: truncating torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(validLen), 0); err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
+	return newStore(dir, f, syncInterval), st, tail, nil
+}
+
+func newStore(dir string, f *os.File, syncInterval time.Duration) *Store {
+	s := &Store{dir: dir, f: f, syncInterval: syncInterval}
+	if syncInterval > 0 {
+		s.flushStop = make(chan struct{})
+		s.flushDone = make(chan struct{})
+		go s.flushLoop()
+	}
+	return s
+}
+
+// flushLoop is the group-commit flusher: it fsyncs the journal every
+// SyncInterval while records were written since the last sync. Append
+// acknowledges before the fsync in this mode, so a crash can lose at most
+// the last interval's worth of accepted edits — the documented group-commit
+// window.
+func (s *Store) flushLoop() {
+	defer close(s.flushDone)
+	tick := time.NewTicker(s.syncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.flushStop:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			if s.dirty && s.err == nil && !s.closed {
+				if err := s.f.Sync(); err != nil {
+					s.err = fmt.Errorf("durable: journal fsync: %w", err)
+				}
+				s.dirty = false
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Append writes one record to the journal. With SyncInterval <= 0 it
+// returns only after the record is fsynced (every acknowledged edit is
+// durable); otherwise the flusher syncs it within the group-commit window.
+// A write or sync failure is sticky: the store refuses further appends so a
+// half-durable session cannot keep acknowledging edits.
+func (s *Store) Append(rec Record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	frame := appendFrame(nil, payload)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("durable: store is closed")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if _, err := s.f.Write(frame); err != nil {
+		s.err = fmt.Errorf("durable: journal write: %w", err)
+		return s.err
+	}
+	s.sinceCompact++
+	if s.syncInterval > 0 {
+		s.dirty = true
+		return nil
+	}
+	if err := s.f.Sync(); err != nil {
+		s.err = fmt.Errorf("durable: journal fsync: %w", err)
+		return s.err
+	}
+	return nil
+}
+
+// SinceCompact returns how many records were appended since the last
+// snapshot (the compaction trigger).
+func (s *Store) SinceCompact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sinceCompact
+}
+
+// Compact atomically replaces the snapshot with st and resets the journal.
+// The caller must guarantee st covers every appended record (st.Seq equals
+// the last appended sequence) and that no append runs concurrently. Crash
+// order is safe: the snapshot rename lands first, so a crash before the
+// journal truncation only leaves records the sequence filter skips.
+func (s *Store) Compact(st *State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("durable: store is closed")
+	}
+	if s.err != nil {
+		return s.err
+	}
+	if err := writeSnapshot(s.dir, st); err != nil {
+		return err
+	}
+	if err := s.f.Truncate(0); err != nil {
+		s.err = fmt.Errorf("durable: truncating journal at compaction: %w", err)
+		return s.err
+	}
+	if _, err := s.f.Seek(0, 0); err != nil {
+		s.err = err
+		return err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.err = fmt.Errorf("durable: journal fsync: %w", err)
+		return s.err
+	}
+	s.dirty = false
+	s.sinceCompact = 0
+	return nil
+}
+
+// Sync forces an fsync of the journal, flushing the group-commit window.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.err != nil || !s.dirty {
+		return s.err
+	}
+	if err := s.f.Sync(); err != nil {
+		s.err = fmt.Errorf("durable: journal fsync: %w", err)
+	}
+	s.dirty = false
+	return s.err
+}
+
+// Close flushes and closes the journal and stops the flusher goroutine.
+// Idempotent.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	var err error
+	if s.dirty && s.err == nil {
+		err = s.f.Sync()
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	if s.err != nil && err == nil {
+		err = s.err
+	}
+	s.mu.Unlock()
+	if s.flushStop != nil {
+		close(s.flushStop)
+		<-s.flushDone
+	}
+	return err
+}
+
+// writeSnapshot atomically replaces dir's snapshot: framed payload to a tmp
+// file, fsync, rename, fsync the directory.
+func writeSnapshot(dir string, st *State) error {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, snapshotFile+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(appendFrame(nil, payload)); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapshotFile)); err != nil {
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// JournalPath returns the journal file of a session directory (exposed for
+// crash-recovery tests that corrupt or truncate the tail).
+func JournalPath(dir string) string { return filepath.Join(dir, journalFile) }

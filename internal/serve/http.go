@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	wgrap "repro"
+	"repro/internal/wire"
+)
+
+// Handler builds the HTTP API over a registry. Routes (all JSON except the
+// SSE stream):
+//
+//	GET    /v1/healthz                          liveness
+//	POST   /v1/tenants                          create tenant (CreateRequest)
+//	GET    /v1/tenants                          list tenant ids
+//	GET    /v1/tenants/{id}                     tenant status
+//	DELETE /v1/tenants/{id}                     close + unregister tenant
+//	POST   /v1/tenants/{id}/edits               apply an edit batch
+//	POST   /v1/tenants/{id}/solve               cold solve (blocking)
+//	POST   /v1/tenants/{id}/resolve             warm re-solve (blocking)
+//	POST   /v1/tenants/{id}/resolve-async       enqueue re-solve, returns ticket
+//	GET    /v1/tenants/{id}/tickets/{ticket}    poll an async resolve
+//	GET    /v1/tenants/{id}/view                latest published View (lock-free)
+//	GET    /v1/tenants/{id}/result              latest Result (lock-free)
+//	GET    /v1/tenants/{id}/progress            SSE stream of anytime snapshots
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("POST /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		var req wire.CreateRequest
+		if !readJSON(w, r, &req) {
+			return
+		}
+		t, err := reg.Create(&req)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, StatusOf(t))
+	})
+	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, wire.TenantList{Tenants: reg.List()})
+	})
+	mux.HandleFunc("GET /v1/tenants/{id}", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+		writeJSON(w, http.StatusOK, StatusOf(t))
+	}))
+	mux.HandleFunc("DELETE /v1/tenants/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := reg.Delete(r.PathValue("id")); err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+	})
+	mux.HandleFunc("POST /v1/tenants/{id}/edits", withTenant(reg, handleEdits))
+	mux.HandleFunc("POST /v1/tenants/{id}/solve", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+		res, err := t.Solver.Solve(r.Context())
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ResultOf(res))
+	}))
+	mux.HandleFunc("POST /v1/tenants/{id}/resolve", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+		res, err := t.Solver.Resolve(r.Context())
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, ResultOf(res))
+	}))
+	mux.HandleFunc("POST /v1/tenants/{id}/resolve-async", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+		token := reg.NewTicket(t, t.Solver.ResolveAsync())
+		writeJSON(w, http.StatusAccepted, wire.Ticket{Ticket: token})
+	}))
+	mux.HandleFunc("GET /v1/tenants/{id}/tickets/{ticket}", withTenant(reg, handleTicket))
+	mux.HandleFunc("GET /v1/tenants/{id}/view", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+		writeJSON(w, http.StatusOK, ViewOf(t.Solver.View()))
+	}))
+	mux.HandleFunc("GET /v1/tenants/{id}/result", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+		res := t.Solver.Result()
+		if res == nil {
+			writeErr(w, fmt.Errorf("%w: tenant has no published result yet", ErrTenantNotFound))
+			return
+		}
+		writeJSON(w, http.StatusOK, ResultOf(res))
+	}))
+	mux.HandleFunc("GET /v1/tenants/{id}/progress", withTenant(reg, handleProgress))
+	return mux
+}
+
+// withTenant resolves the {id} path segment before invoking h.
+func withTenant(reg *Registry, h func(http.ResponseWriter, *http.Request, *Tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, err := reg.Get(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		h(w, r, t)
+	}
+}
+
+// handleEdits applies one edit batch in order. The batch is not atomic —
+// edits before the failing one stay accepted (and journaled), exactly like a
+// sequence of mutator calls on the embedded Solver; the response reports how
+// many were accepted so the client can resume.
+func handleEdits(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	var req wire.EditRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := ApplyEdits(t, req.Edits)
+	if err != nil {
+		writeEditErr(w, err, resp.Accepted)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ApplyEdits applies one edit batch to a tenant's session in order, shared
+// by the HTTP handler and the in-process (mem://) client. It stops at the
+// first rejected edit; the returned response always counts the accepted
+// prefix (edits are not transactional — accepted ones stay applied and
+// journaled, like consecutive mutator calls).
+func ApplyEdits(t *Tenant, edits []wire.Edit) (*wire.EditResponse, error) {
+	resp := &wire.EditResponse{}
+	for _, e := range edits {
+		var err error
+		switch e.Op {
+		case wire.OpAddConflict:
+			err = t.Solver.AddConflict(e.R, e.P)
+		case wire.OpWithdraw:
+			err = t.Solver.WithdrawPaper(e.P)
+		case wire.OpRestore:
+			err = t.Solver.RestorePaper(e.P)
+		case wire.OpAddReviewer:
+			if e.Reviewer == nil {
+				err = fmt.Errorf("%w: add-reviewer without a reviewer", wgrap.ErrInvalidEdit)
+				break
+			}
+			var idx int
+			idx, err = t.Solver.AddReviewer(wgrap.Reviewer{
+				ID: e.Reviewer.ID, Name: e.Reviewer.Name,
+				HIndex: e.Reviewer.HIndex, Topics: e.Reviewer.Topics,
+			})
+			if err == nil {
+				resp.ReviewerIndices = append(resp.ReviewerIndices, idx)
+			}
+		case wire.OpSetWorkload:
+			err = t.Solver.SetWorkload(e.Workload)
+		default:
+			err = fmt.Errorf("%w: unknown op %q", wgrap.ErrInvalidEdit, e.Op)
+		}
+		if err != nil {
+			return resp, err
+		}
+		resp.Accepted++
+	}
+	return resp, nil
+}
+
+// handleTicket reports an async resolve's state without blocking: done-ness
+// is a non-blocking read of the ticket's completion channel.
+func handleTicket(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	tk, ok := t.Ticket(r.PathValue("ticket"))
+	if !ok {
+		writeErr(w, fmt.Errorf("%w: ticket %q", ErrTenantNotFound, r.PathValue("ticket")))
+		return
+	}
+	st := wire.TicketStatus{}
+	select {
+	case <-tk.Done():
+		st.Done = true
+		res, err := tk.Wait(r.Context()) // completed: returns immediately
+		if err != nil {
+			st.Error = ToWireError(err)
+		} else {
+			st.Version = tk.Version()
+			st.Result = ResultOf(res)
+		}
+	default:
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleProgress streams the tenant's anytime snapshots as Server-Sent
+// Events until the client disconnects or the tenant shuts down. Events are
+// metrics-only (wire.Progress); assignments travel through the view
+// endpoint.
+func handleProgress(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, errors.New("serve: streaming unsupported by this connection"))
+		return
+	}
+	ch, cancel := t.hub.subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p, open := <-ch:
+			if !open {
+				return
+			}
+			raw, err := json.Marshal(p)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "event: progress\ndata: %s\n\n", raw); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+// StatusOf assembles a tenant's wire status from its lock-free read surface.
+func StatusOf(t *Tenant) wire.Status {
+	in := t.Solver.Instance()
+	return wire.Status{
+		ID:        t.ID,
+		Papers:    in.NumPapers(),
+		Reviewers: in.NumReviewers(),
+		Active:    t.Solver.ActivePapers(),
+		Seq:       t.Solver.Seq(),
+		Version:   t.Solver.View().Version,
+		Durable:   t.Durable,
+	}
+}
+
+// ResultOf converts a solver result to its wire form.
+func ResultOf(res *wgrap.Result) *wire.Result {
+	if res == nil {
+		return nil
+	}
+	return &wire.Result{
+		Score:           res.Score,
+		AverageCoverage: res.AverageCoverage,
+		LowestCoverage:  res.LowestCoverage,
+		ElapsedNS:       int64(res.Elapsed),
+		Method:          string(res.Method),
+		Groups:          res.Assignment.Groups,
+	}
+}
+
+// ViewOf converts a published view to its wire form.
+func ViewOf(v *wgrap.View) wire.View {
+	return wire.View{
+		Version:    v.Version,
+		Warm:       v.Warm,
+		Edits:      v.Edits,
+		WhenUnixNS: v.When.UnixNano(),
+		Result:     ResultOf(v.Result),
+	}
+}
+
+// ToWireError classifies err into the wire error envelope.
+func ToWireError(err error) *wire.Error {
+	code := wire.CodeInternal
+	switch {
+	case errors.Is(err, wgrap.ErrInvalidEdit):
+		code = wire.CodeInvalidEdit
+	case errors.Is(err, wgrap.ErrConflictSaturated):
+		code = wire.CodeConflictSaturated
+	case errors.Is(err, wgrap.ErrInfeasible):
+		code = wire.CodeInfeasible
+	case errors.Is(err, wgrap.ErrInvalidInstance), errors.Is(err, ErrBadTenantID):
+		code = wire.CodeInvalidInstance
+	case errors.Is(err, wgrap.ErrUnknownMethod):
+		code = wire.CodeUnknownMethod
+	case errors.Is(err, ErrTenantNotFound):
+		code = wire.CodeNotFound
+	case errors.Is(err, ErrTenantExists), errors.Is(err, wgrap.ErrJournalExists):
+		code = wire.CodeTenantExists
+	}
+	return &wire.Error{Code: code, Message: err.Error()}
+}
+
+// httpStatus maps wire error codes to HTTP statuses.
+func httpStatus(code string) int {
+	switch code {
+	case wire.CodeInvalidEdit, wire.CodeInvalidInstance, wire.CodeUnknownMethod:
+		return http.StatusBadRequest
+	case wire.CodeConflictSaturated, wire.CodeInfeasible, wire.CodeTenantExists:
+		return http.StatusConflict
+	case wire.CodeNotFound:
+		return http.StatusNotFound
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	we := ToWireError(err)
+	writeJSON(w, httpStatus(we.Code), we)
+}
+
+// writeEditErr is writeErr plus the accepted-edit count, so a partially
+// applied batch is reported precisely (edits are not transactional).
+func writeEditErr(w http.ResponseWriter, err error, accepted int) {
+	we := ToWireError(err)
+	writeJSON(w, httpStatus(we.Code), struct {
+		*wire.Error
+		Accepted int `json:"accepted"`
+	}{we, accepted})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, fmt.Errorf("%w: decoding request body: %v", wgrap.ErrInvalidInstance, err))
+		return false
+	}
+	return true
+}

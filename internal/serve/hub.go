@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// hub fans one tenant's progress snapshots out to its SSE subscribers.
+// broadcast runs on the solving goroutine (inside the solve lock), so it
+// must never block: every subscriber gets a buffered channel and a slow one
+// loses events rather than stalling the solve — progress is a lossy metrics
+// stream by design, the authoritative state is the View.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan wire.Progress]struct{}
+	closed bool
+}
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan wire.Progress]struct{})}
+}
+
+// subscribe registers a new subscriber. The returned cancel function is
+// idempotent and safe to call concurrently with broadcasts; after cancel
+// the channel is closed.
+func (h *hub) subscribe() (<-chan wire.Progress, func()) {
+	ch := make(chan wire.Progress, 64)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if _, ok := h.subs[ch]; ok {
+				delete(h.subs, ch)
+				close(ch)
+			}
+			h.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// broadcast delivers p to every subscriber without blocking.
+func (h *hub) broadcast(p wire.Progress) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ch := range h.subs {
+		select {
+		case ch <- p:
+		default: // slow subscriber: drop
+		}
+	}
+}
+
+// closeAll closes every subscriber channel (tenant deleted / server
+// shutdown), ending their SSE streams.
+func (h *hub) closeAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.closed = true
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		close(ch)
+	}
+}

@@ -1,0 +1,432 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	wgrap "repro"
+	"repro/internal/wire"
+)
+
+func testWireInstance(p, r, t int, seed int64) *wire.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	vec := func() []float64 {
+		v := make(wgrap.Vector, t)
+		for i := range v {
+			v[i] = rng.Float64()
+		}
+		return v.Normalized()
+	}
+	in := &wire.Instance{GroupSize: 3}
+	for i := 0; i < p; i++ {
+		in.Papers = append(in.Papers, wire.Paper{ID: fmt.Sprintf("p%d", i), Topics: vec()})
+	}
+	for i := 0; i < r; i++ {
+		in.Reviewers = append(in.Reviewers, wire.Reviewer{ID: fmt.Sprintf("r%d", i), Topics: vec()})
+	}
+	return in
+}
+
+type testServer struct {
+	t   *testing.T
+	reg *Registry
+	srv *httptest.Server
+}
+
+func newTestServer(t *testing.T, dataDir string) *testServer {
+	t.Helper()
+	reg, err := NewRegistry(dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(reg))
+	t.Cleanup(func() { srv.Close(); reg.Close() })
+	return &testServer{t: t, reg: reg, srv: srv}
+}
+
+// do issues one JSON request and decodes the response into out (skipped when
+// nil), asserting the expected status.
+func (ts *testServer) do(method, path string, body, out any, wantStatus int) {
+	ts.t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			ts.t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, ts.srv.URL+path, &buf)
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		ts.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var raw bytes.Buffer
+		raw.ReadFrom(resp.Body)
+		ts.t.Fatalf("%s %s: status %d, want %d (body %s)", method, path, resp.StatusCode, wantStatus, raw.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			ts.t.Fatal(err)
+		}
+	}
+}
+
+func (ts *testServer) createTenant(id string, in *wire.Instance, cfg wire.TenantConfig) {
+	ts.t.Helper()
+	var st wire.Status
+	ts.do("POST", "/v1/tenants", wire.CreateRequest{ID: id, Instance: in, Config: cfg}, &st, http.StatusCreated)
+	if st.ID != id || st.Papers != len(in.Papers) {
+		ts.t.Fatalf("create status mismatch: %+v", st)
+	}
+}
+
+func TestServerLifecycle(t *testing.T) {
+	ts := newTestServer(t, "")
+	in := testWireInstance(16, 12, 6, 1)
+	cfg := wire.TenantConfig{Omega: 3, Seed: 9}
+	ts.createTenant("icde", in, cfg)
+
+	// Duplicate id is refused.
+	ts.do("POST", "/v1/tenants", wire.CreateRequest{ID: "icde", Instance: in}, nil, http.StatusConflict)
+	// Bad id is refused.
+	ts.do("POST", "/v1/tenants", wire.CreateRequest{ID: "no/slash", Instance: in}, nil, http.StatusBadRequest)
+
+	var list wire.TenantList
+	ts.do("GET", "/v1/tenants", nil, &list, http.StatusOK)
+	if len(list.Tenants) != 1 || list.Tenants[0] != "icde" {
+		t.Fatalf("tenant list mismatch: %+v", list)
+	}
+
+	// Cold solve over HTTP matches the embedded solver on the same instance.
+	var res wire.Result
+	ts.do("POST", "/v1/tenants/icde/solve", nil, &res, http.StatusOK)
+	coreIn, err := in.ToInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload := coreIn.MinWorkload() // a zero wire workload resolves to the minimum
+	ref, err := wgrap.NewSolver(coreIn, wgrap.WithOmega(3), wgrap.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Solve(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score-refRes.Score) > 1e-9 {
+		t.Fatalf("HTTP solve score %v != embedded score %v", res.Score, refRes.Score)
+	}
+	if len(res.Groups) != 16 {
+		t.Fatalf("result groups missing: %d", len(res.Groups))
+	}
+
+	// Edits + warm resolve, against the same embedded reference.
+	edits := wire.EditRequest{Edits: []wire.Edit{
+		{Op: wire.OpAddConflict, R: 1, P: 2},
+		{Op: wire.OpWithdraw, P: 5},
+		{Op: wire.OpSetWorkload, Workload: workload + 1},
+	}}
+	var eresp wire.EditResponse
+	ts.do("POST", "/v1/tenants/icde/edits", edits, &eresp, http.StatusOK)
+	if eresp.Accepted != 3 {
+		t.Fatalf("accepted %d edits, want 3", eresp.Accepted)
+	}
+	ts.do("POST", "/v1/tenants/icde/resolve", nil, &res, http.StatusOK)
+	if err := ref.AddConflict(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.WithdrawPaper(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.SetWorkload(workload + 1); err != nil {
+		t.Fatal(err)
+	}
+	if refRes, err = ref.Resolve(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score-refRes.Score) > 1e-9 {
+		t.Fatalf("HTTP warm resolve score %v != embedded %v", res.Score, refRes.Score)
+	}
+
+	// View reflects the published state, lock-free.
+	var view wire.View
+	ts.do("GET", "/v1/tenants/icde/view", nil, &view, http.StatusOK)
+	if view.Version != 2 || !view.Warm || view.Result == nil {
+		t.Fatalf("view mismatch: %+v", view)
+	}
+	var st wire.Status
+	ts.do("GET", "/v1/tenants/icde", nil, &st, http.StatusOK)
+	if st.Seq != 3 || st.Active != 15 || st.Version != 2 || st.Durable {
+		t.Fatalf("status mismatch: %+v", st)
+	}
+
+	// Invalid edit: the batch reports the accepted prefix.
+	bad := wire.EditRequest{Edits: []wire.Edit{
+		{Op: wire.OpWithdraw, P: 1},
+		{Op: wire.OpAddConflict, R: -1, P: 0},
+	}}
+	ts.do("POST", "/v1/tenants/icde/edits", bad, nil, http.StatusBadRequest)
+
+	// Delete, then 404.
+	ts.do("DELETE", "/v1/tenants/icde", nil, nil, http.StatusOK)
+	ts.do("GET", "/v1/tenants/icde", nil, nil, http.StatusNotFound)
+}
+
+func TestServerAsyncTicket(t *testing.T) {
+	ts := newTestServer(t, "")
+	ts.createTenant("kdd", testWireInstance(14, 10, 5, 2), wire.TenantConfig{Omega: 3})
+
+	ts.do("POST", "/v1/tenants/kdd/edits",
+		wire.EditRequest{Edits: []wire.Edit{{Op: wire.OpWithdraw, P: 3}}}, nil, http.StatusOK)
+	var tk wire.Ticket
+	ts.do("POST", "/v1/tenants/kdd/resolve-async", nil, &tk, http.StatusAccepted)
+	if tk.Ticket == "" {
+		t.Fatal("empty ticket token")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var st wire.TicketStatus
+	for {
+		ts.do("GET", "/v1/tenants/kdd/tickets/"+tk.Ticket, nil, &st, http.StatusOK)
+		if st.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async resolve never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Error != nil || st.Result == nil || st.Version == 0 {
+		t.Fatalf("ticket status mismatch: %+v", st)
+	}
+	// The published view is at least the ticket's version.
+	var view wire.View
+	ts.do("GET", "/v1/tenants/kdd/view", nil, &view, http.StatusOK)
+	if view.Version < st.Version {
+		t.Fatalf("view version %d behind ticket version %d", view.Version, st.Version)
+	}
+	ts.do("GET", "/v1/tenants/kdd/tickets/tk-unknown", nil, nil, http.StatusNotFound)
+}
+
+// TestServerProgressSSE subscribes to the progress stream and checks that a
+// solve emits at least the construction snapshot as a well-formed SSE event.
+func TestServerProgressSSE(t *testing.T) {
+	ts := newTestServer(t, "")
+	ts.createTenant("vldb", testWireInstance(14, 10, 5, 3), wire.TenantConfig{Omega: 3})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.srv.URL+"/v1/tenants/vldb/progress", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	events := make(chan wire.Progress, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if data, ok := strings.CutPrefix(line, "data: "); ok {
+				var p wire.Progress
+				if json.Unmarshal([]byte(data), &p) == nil {
+					events <- p
+				}
+			}
+		}
+	}()
+
+	ts.do("POST", "/v1/tenants/vldb/solve", nil, nil, http.StatusOK)
+	select {
+	case p := <-events:
+		if p.Phase != "construct" {
+			t.Fatalf("first progress phase = %q, want construct", p.Phase)
+		}
+		if p.Score <= 0 {
+			t.Fatalf("construct snapshot score = %v", p.Score)
+		}
+	case <-ctx.Done():
+		t.Fatal("no SSE progress event arrived for a completed solve")
+	}
+}
+
+// TestServerDurableRestart is the in-process restart property behind the CI
+// crash test: a registry with a data directory, edits, close, fresh registry
+// over the same directory — the tenant comes back at the same Seq and its
+// resolve matches the pre-restart result at 1e-9.
+func TestServerDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	in := testWireInstance(16, 12, 6, 4)
+	cfg := wire.TenantConfig{Omega: 3, Seed: 7, FsyncIntervalNS: -1}
+
+	ts := newTestServer(t, dir)
+	ts.createTenant("www", in, cfg)
+	ts.do("POST", "/v1/tenants/www/edits", wire.EditRequest{Edits: []wire.Edit{
+		{Op: wire.OpAddConflict, R: 2, P: 1},
+		{Op: wire.OpWithdraw, P: 7},
+	}}, nil, http.StatusOK)
+	var before wire.Result
+	ts.do("POST", "/v1/tenants/www/solve", nil, &before, http.StatusOK)
+	var st wire.Status
+	ts.do("GET", "/v1/tenants/www", nil, &st, http.StatusOK)
+	if !st.Durable || st.Seq != 2 {
+		t.Fatalf("pre-restart status: %+v", st)
+	}
+	ts.srv.Close()
+	if err := ts.reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts2 := newTestServer(t, dir)
+	var st2 wire.Status
+	ts2.do("GET", "/v1/tenants/www", nil, &st2, http.StatusOK)
+	if st2.Seq != st.Seq || !st2.Durable {
+		t.Fatalf("restored status %+v, want seq %d", st2, st.Seq)
+	}
+	var after wire.Result
+	ts2.do("POST", "/v1/tenants/www/resolve", nil, &after, http.StatusOK)
+	if math.Abs(after.Score-before.Score) > 1e-9 {
+		t.Fatalf("restored resolve score %v != pre-restart %v", after.Score, before.Score)
+	}
+	// Re-creating a tenant whose durable state survives is refused.
+	ts2.do("POST", "/v1/tenants", wire.CreateRequest{ID: "www", Instance: in}, nil, http.StatusConflict)
+}
+
+// TestServerConcurrentClients hammers one tenant from many goroutines —
+// edits, async resolves, ticket polls, views, statuses — and then checks
+// convergence: a final resolve answers with every accepted edit applied.
+// Run under -race in CI.
+func TestServerConcurrentClients(t *testing.T) {
+	ts := newTestServer(t, "")
+	ts.createTenant("sigmod", testWireInstance(20, 16, 6, 5), wire.TenantConfig{Omega: 3})
+	ts.do("POST", "/v1/tenants/sigmod/solve", nil, nil, http.StatusOK)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				switch i % 3 {
+				case 0:
+					ts.do("POST", "/v1/tenants/sigmod/edits", wire.EditRequest{Edits: []wire.Edit{
+						{Op: wire.OpAddConflict, R: (w*7 + i) % 16, P: (w*3 + i) % 20},
+					}}, nil, http.StatusOK)
+				case 1:
+					var tk wire.Ticket
+					ts.do("POST", "/v1/tenants/sigmod/resolve-async", nil, &tk, http.StatusAccepted)
+					ts.do("GET", "/v1/tenants/sigmod/tickets/"+tk.Ticket, nil, nil, http.StatusOK)
+				case 2:
+					var view wire.View
+					ts.do("GET", "/v1/tenants/sigmod/view", nil, &view, http.StatusOK)
+					var st wire.Status
+					ts.do("GET", "/v1/tenants/sigmod", nil, &st, http.StatusOK)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var st wire.Status
+	ts.do("GET", "/v1/tenants/sigmod", nil, &st, http.StatusOK)
+	if st.Seq != workers*2 { // 2 edit rounds per worker
+		t.Fatalf("Seq = %d, want %d accepted edits", st.Seq, workers*2)
+	}
+	var res wire.Result
+	ts.do("POST", "/v1/tenants/sigmod/resolve", nil, &res, http.StatusOK)
+	if res.Score <= 0 {
+		t.Fatalf("post-hammer resolve score = %v", res.Score)
+	}
+}
+
+// TestCleanShutdownNoGoroutineLeak is the leak gate behind the CI server
+// job: a full workload — durable tenant, solves, SSE subscriber, async
+// tickets — then registry close, after which the goroutine count must return
+// to its baseline (the solver's worker pools and the journal flusher all
+// tie their lifetime to the session).
+func TestCleanShutdownNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	reg, err := NewRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(Handler(reg))
+	ts := &testServer{t: t, reg: reg, srv: srv}
+	ts.createTenant("leak", testWireInstance(14, 10, 5, 6), wire.TenantConfig{Omega: 3, FsyncIntervalNS: int64(time.Millisecond)})
+
+	// SSE subscriber held open across a solve.
+	sseCtx, sseCancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(sseCtx, "GET", srv.URL+"/v1/tenants/leak/progress", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts.do("POST", "/v1/tenants/leak/solve", nil, nil, http.StatusOK)
+	ts.do("POST", "/v1/tenants/leak/edits",
+		wire.EditRequest{Edits: []wire.Edit{{Op: wire.OpWithdraw, P: 2}}}, nil, http.StatusOK)
+	var tk wire.Ticket
+	ts.do("POST", "/v1/tenants/leak/resolve-async", nil, &tk, http.StatusAccepted)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var st wire.TicketStatus
+		ts.do("GET", "/v1/tenants/leak/tickets/"+tk.Ticket, nil, &st, http.StatusOK)
+		if st.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async resolve never completed")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	sseCancel()
+	resp.Body.Close()
+	srv.Close()
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+
+	// Goroutine teardown is asynchronous (http conn goroutines, the flusher);
+	// poll until the count returns to baseline.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after clean shutdown: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

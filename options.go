@@ -24,15 +24,20 @@ type options struct {
 	shards           int
 	candidateCap     int
 	progress         func(Snapshot)
+	journalDir       string
+	snapshotEvery    int
+	fsyncInterval    time.Duration
 }
 
 // resolveOptions applies opts over the documented defaults.
 func resolveOptions(opts []Option) options {
 	o := options{
-		method:    MethodSDGASRA,
-		transport: TransportDijkstra,
-		omega:     10,
-		seed:      1,
+		method:        MethodSDGASRA,
+		transport:     TransportDijkstra,
+		omega:         10,
+		seed:          1,
+		snapshotEvery: 4096,
+		fsyncInterval: 5 * time.Millisecond,
 	}
 	for _, f := range opts {
 		f(&o)
@@ -119,6 +124,36 @@ func WithCandidateCap(k int) Option {
 			o.candidateCap = k
 		}
 	}
+}
+
+// WithJournalDir makes the session durable: dir is initialised with a
+// snapshot of the starting instance, every accepted edit is appended to a
+// checksummed journal in it, and RestoreSolver(dir) rebuilds the session
+// after a crash or restart (see durability.go for the full model).
+// NewSolver fails with ErrJournalExists when dir already holds session
+// state. The empty default keeps the session purely in-memory.
+func WithJournalDir(dir string) Option {
+	return func(o *options) { o.journalDir = dir }
+}
+
+// WithSnapshotEvery sets how many journaled edits accumulate before the
+// session compacts — rewrites the snapshot at the current state and resets
+// the journal, bounding restore time (default 4096). Non-positive values
+// fall back to the default. Only meaningful with WithJournalDir.
+func WithSnapshotEvery(n int) Option {
+	return func(o *options) {
+		if n > 0 {
+			o.snapshotEvery = n
+		}
+	}
+}
+
+// WithFsyncInterval sets the group-commit window of the edit journal: with
+// a positive d (default 5ms) accepted edits are fsynced in batches at most
+// d apart, so a crash loses at most the last window; d <= 0 fsyncs every
+// edit before its mutator returns. Only meaningful with WithJournalDir.
+func WithFsyncInterval(d time.Duration) Option {
+	return func(o *options) { o.fsyncInterval = d }
 }
 
 // algorithmParts maps the resolved options to a cold construction algorithm

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cra"
+	"repro/internal/durable"
 )
 
 // Snapshot is one point of a solve's anytime progress stream: the best
@@ -90,14 +91,24 @@ type Solver struct {
 	progress atomic.Pointer[func(Snapshot)]
 	solveGID atomic.Int64
 
-	// pendMu guards the pending edit batch, its validation mirror and the
-	// ResolveAsync ticket queue. It is only ever held for O(1) work, so the
-	// mutators and mirror reads stay non-blocking even mid-solve.
+	// pendMu guards the pending edit batch, its validation mirror, the
+	// ResolveAsync ticket queue, the accepted-edit counter and the durable
+	// store handle. It is only ever held for O(1) work (plus, for durable
+	// sessions, one journal append), so the mutators and mirror reads stay
+	// non-blocking even mid-solve.
 	pendMu  sync.Mutex
 	pending []pendingEdit
 	tickets []*Ticket
 	asyncOn bool
 	mirror  editMirror
+	// accepted counts the edits accepted over the session's lifetime; for
+	// durable sessions it is the journal sequence number (see durability.go).
+	accepted uint64
+	dstore   *durable.Store
+	// storeErr is a sticky durability failure: once a journal append or
+	// fsync fails, every further edit and solve is refused rather than
+	// silently diverging from the journal.
+	storeErr error
 }
 
 // NewSolver builds a solver session for the instance. The instance is
@@ -106,9 +117,26 @@ type Solver struct {
 // balanced workload ⌈P·δp/R⌉, exactly as NewInstance does.
 //
 // Errors: ErrUnknownMethod, ErrInvalidInstance, ErrInfeasible,
-// ErrConflictSaturated.
+// ErrConflictSaturated; additionally ErrJournalExists when WithJournalDir
+// points at a directory that already holds durable session state (restore
+// it with RestoreSolver instead).
 func NewSolver(in *Instance, opts ...Option) (*Solver, error) {
 	o := resolveOptions(opts)
+	s, err := newSolver(in, o)
+	if err != nil {
+		return nil, err
+	}
+	if o.journalDir != "" {
+		if err := s.initDurable(o.journalDir, o); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// newSolver builds the in-memory session without touching any durable
+// state; NewSolver and RestoreSolver wrap it.
+func newSolver(in *Instance, o options) (*Solver, error) {
 	own := in.Clone()
 	if own.Workload == 0 && own.NumReviewers() > 0 {
 		own.Workload = own.MinWorkload()
@@ -263,15 +291,15 @@ func (s *Solver) RestorePaper(p int) error {
 func (s *Solver) AddReviewer(r Reviewer) (int, error) {
 	s.pendMu.Lock()
 	op := pendingEdit{kind: editReviewer, rev: r}
-	if err := s.mirror.validate(&op); err != nil {
+	if err := s.acceptLocked(&op); err != nil {
 		s.pendMu.Unlock()
-		return -1, wrapErr(err)
+		return -1, err
 	}
-	idx := s.mirror.reviewers - 1 // validate advanced the mirror
-	s.pending = append(s.pending, op)
+	idx := s.mirror.reviewers - 1 // apply advanced the mirror
 	s.pendMu.Unlock()
 	if s.mu.TryLock() {
 		s.drainLocked()
+		s.maybeCompactLocked()
 		s.mu.Unlock()
 	}
 	return idx, nil
@@ -313,13 +341,21 @@ func (s *Solver) Resolve(ctx context.Context) (*Result, error) {
 
 // run executes one solve under the held solve lock: it first drains the
 // pending edit batch into the session (so concurrent edits coalesce into
-// this warm re-solve), then solves, then publishes the new View.
+// this warm re-solve), then solves, then publishes the new View and — for a
+// durable session past its compaction threshold — rewrites the snapshot.
 func (s *Solver) run(ctx context.Context, cold bool) (*Result, error) {
+	s.pendMu.Lock()
+	serr := s.storeErr
+	s.pendMu.Unlock()
+	if serr != nil {
+		return nil, serr
+	}
 	s.drainLocked()
 	if err := s.applyErr; err != nil {
 		s.applyErr = nil
 		return nil, err
 	}
+	defer s.maybeCompactLocked()
 	s.start = time.Now()
 	warm := !cold
 	var a *core.Assignment
