@@ -14,6 +14,12 @@
 //
 // Regenerate the baseline by pointing -out at BENCH_BASELINE.json on a quiet
 // machine and committing the result.
+//
+// Besides parsing bench text, three live workload modes emit bench-format
+// results directly: -concurrent (in-process mixed read/write serving),
+// -serve (HTTP request latency over loopback) and -track FILE (replay a
+// committed workload track from internal/track against any client backend,
+// reporting per-op-kind latency percentiles — see testdata/tracks/).
 package main
 
 import (
@@ -85,7 +91,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("wgrap-bench", flag.ContinueOnError)
 	inPath := fs.String("in", "-", "bench text input file (- = stdin)")
 	outPath := fs.String("out", "", "write the JSON snapshot to this file")
-	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit|ResolveAfterWithdraw|ConcurrentMixed|ServeHTTP|TransportStageSequencePaperScale|SolveColdPaperScale|SolveHugeScale", "regexp of benchmarks recorded in the snapshot")
+	keepPat := fs.String("keep", "TransportSolve|ProfitMatrixCI|ResolveAfterEdit|ResolveAfterWithdraw|ConcurrentMixed|ServeHTTP|TrackReplay|TransportStageSequencePaperScale|SolveColdPaperScale|SolveHugeScale", "regexp of benchmarks recorded in the snapshot")
 	note := fs.String("note", "", "free-form note stored in the snapshot")
 	candidateCap := fs.Int("candidate-cap", 0, "WithCandidateCap(k) setting of the benchmarked run, recorded in the snapshot for provenance (0 = dense)")
 	baseline := fs.String("baseline", "", "baseline JSON to gate against (no gating when empty)")
@@ -97,6 +103,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	minSpeedup := fs.Float64("min-speedup", 0, "fail unless speedup-num's ns/op is at least this multiple of speedup-den's (0 disables)")
 	concurrent := fs.Bool("concurrent", false, "run the live concurrent-serving workload instead of parsing bench text: readers spin on View/Progress while edit bursts drain through ResolveAsync")
 	serveMode := fs.Bool("serve", false, "run the HTTP request-latency workload instead of parsing bench text: a real wgrap-serve handler on loopback driven through the remote client")
+	trackPath := fs.String("track", "", "replay this workload track file instead of parsing bench text, reporting per-op-kind latency percentiles (see internal/track)")
+	trackBackend := fs.String("backend", "mem://", "-track: backend URL to replay against (mem://, mem:///dir, http://host:port)")
+	trackTenant := fs.String("tenant", "", "-track: tenant id override (default derives from the track name)")
+	trackJSON := fs.String("track-json", "", "-track: write the full replay report (histograms, phases, accepted/rejected, final seq/objective) to this JSON file")
+	sleepScale := fs.Float64("sleep-scale", 0, "-track: multiplier on the track's sleep ops (0 replays at full speed)")
 	ccPapers := fs.Int("papers", 1000, "-concurrent/-serve: number of papers")
 	ccReviewers := fs.Int("reviewers", 2000, "-concurrent/-serve: number of reviewers")
 	ccTopics := fs.Int("topics", 40, "-concurrent/-serve: topic vector dimension")
@@ -125,6 +136,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		current, err = runServe(stdout, serveConfig{
 			papers: *ccPapers, reviewers: *ccReviewers, topics: *ccTopics, delta: *ccDelta,
 			resolves: *ccResolves, editBurst: *ccBurst, views: *srvViews,
+		})
+		if err != nil {
+			return err
+		}
+	case *trackPath != "":
+		current, err = runTrack(stdout, trackConfig{
+			path: *trackPath, backend: *trackBackend, tenant: *trackTenant,
+			reportPath: *trackJSON, sleepScale: *sleepScale,
 		})
 		if err != nil {
 			return err

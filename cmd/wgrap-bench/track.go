@@ -1,0 +1,81 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/client"
+	"repro/internal/track"
+)
+
+// trackConfig is the -track replay mode's configuration.
+type trackConfig struct {
+	path       string  // track file
+	backend    string  // client.Open URL (mem://, mem:///dir, http://…)
+	tenant     string  // tenant id override ("" derives from the track name)
+	reportPath string  // full per-op-kind histogram report JSON ("" skips)
+	sleepScale float64 // sleep-op multiplier (0 skips sleeps)
+}
+
+// runTrack replays one workload track file against a backend and reports
+// per-op-kind latency percentiles as `go test -bench`-format lines
+// (BenchmarkTrackReplay/<track>/<kind>-p50 …), so replays plug into the
+// same snapshot and regression-gate machinery as real benchmarks. The full
+// report — per-kind log₂ histograms, accepted/rejected splits, per-phase
+// wall clocks, final seq/objective — optionally lands in a JSON file for CI
+// artifact upload.
+func runTrack(stdout io.Writer, cfg trackConfig) (map[string]Result, error) {
+	t, err := track.ReadFile(cfg.path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := client.Open(cfg.backend)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	rep, err := track.Replay(context.Background(), c, t, track.ReplayOptions{
+		TenantID:   cfg.tenant,
+		SleepScale: cfg.sleepScale,
+		Backend:    cfg.backend,
+		Log:        stdout,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fmt.Fprintf(stdout, "track %s (%s) on %s: %d ops in %v; edits accepted=%d rejected=%d; final seq=%d version=%d objective=%.6f\n",
+		rep.Track, rep.Scenario, cfg.backend, rep.Ops,
+		time.Duration(rep.WallNS).Round(time.Millisecond),
+		rep.EditsAccepted, rep.EditsRejected, rep.FinalSeq, rep.FinalVersion, rep.FinalScore)
+
+	out := make(map[string]Result)
+	for kind, st := range rep.Kinds {
+		if st.Count == 0 {
+			continue
+		}
+		prefix := fmt.Sprintf("BenchmarkTrackReplay/%s/%s", rep.Track, kind)
+		out[prefix+"-p50"] = Result{Iterations: st.Count, NsPerOp: float64(st.P50NS)}
+		out[prefix+"-p99"] = Result{Iterations: st.Count, NsPerOp: float64(st.P99NS)}
+	}
+	names := make([]string, 0, len(out))
+	for name := range out {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(stdout, "%s \t%d\t%.0f ns/op\n", name, out[name].Iterations, out[name].NsPerOp)
+	}
+
+	if cfg.reportPath != "" {
+		if err := rep.WriteJSON(cfg.reportPath); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stdout, "wrote replay report to %s\n", cfg.reportPath)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/track"
+	"repro/internal/wire"
+)
+
+// writeTestTrack generates a tiny corpus-referenced track file.
+func writeTestTrack(t *testing.T) string {
+	t.Helper()
+	ds, err := corpus.NewGenerator(corpus.Config{Scale: 0.06, Seed: 3, AuthorsPerArea: 60}).Dataset(corpus.Databases, 2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := wire.FromInstance(ds.Instance(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops, err := track.Generate("coi-storm", in, track.GenConfig{Seed: 2, Edits: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := &track.Track{
+		Format: track.FormatVersion, Name: "bench-test", Scenario: "coi-storm",
+		Config: wire.TenantConfig{Method: "sdga", Seed: 1},
+		Corpus: &track.CorpusRef{Area: "DB", Year: 2008, Scale: 0.06, Seed: 3, Authors: 60, GroupSize: 3},
+		Ops:    ops,
+	}
+	path := filepath.Join(t.TempDir(), "t.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunTrackMode replays a track through the full -track CLI path and
+// checks the emitted bench lines plus the report artifact.
+func TestRunTrackMode(t *testing.T) {
+	path := writeTestTrack(t)
+	report := filepath.Join(t.TempDir(), "report.json")
+	snap := filepath.Join(t.TempDir(), "snap.json")
+	var buf strings.Builder
+	err := run([]string{"-track", path, "-track-json", report, "-out", snap}, nil, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BenchmarkTrackReplay/bench-test/edit-p99") {
+		t.Fatalf("no edit p99 bench line in output:\n%s", out)
+	}
+	if !strings.Contains(out, "BenchmarkTrackReplay/bench-test/resolve-p50") {
+		t.Fatalf("no resolve p50 bench line in output:\n%s", out)
+	}
+
+	var rep track.Report
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Track != "bench-test" || rep.FinalSeq == 0 || rep.FinalScore == 0 {
+		t.Fatalf("implausible report: track=%q seq=%d score=%f", rep.Track, rep.FinalSeq, rep.FinalScore)
+	}
+
+	// The snapshot must hold the bench entries (default -keep covers
+	// TrackReplay), so -baseline gating works on replays.
+	var s Snapshot
+	data, err = os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Benchmarks["BenchmarkTrackReplay/bench-test/edit-p99"]; !ok {
+		t.Fatalf("edit p99 missing from snapshot: %v", s.Benchmarks)
+	}
+}
+
+func TestRunTrackModeMissingFile(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-track", filepath.Join(t.TempDir(), "nope.json")}, nil, &buf); err == nil {
+		t.Fatal("missing track file accepted")
+	}
+}

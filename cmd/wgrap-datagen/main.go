@@ -1,19 +1,33 @@
-// Command wgrap-datagen generates a synthetic conference dataset (papers,
-// reviewers and, optionally, abstracts) shaped like the DBLP data of the
-// paper's Table 3 and writes it as JSON for use with wgrap-assign and
-// wgrap-journal.
+// Command wgrap-datagen generates the synthetic inputs of the benchmark
+// pipeline: conference datasets (papers, reviewers and, optionally,
+// abstracts) shaped like the DBLP data of the paper's Table 3, and —
+// elastic-package style — replayable workload tracks over them.
 //
-// Example:
+// Dataset generation, optionally size-targeted:
 //
 //	wgrap-datagen -area DB -year 2008 -scale 0.2 -out db08.json -abstracts
+//	wgrap-datagen -area DB -year 2008 -size 100M -out db08-100M.json
+//
+// Track generation (see internal/track for the scenario catalog; the track
+// embeds a corpus reference, so the file stays small and the replayer
+// regenerates the identical instance):
+//
+//	wgrap-datagen -track deadline-rush -area DB -year 2008 -scale 1 \
+//	    -track-edits 400 -out deadline-rush-db08.json
+//	wgrap-bench -track deadline-rush-db08.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
+	wgrap "repro"
 	"repro/internal/corpus"
+	"repro/internal/track"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -31,35 +45,159 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	authors := fs.Int("authors", 400, "authors generated per area")
 	skew := fs.Float64("skew", 0, "Zipf exponent of topic popularity within each area (0 = uniform); skewed corpora concentrate expertise on hot topics, the stress case for candidate-pruned solves")
-	out := fs.String("out", "", "output file (default stdout)")
+	size := fs.String("size", "", "approximate serialized output size to target (e.g. 500K, 100M); overrides -scale and grows -authors as needed, printing the achieved size")
+	out := fs.String("out", "", "output file (default stdout); removed again if the write fails, so a truncated file never survives")
 	abstracts := fs.Bool("abstracts", false, "include paper abstracts in the JSON")
+
+	trackName := fs.String("track", "", "emit a workload track of this scenario over the generated corpus instead of the corpus itself (see -track-list)")
+	trackList := fs.Bool("track-list", false, "list the track scenario catalog and exit")
+	trackEdits := fs.Int("track-edits", 320, "-track: approximate number of edit ops")
+	trackRate := fs.Int("track-rate", 8, "-track: mean edits coalesced between resolve points")
+	trackSkew := fs.Float64("track-skew", 1.1, "-track: Zipf exponent of hot-paper/hot-reviewer targeting")
+	trackSleep := fs.Duration("track-sleep", 0, "-track: pacing sleep emitted after each resolve point (0 = none)")
+	trackDelta := fs.Int("delta", 3, "-track: reviewers per paper δp of the track instance")
+	trackWorkload := fs.Int("workload", 0, "-track: per-reviewer workload δr (0 = minimum balanced)")
+	trackMethod := fs.String("method", string(wgrap.MethodSDGA), "-track: solver method pinned in the track's tenant config")
+	trackInline := fs.Bool("inline", false, "-track: embed the instance inline instead of a corpus reference (bigger file, no corpus regeneration on replay)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	gen := corpus.NewGenerator(corpus.Config{
+	if *trackList {
+		for _, s := range track.Scenarios() {
+			fmt.Printf("%-17s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+
+	cfg := corpus.Config{
 		Scale:          *scale,
 		Seed:           *seed,
 		AuthorsPerArea: *authors,
 		Skew:           *skew,
-	})
-	d, err := gen.Dataset(corpus.Area(*area), *year)
-	if err != nil {
-		return err
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+
+	// Resolve the corpus: plain, or size-targeted (-size picks Scale and
+	// AuthorsPerArea to approximate the requested serialized size).
+	var (
+		d        *corpus.Dataset
+		achieved int64
+	)
+	if *size != "" {
+		target, err := corpus.ParseSize(*size)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		w = f
+		d, cfg, achieved, err = corpus.SizedDataset(cfg, corpus.Area(*area), *year, target, *abstracts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "size target %s: achieved %s (scale %.2f, %d authors/area)\n",
+			corpus.FormatSize(target), corpus.FormatSize(achieved), cfg.Scale, cfg.AuthorsPerArea)
+	} else {
+		var err error
+		d, err = corpus.NewGenerator(cfg).Dataset(corpus.Area(*area), *year)
+		if err != nil {
+			return err
+		}
 	}
-	if err := d.WriteJSON(w, *abstracts); err != nil {
+
+	if *trackName != "" {
+		t, err := buildTrack(d, cfg, trackParams{
+			scenario: *trackName, area: *area, year: *year,
+			delta: *trackDelta, workload: *trackWorkload, method: *trackMethod,
+			edits: *trackEdits, rate: *trackRate, skew: *trackSkew,
+			sleep: *trackSleep, seed: *seed, inline: *trackInline,
+		})
+		if err != nil {
+			return err
+		}
+		if err := writeOutput(*out, t.Write); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "generated track %s (%s): %d ops over %s %d (%d papers, %d reviewers)\n",
+			t.Name, t.Scenario, len(t.Ops), *area, *year, len(d.Papers), len(d.Reviewers))
+		return nil
+	}
+
+	if err := writeOutput(*out, func(w io.Writer) error { return d.WriteJSON(w, *abstracts) }); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "generated %s %d: %d papers, %d reviewers\n",
 		*area, *year, len(d.Papers), len(d.Reviewers))
+	return nil
+}
+
+// trackParams collects the -track flag set.
+type trackParams struct {
+	scenario, area, method string
+	year, delta, workload  int
+	edits, rate            int
+	skew                   float64
+	sleep                  time.Duration
+	seed                   int64
+	inline                 bool
+}
+
+// buildTrack derives a scenario track from the generated corpus. The track
+// references the corpus by its generation parameters (tiny file, replayer
+// regenerates it) unless inline embedding is requested.
+func buildTrack(d *corpus.Dataset, cfg corpus.Config, p trackParams) (*track.Track, error) {
+	in, err := wire.FromInstance(d.Instance(p.delta, p.workload))
+	if err != nil {
+		return nil, err
+	}
+	ops, err := track.Generate(p.scenario, in, track.GenConfig{
+		Seed:            p.seed,
+		Edits:           p.edits,
+		EditsPerResolve: p.rate,
+		Skew:            p.skew,
+		Sleep:           p.sleep,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &track.Track{
+		Format: track.FormatVersion,
+		Name:   fmt.Sprintf("%s-%s%02d", p.scenario, map[string]string{"DM": "kdd", "DB": "db", "T": "theory"}[p.area], p.year%100),
+		Description: fmt.Sprintf("%s scenario over the synthetic %s %d conference (scale %.2f, %d papers, %d reviewers)",
+			p.scenario, p.area, p.year, cfg.Scale, len(d.Papers), len(d.Reviewers)),
+		Scenario: p.scenario,
+		Seed:     p.seed,
+		Config:   wire.TenantConfig{Method: p.method, Seed: 1},
+		Ops:      ops,
+	}
+	if p.inline {
+		t.Instance = in
+	} else {
+		t.Corpus = &track.CorpusRef{
+			Area: p.area, Year: p.year,
+			Scale: cfg.Scale, Seed: cfg.Seed, Authors: cfg.AuthorsPerArea, Skew: cfg.Skew,
+			GroupSize: p.delta, Workload: p.workload,
+		}
+	}
+	return t, nil
+}
+
+// writeOutput streams write's output to path (stdout when empty). On any
+// failure — including the Close, whose error a bare defer would swallow —
+// the partial file is removed: a truncated JSON artifact that parses as
+// garbage later is strictly worse than no file.
+func writeOutput(path string, write func(io.Writer) error) error {
+	if path == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(path)
+		return fmt.Errorf("writing %s: %w", path, werr)
+	}
 	return nil
 }

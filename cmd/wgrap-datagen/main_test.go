@@ -1,11 +1,14 @@
 package main
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"repro/internal/corpus"
+	"repro/internal/track"
 )
 
 func TestRunWritesDataset(t *testing.T) {
@@ -41,6 +44,85 @@ func TestRunRejectsBadFlags(t *testing.T) {
 func TestRunRejectsUnwritableOutput(t *testing.T) {
 	if err := run([]string{"-scale", "0.03", "-authors", "20", "-out", filepath.Join(os.DevNull, "x", "y.json")}); err == nil {
 		t.Fatal("unwritable output accepted")
+	}
+}
+
+// TestWriteOutputRemovesPartialFile: a failed write must not leave a
+// truncated JSON artifact behind.
+func TestWriteOutputRemovesPartialFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "partial.json")
+	err := writeOutput(out, func(w io.Writer) error {
+		if _, err := w.Write([]byte(`{"truncated":`)); err != nil {
+			return err
+		}
+		return errors.New("disk on fire")
+	})
+	if err == nil {
+		t.Fatal("failed write reported success")
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Fatalf("partial output file left behind (stat err: %v)", statErr)
+	}
+}
+
+func TestRunEmitsTrack(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.json")
+	err := run([]string{"-track", "coi-storm", "-area", "DB", "-year", "2008",
+		"-scale", "0.06", "-authors", "60", "-track-edits", "30", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := track.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Scenario != "coi-storm" || tr.Corpus == nil || tr.Corpus.Scale != 0.06 {
+		t.Fatalf("unexpected track: scenario=%q corpus=%+v", tr.Scenario, tr.Corpus)
+	}
+	if _, err := tr.Materialize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEmitsInlineTrack(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.json")
+	err := run([]string{"-track", "rebalance", "-area", "T", "-year", "2008",
+		"-scale", "0.06", "-authors", "60", "-track-edits", "20", "-inline", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := track.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Instance == nil || tr.Corpus != nil {
+		t.Fatalf("-inline track still carries a corpus ref: %+v", tr.Corpus)
+	}
+}
+
+func TestRunRejectsUnknownScenario(t *testing.T) {
+	if err := run([]string{"-track", "nope", "-scale", "0.03", "-authors", "20"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestRunSizeTargeted(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sized.json")
+	if err := run([]string{"-area", "DB", "-year", "2008", "-size", "200K", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() < 150_000 || fi.Size() > 250_000 {
+		t.Fatalf("-size 200K produced %d bytes", fi.Size())
+	}
+}
+
+func TestRunRejectsBadSize(t *testing.T) {
+	if err := run([]string{"-size", "wat"}); err == nil {
+		t.Fatal("bad -size accepted")
 	}
 }
 

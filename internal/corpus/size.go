@@ -1,0 +1,133 @@
+package corpus
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSize parses a human-readable byte size: a plain integer, or one with
+// a K/M/G suffix (decimal multipliers, elastic-package style: "100M" asks
+// for roughly 100 megabytes). Fractions work with suffixes ("1.5G").
+func ParseSize(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1e9, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1e6, s[:len(s)-1]
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1e3, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("corpus: bad size %q (want e.g. 500K, 100M, 2G)", s)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+// countingWriter measures serialized size without storing the bytes.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// measureDataset returns the serialized JSON size of the dataset.
+func measureDataset(d *Dataset, abstracts bool) (int64, error) {
+	var cw countingWriter
+	if err := d.WriteJSON(&cw, abstracts); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+// maxProbeAuthors caps the author population the sizer grows on its own:
+// beyond it, extra output size comes from papers (which Dataset tops up
+// with fresh submissions at any scale) rather than from an ever-larger PC,
+// keeping generation time bounded. An explicit Config.AuthorsPerArea above
+// the cap is honored.
+const maxProbeAuthors = 5000
+
+// SizedDataset generates a dataset whose serialized JSON size approximates
+// target bytes, elastic-package's `--size 100M` shape: it probes a small
+// generation to learn bytes-per-entity, scales Config.Scale (and, within
+// bounds, AuthorsPerArea) to the prediction, and refines once when the
+// first attempt lands more than 15% off. Returns the dataset, the resolved
+// config and the achieved serialized size.
+//
+// The target steers Scale, so base.Scale is ignored; Seed, Skew, Topics and
+// an explicit AuthorsPerArea are honored.
+func SizedDataset(base Config, area Area, year int, target int64, abstracts bool) (*Dataset, Config, int64, error) {
+	if target <= 0 {
+		return nil, base, 0, fmt.Errorf("corpus: non-positive size target %d", target)
+	}
+	const probeScale = 0.1
+	cfg := base
+	cfg.Scale = probeScale
+	gen := NewGenerator(cfg)
+	ds, err := gen.Dataset(area, year)
+	if err != nil {
+		return nil, cfg, 0, err
+	}
+	probeBytes, err := measureDataset(ds, abstracts)
+	if err != nil {
+		return nil, cfg, 0, err
+	}
+
+	spec, err := gen.spec(area)
+	if err != nil {
+		return nil, cfg, 0, err
+	}
+	scale := probeScale * float64(target) / float64(probeBytes)
+	for attempt := 0; ; attempt++ {
+		cfg.Scale = scale
+		// Grow the author pool with the PC demand (the PC caps at the
+		// population size), bounded so generation time stays sane.
+		wantPC := int(float64(spec.pcSizeByYear[year])*scale + 0.5)
+		authors := wantPC + wantPC/4
+		if authors > maxProbeAuthors {
+			authors = maxProbeAuthors
+		}
+		if base.AuthorsPerArea > authors {
+			authors = base.AuthorsPerArea
+		}
+		cfg.AuthorsPerArea = authors
+
+		ds, err = NewGenerator(cfg).Dataset(area, year)
+		if err != nil {
+			return nil, cfg, 0, err
+		}
+		achieved, err := measureDataset(ds, abstracts)
+		if err != nil {
+			return nil, cfg, 0, err
+		}
+		off := float64(achieved-target) / float64(target)
+		if off < 0 {
+			off = -off
+		}
+		// One correction pass absorbs the non-linearities (floors, the PC
+		// cap, abstract share); after that, ship what we have — the target
+		// is approximate by contract.
+		if off <= 0.15 || attempt >= 1 {
+			return ds, cfg, achieved, nil
+		}
+		scale *= float64(target) / float64(achieved)
+	}
+}
+
+// FormatSize renders a byte count the way ParseSize reads it.
+func FormatSize(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fK", float64(n)/1e3)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,78 @@
+package corpus
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	good := map[string]int64{
+		"100":  100,
+		"2K":   2_000,
+		"2k":   2_000,
+		"1.5M": 1_500_000,
+		"100M": 100_000_000,
+		"2G":   2_000_000_000,
+		" 3K ": 3_000,
+	}
+	for in, want := range good {
+		got, err := ParseSize(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "abc", "-5", "0", "1T", "K"} {
+		if got, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) = %d, want error", in, got)
+		}
+	}
+}
+
+func TestFormatSizeRoundTrips(t *testing.T) {
+	for in, want := range map[int64]string{
+		512:           "512B",
+		2_000:         "2.0K",
+		1_500_000:     "1.5M",
+		2_000_000_000: "2.0G",
+	} {
+		if got := FormatSize(in); got != want {
+			t.Errorf("FormatSize(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSizedDatasetHitsTarget(t *testing.T) {
+	const target = 300_000
+	base := Config{Seed: 5, AuthorsPerArea: 120}
+	ds, cfg, achieved, err := SizedDataset(base, Databases, 2008, target, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Papers) == 0 || len(ds.Reviewers) == 0 {
+		t.Fatalf("empty sized dataset: %d papers, %d reviewers", len(ds.Papers), len(ds.Reviewers))
+	}
+	// The contract is approximate; a refined pass should land well within 25%.
+	off := float64(achieved-target) / float64(target)
+	if off < 0 {
+		off = -off
+	}
+	if off > 0.25 {
+		t.Fatalf("achieved %d for target %d (%.0f%% off)", achieved, target, off*100)
+	}
+	// The reported config regenerates the identical dataset — this is what a
+	// track CorpusRef relies on.
+	again, err := NewGenerator(cfg).Dataset(Databases, 2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, err := measureDataset(again, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != achieved {
+		t.Fatalf("resolved config regenerated %d bytes, sizer reported %d", size, achieved)
+	}
+}
+
+func TestSizedDatasetRejectsBadTarget(t *testing.T) {
+	if _, _, _, err := SizedDataset(Config{}, Databases, 2008, 0, false); err == nil {
+		t.Fatal("zero target accepted")
+	}
+}

@@ -1,0 +1,350 @@
+package track
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	wgrap "repro"
+	"repro/client"
+	"repro/internal/wire"
+)
+
+// ReplayOptions tunes a replay. The zero value replays full-speed (sleeps
+// skipped) under an auto-derived tenant id.
+type ReplayOptions struct {
+	// TenantID hosts the replay session (default: "track-" + the track name
+	// sanitized to a DNS label). The tenant is created by the replay and
+	// deleted afterwards unless KeepTenant is set.
+	TenantID string
+	// SleepScale multiplies sleep ops; 0 skips them entirely (latency
+	// replay), 1 replays the track's own pacing.
+	SleepScale float64
+	// PollInterval is the resolve_async ticket polling interval
+	// (default 1ms).
+	PollInterval time.Duration
+	// KeepTenant leaves the tenant (and any durable state) behind.
+	KeepTenant bool
+	// Backend labels the report; purely informational.
+	Backend string
+	// Log, when set, receives one line per phase marker.
+	Log io.Writer
+}
+
+// KindStats is the latency histogram of one op kind.
+type KindStats struct {
+	Count int `json:"count"`
+	// Accepted/Rejected split edit outcomes; rejected edits are the ones the
+	// session refused with a sentinel (ErrInvalidEdit, ErrConflictSaturated,
+	// ErrInfeasible) — identical across backends, so parity checks can
+	// compare them too.
+	Accepted int   `json:"accepted,omitempty"`
+	Rejected int   `json:"rejected,omitempty"`
+	MeanNS   int64 `json:"mean_ns"`
+	P50NS    int64 `json:"p50_ns"`
+	P95NS    int64 `json:"p95_ns"`
+	P99NS    int64 `json:"p99_ns"`
+	MaxNS    int64 `json:"max_ns"`
+	// HistogramLog2US[i] counts ops whose latency fell in [2^(i-1), 2^i) µs;
+	// bucket 0 is <1µs. A log-scale shape survives averaging across runs in
+	// a way raw percentiles don't.
+	HistogramLog2US []int `json:"histogram_log2_us,omitempty"`
+
+	samples []time.Duration
+}
+
+func (k *KindStats) record(d time.Duration) {
+	k.Count++
+	k.samples = append(k.samples, d)
+}
+
+func (k *KindStats) finalize() {
+	if len(k.samples) == 0 {
+		return
+	}
+	sorted := make([]time.Duration, len(k.samples))
+	copy(sorted, k.samples)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	maxBucket := 0
+	buckets := make([]int, 64)
+	for _, d := range sorted {
+		sum += d
+		b := bits.Len64(uint64(d.Microseconds()))
+		buckets[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	k.MeanNS = int64(sum) / int64(len(sorted))
+	k.P50NS = quantile(sorted, 0.50).Nanoseconds()
+	k.P95NS = quantile(sorted, 0.95).Nanoseconds()
+	k.P99NS = quantile(sorted, 0.99).Nanoseconds()
+	k.MaxNS = sorted[len(sorted)-1].Nanoseconds()
+	k.HistogramLog2US = buckets[:maxBucket+1]
+}
+
+// quantile returns the q-quantile of an ascending slice (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// PhaseStat is one phase's slice of the replay.
+type PhaseStat struct {
+	Name   string `json:"name"`
+	Ops    int    `json:"ops"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// Report is the outcome of one replay: final-state fingerprints for parity
+// checks (seq, version, objective) and per-op-kind latency histograms for
+// benchmarking. The "edit" kind aggregates the five edit op kinds.
+type Report struct {
+	Track    string `json:"track"`
+	Scenario string `json:"scenario,omitempty"`
+	Backend  string `json:"backend,omitempty"`
+	TenantID string `json:"tenant_id"`
+	Ops      int    `json:"ops"`
+	WallNS   int64  `json:"wall_ns"`
+
+	EditsAccepted int     `json:"edits_accepted"`
+	EditsRejected int     `json:"edits_rejected"`
+	FinalSeq      uint64  `json:"final_seq"`
+	FinalVersion  uint64  `json:"final_version"`
+	FinalScore    float64 `json:"final_score"`
+
+	Kinds  map[string]*KindStats `json:"kinds"`
+	Phases []PhaseStat           `json:"phases,omitempty"`
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// rejected classifies an edit error: a sentinel rejection is part of the
+// workload (counted, replay continues); anything else aborts the replay.
+func rejected(err error) bool {
+	return errors.Is(err, wgrap.ErrInvalidEdit) ||
+		errors.Is(err, wgrap.ErrConflictSaturated) ||
+		errors.Is(err, wgrap.ErrInfeasible)
+}
+
+// TenantIDFor derives the default replay tenant id from a track name.
+func TenantIDFor(name string) string {
+	id := strings.ToLower(name)
+	mapper := func(r rune) rune {
+		if r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' {
+			return r
+		}
+		return '-'
+	}
+	id = strings.Map(mapper, id)
+	id = strings.Trim(id, "-")
+	if id == "" {
+		id = "track"
+	}
+	if len(id) > 48 {
+		id = id[:48]
+	}
+	return "track-" + id
+}
+
+// Replay drives the track through the client — the same track runs
+// unchanged against mem://, mem:///dir and http:// backends — timing every
+// op. It returns a report whose FinalSeq/FinalScore fingerprint the
+// replayed session: two backends given the same track must agree on both
+// (seq exactly, objective to 1e-9), which is the subsystem's cross-backend
+// parity check.
+func Replay(ctx context.Context, c client.Client, t *Track, opt ReplayOptions) (*Report, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	in, err := t.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	id := opt.TenantID
+	if id == "" {
+		id = TenantIDFor(t.Name)
+	}
+	poll := opt.PollInterval
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+
+	rep := &Report{
+		Track:    t.Name,
+		Scenario: t.Scenario,
+		Backend:  opt.Backend,
+		TenantID: id,
+		Ops:      len(t.Ops),
+		Kinds:    make(map[string]*KindStats),
+	}
+	kind := func(name string) *KindStats {
+		k := rep.Kinds[name]
+		if k == nil {
+			k = &KindStats{}
+			rep.Kinds[name] = k
+		}
+		return k
+	}
+
+	if _, err := c.CreateTenant(ctx, &wire.CreateRequest{ID: id, Instance: in, Config: t.Config}); err != nil {
+		return nil, fmt.Errorf("track %s: create tenant %s: %w", t.Name, id, err)
+	}
+	if !opt.KeepTenant {
+		defer c.DeleteTenant(context.WithoutCancel(ctx), id)
+	}
+
+	start := time.Now()
+	phaseStart := start
+	phaseOps := 0
+	closePhase := func() {
+		if n := len(rep.Phases); n > 0 {
+			rep.Phases[n-1].Ops = phaseOps
+			rep.Phases[n-1].WallNS = time.Since(phaseStart).Nanoseconds()
+		}
+	}
+	for i, op := range t.Ops {
+		phaseOps++
+		switch op.Kind {
+		case OpPhase:
+			closePhase()
+			rep.Phases = append(rep.Phases, PhaseStat{Name: op.Phase})
+			phaseStart, phaseOps = time.Now(), 0
+			if opt.Log != nil {
+				fmt.Fprintf(opt.Log, "track %s: phase %q (op %d/%d, %v elapsed)\n",
+					t.Name, op.Phase, i, len(t.Ops), time.Since(start).Round(time.Millisecond))
+			}
+		case OpSleep:
+			if opt.SleepScale > 0 {
+				d := time.Duration(float64(op.SleepNS) * opt.SleepScale)
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+		case OpSolve:
+			t0 := time.Now()
+			if _, err := c.Solve(ctx, id); err != nil {
+				return nil, fmt.Errorf("track %s: op %d solve: %w", t.Name, i, err)
+			}
+			kind(OpSolve).record(time.Since(t0))
+		case OpResolve:
+			t0 := time.Now()
+			if _, err := c.Resolve(ctx, id); err != nil {
+				return nil, fmt.Errorf("track %s: op %d resolve: %w", t.Name, i, err)
+			}
+			kind(OpResolve).record(time.Since(t0))
+		case OpResolveAsync:
+			t0 := time.Now()
+			token, err := c.ResolveAsync(ctx, id)
+			if err != nil {
+				return nil, fmt.Errorf("track %s: op %d resolve_async: %w", t.Name, i, err)
+			}
+			for {
+				st, err := c.Ticket(ctx, id, token)
+				if err != nil {
+					return nil, fmt.Errorf("track %s: op %d ticket: %w", t.Name, i, err)
+				}
+				if st.Done {
+					if st.Error != nil {
+						return nil, fmt.Errorf("track %s: op %d async solve: %s", t.Name, i, st.Error.Message)
+					}
+					break
+				}
+				select {
+				case <-time.After(poll):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			kind(OpResolveAsync).record(time.Since(t0))
+		case OpView:
+			t0 := time.Now()
+			if _, err := c.View(ctx, id); err != nil {
+				return nil, fmt.Errorf("track %s: op %d view: %w", t.Name, i, err)
+			}
+			kind(OpView).record(time.Since(t0))
+		default: // an edit kind (Validate guarantees it)
+			e := wire.Edit{Workload: op.Workload, Reviewer: op.Reviewer, R: op.R, P: op.P}
+			switch op.Kind {
+			case OpAddConflict:
+				e.Op = wire.OpAddConflict
+			case OpWithdraw:
+				e.Op = wire.OpWithdraw
+			case OpRestore:
+				e.Op = wire.OpRestore
+			case OpAddReviewer:
+				e.Op = wire.OpAddReviewer
+			case OpSetWorkload:
+				e.Op = wire.OpSetWorkload
+			}
+			k := kind(op.Kind)
+			t0 := time.Now()
+			_, err := c.Edit(ctx, id, e)
+			k.record(time.Since(t0))
+			switch {
+			case err == nil:
+				k.Accepted++
+				rep.EditsAccepted++
+			case rejected(err):
+				k.Rejected++
+				rep.EditsRejected++
+			default:
+				return nil, fmt.Errorf("track %s: op %d %s: %w", t.Name, i, op.Kind, err)
+			}
+		}
+	}
+	closePhase()
+	rep.WallNS = time.Since(start).Nanoseconds()
+
+	st, err := c.Status(ctx, id)
+	if err != nil {
+		return nil, fmt.Errorf("track %s: final status: %w", t.Name, err)
+	}
+	rep.FinalSeq = st.Seq
+	v, err := c.View(ctx, id)
+	if err != nil {
+		return nil, fmt.Errorf("track %s: final view: %w", t.Name, err)
+	}
+	rep.FinalVersion = v.Version
+	if v.Result != nil {
+		rep.FinalScore = v.Result.Score
+	}
+
+	// Aggregate the edit kinds into one "edit" histogram: the bench-level
+	// number a CI gate watches.
+	agg := &KindStats{}
+	for name, k := range rep.Kinds {
+		if IsEdit(name) {
+			agg.Count += k.Count
+			agg.Accepted += k.Accepted
+			agg.Rejected += k.Rejected
+			agg.samples = append(agg.samples, k.samples...)
+		}
+		k.finalize()
+	}
+	if agg.Count > 0 {
+		agg.finalize()
+		rep.Kinds["edit"] = agg
+	}
+	return rep, nil
+}

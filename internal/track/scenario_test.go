@@ -1,0 +1,102 @@
+package track_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/client"
+	"repro/internal/track"
+)
+
+func TestGenerateUnknownScenario(t *testing.T) {
+	if _, err := track.Generate("no-such-scenario", testInstance(t), track.GenConfig{Seed: 1}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestGenerateRejectsEmptyInstance(t *testing.T) {
+	in := testInstance(t)
+	in.Papers = nil
+	if _, err := track.Generate("coi-storm", in, track.GenConfig{Seed: 1}); err == nil {
+		t.Fatal("empty instance accepted")
+	}
+}
+
+// TestGenerateDeterministic: the same (scenario, instance, seed) triple must
+// yield the identical op stream — tracks are reproducibility artifacts.
+func TestGenerateDeterministic(t *testing.T) {
+	in := testInstance(t)
+	a, err := track.Generate("deadline-rush", in, track.GenConfig{Seed: 9, Edits: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := track.Generate("deadline-rush", in, track.GenConfig{Seed: 9, Edits: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two generations with the same seed differ: %d vs %d ops", len(a), len(b))
+	}
+	c, err := track.Generate("deadline-rush", in, track.GenConfig{Seed: 10, Edits: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced the identical stream")
+	}
+}
+
+// TestScenarioCatalogAcceptedByConstruction replays every catalog scenario:
+// the generator simulates the session's edit validation AND confirms every
+// resolve point against a live shadow session, so zero rejections and a clean
+// replay are the contract, not an aspiration.
+func TestScenarioCatalogAcceptedByConstruction(t *testing.T) {
+	in := testInstance(t)
+	scenarios := track.Scenarios()
+	if len(scenarios) < 5 {
+		t.Fatalf("catalog shrank to %d scenarios", len(scenarios))
+	}
+	for _, s := range scenarios {
+		t.Run(s.Name, func(t *testing.T) {
+			ops, err := track.Generate(s.Name, in, track.GenConfig{Seed: 4, Edits: 50})
+			if err != nil {
+				t.Fatal(err)
+			}
+			edits := 0
+			for _, op := range ops {
+				if track.IsEdit(op.Kind) {
+					edits++
+				}
+			}
+			if edits == 0 {
+				t.Fatal("scenario emitted no edits")
+			}
+			if ops[0].Kind != track.OpSolve {
+				t.Fatalf("stream starts with %q, want a cold solve", ops[0].Kind)
+			}
+			tr := &track.Track{
+				Format: track.FormatVersion, Name: "cat-" + s.Name, Scenario: s.Name,
+				Config: trackConfig(), Instance: in, Ops: ops,
+			}
+			c, err := client.Open("mem://")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			rep, err := track.Replay(context.Background(), c, tr, track.ReplayOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.EditsRejected != 0 {
+				t.Fatalf("generated stream had %d rejected edits", rep.EditsRejected)
+			}
+			if rep.EditsAccepted != edits {
+				t.Fatalf("accepted %d of %d edits", rep.EditsAccepted, edits)
+			}
+			if rep.FinalSeq != uint64(edits) {
+				t.Fatalf("final seq %d, want %d (one bump per accepted edit)", rep.FinalSeq, edits)
+			}
+		})
+	}
+}

@@ -1,0 +1,310 @@
+// Package track is the workload-generation and replay subsystem: a
+// versioned, seed-deterministic file format for *scenario tracks* — an
+// instance source plus an ordered stream of timed session operations — a
+// generator that derives realistic serving narratives (CoI storms,
+// withdrawal waves, reviewer churn, late sign-ups, workload rebalancing)
+// from a corpus, and a replayer that drives a track through the client
+// package so the same workload runs unchanged against an embedded mem://
+// registry, a durable mem:///dir one, or a live http:// wgrap-serve daemon.
+//
+// The shape follows elastic-package's corpus/track split: wgrap-datagen
+// generates a corpus by size and a named track of operations over it;
+// wgrap-bench -track replays the track and reports per-op-kind latency
+// percentiles. Committed tracks under testdata/tracks/ give every perf PR
+// the same production-shaped workloads to be judged on, and the replayer's
+// final seq/objective make cross-backend parity checks one comparison.
+package track
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/corpus"
+	"repro/internal/wire"
+)
+
+// FormatVersion is the track file format this package reads and writes.
+// Readers reject other versions outright: a track is a reproducibility
+// artifact, and silently reinterpreting an old file would change what a
+// benchmark measures.
+const FormatVersion = 1
+
+// Op kinds. The edit kinds mirror the Solver's incremental mutators; the
+// rest drive the session lifecycle around them.
+const (
+	// OpSolve runs a cold solve (tracks start with one).
+	OpSolve = "solve"
+	// OpResolve runs a blocking warm re-solve of everything pending.
+	OpResolve = "resolve"
+	// OpResolveAsync enqueues a coalescing background re-solve and waits for
+	// its ticket to complete (the wait keeps replay deterministic while still
+	// exercising the async path).
+	OpResolveAsync = "resolve_async"
+	// OpView reads the latest published view without blocking.
+	OpView = "view"
+	// OpSleep pauses the replay (scaled by ReplayOptions.SleepScale).
+	OpSleep = "sleep"
+	// OpPhase marks a named phase boundary for per-phase reporting.
+	OpPhase = "phase"
+
+	// OpAddConflict declares reviewer R conflicted with paper P.
+	OpAddConflict = "add_conflict"
+	// OpWithdraw withdraws paper P.
+	OpWithdraw = "withdraw"
+	// OpRestore restores a withdrawn paper P.
+	OpRestore = "restore"
+	// OpAddReviewer adds Reviewer to the pool.
+	OpAddReviewer = "add_reviewer"
+	// OpSetWorkload sets the per-reviewer workload δr to Workload.
+	OpSetWorkload = "set_workload"
+)
+
+// editKinds is the subset of kinds that are session edits (they consume the
+// accepted-edit sequence and aggregate into the "edit" latency bucket).
+var editKinds = map[string]bool{
+	OpAddConflict: true,
+	OpWithdraw:    true,
+	OpRestore:     true,
+	OpAddReviewer: true,
+	OpSetWorkload: true,
+}
+
+// IsEdit reports whether kind is one of the session-edit op kinds.
+func IsEdit(kind string) bool { return editKinds[kind] }
+
+// Op is one operation of a track's stream. Only the fields of its Kind are
+// meaningful.
+type Op struct {
+	Kind string `json:"kind"`
+	// R and P are reviewer/paper indices (add_conflict uses both, withdraw
+	// and restore use P). Indices of reviewers added earlier in the stream
+	// are valid: the n-th add_reviewer lands at index R₀+n of the original
+	// pool size R₀, on every backend.
+	R int `json:"r,omitempty"`
+	P int `json:"p,omitempty"`
+	// Workload is the new δr of a set_workload op.
+	Workload int `json:"workload,omitempty"`
+	// Reviewer is the pool entrant of an add_reviewer op.
+	Reviewer *wire.Reviewer `json:"reviewer,omitempty"`
+	// SleepNS is the pause of a sleep op.
+	SleepNS int64 `json:"sleep_ns,omitempty"`
+	// Phase names the phase beginning at a phase op.
+	Phase string `json:"phase,omitempty"`
+}
+
+// CorpusRef references a deterministic synthetic corpus instead of an inline
+// instance: the replayer regenerates the identical instance from these
+// parameters, so committed paper-scale tracks stay a few kilobytes.
+type CorpusRef struct {
+	// Area and Year select the Table 3 conference (corpus.Area, 2008/2009).
+	Area string `json:"area"`
+	Year int    `json:"year"`
+	// Scale, Seed, Authors and Skew are corpus.Config knobs.
+	Scale   float64 `json:"scale"`
+	Seed    int64   `json:"seed"`
+	Authors int     `json:"authors,omitempty"`
+	Skew    float64 `json:"skew,omitempty"`
+	// GroupSize is δp; Workload 0 selects the minimum balanced workload.
+	GroupSize int `json:"group_size"`
+	Workload  int `json:"workload,omitempty"`
+}
+
+// Track is one replayable workload: metadata, an instance source (exactly
+// one of Corpus and Instance) and the ordered op stream.
+type Track struct {
+	// Format must equal FormatVersion.
+	Format int `json:"format"`
+	// Name identifies the track in reports and bench lines; keep it
+	// bench-name-safe (no spaces).
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	// Scenario records the generator scenario that produced the stream and
+	// Seed its seed — provenance, not replay inputs (the ops are concrete).
+	Scenario string `json:"scenario,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+	// Config is the tenant's solver configuration; its Seed/Method pin the
+	// solve trajectory so replays are comparable across backends and runs.
+	Config wire.TenantConfig `json:"config"`
+	// Corpus or Instance is the instance source.
+	Corpus   *CorpusRef     `json:"corpus,omitempty"`
+	Instance *wire.Instance `json:"instance,omitempty"`
+	Ops      []Op           `json:"ops"`
+}
+
+// Validate checks the structural invariants of the track: version, name, a
+// single instance source, and per-op well-formedness. Index ranges are the
+// replayed session's job (a track may legitimately carry an edit the session
+// rejects — the replayer counts it); Validate only rejects ops that could
+// never mean anything.
+func (t *Track) Validate() error {
+	if t.Format != FormatVersion {
+		return fmt.Errorf("track: unsupported format version %d (this build reads version %d)", t.Format, FormatVersion)
+	}
+	if t.Name == "" {
+		return fmt.Errorf("track: missing name")
+	}
+	if (t.Corpus == nil) == (t.Instance == nil) {
+		return fmt.Errorf("track %s: want exactly one instance source (corpus or instance)", t.Name)
+	}
+	if t.Corpus != nil {
+		c := t.Corpus
+		if c.Scale <= 0 || c.GroupSize <= 0 {
+			return fmt.Errorf("track %s: corpus ref needs positive scale and group_size", t.Name)
+		}
+		if _, err := corpusSpec(c.Area); err != nil {
+			return fmt.Errorf("track %s: %w", t.Name, err)
+		}
+	}
+	if len(t.Ops) == 0 {
+		return fmt.Errorf("track %s: empty op stream", t.Name)
+	}
+	for i, op := range t.Ops {
+		switch op.Kind {
+		case OpSolve, OpResolve, OpResolveAsync, OpView:
+		case OpSleep:
+			if op.SleepNS < 0 {
+				return fmt.Errorf("track %s: op %d: negative sleep", t.Name, i)
+			}
+		case OpPhase:
+			if op.Phase == "" {
+				return fmt.Errorf("track %s: op %d: phase marker without a name", t.Name, i)
+			}
+		case OpAddConflict:
+			if op.R < 0 || op.P < 0 {
+				return fmt.Errorf("track %s: op %d: negative conflict index", t.Name, i)
+			}
+		case OpWithdraw, OpRestore:
+			if op.P < 0 {
+				return fmt.Errorf("track %s: op %d: negative paper index", t.Name, i)
+			}
+		case OpSetWorkload:
+			if op.Workload <= 0 {
+				return fmt.Errorf("track %s: op %d: non-positive workload", t.Name, i)
+			}
+		case OpAddReviewer:
+			if op.Reviewer == nil || len(op.Reviewer.Topics) == 0 {
+				return fmt.Errorf("track %s: op %d: add_reviewer without a reviewer vector", t.Name, i)
+			}
+		default:
+			return fmt.Errorf("track %s: op %d: unknown kind %q", t.Name, i, op.Kind)
+		}
+	}
+	return nil
+}
+
+// corpusSpec validates the area name without constructing a generator.
+func corpusSpec(area string) (corpus.Area, error) {
+	for _, a := range corpus.Areas {
+		if string(a) == area {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("track: unknown corpus area %q", area)
+}
+
+// Materialize resolves the track's instance source to a concrete wire
+// instance: inline instances are returned as-is, corpus references are
+// regenerated deterministically from their parameters.
+func (t *Track) Materialize() (*wire.Instance, error) {
+	if t.Instance != nil {
+		return t.Instance, nil
+	}
+	if t.Corpus == nil {
+		return nil, fmt.Errorf("track %s: no instance source", t.Name)
+	}
+	c := t.Corpus
+	area, err := corpusSpec(c.Area)
+	if err != nil {
+		return nil, err
+	}
+	gen := corpus.NewGenerator(corpus.Config{
+		Scale:          c.Scale,
+		Seed:           c.Seed,
+		AuthorsPerArea: c.Authors,
+		Skew:           c.Skew,
+	})
+	ds, err := gen.Dataset(area, c.Year)
+	if err != nil {
+		return nil, fmt.Errorf("track %s: %w", t.Name, err)
+	}
+	in := ds.Instance(c.GroupSize, c.Workload)
+	w, err := wire.FromInstance(in)
+	if err != nil {
+		return nil, fmt.Errorf("track %s: %w", t.Name, err)
+	}
+	return w, nil
+}
+
+// dims describes the instance a track's op stream was generated against,
+// mirroring exactly the state the session's edit validation sees. The
+// scenario generator simulates it to emit (mostly) acceptable edits; the
+// effective workload follows core.Instance's minimum-balanced default.
+type dims struct {
+	papers    int
+	reviewers int
+	topics    int
+	groupSize int
+	workload  int
+}
+
+func dimsOf(in *wire.Instance) dims {
+	d := dims{
+		papers:    len(in.Papers),
+		reviewers: len(in.Reviewers),
+		groupSize: in.GroupSize,
+		workload:  in.Workload,
+	}
+	if len(in.Papers) > 0 {
+		d.topics = len(in.Papers[0].Topics)
+	}
+	if d.workload == 0 && d.reviewers > 0 {
+		// Mirror core.Instance: a zero workload means the minimum balanced
+		// workload ⌈P·δp/R⌉.
+		d.workload = (d.papers*d.groupSize + d.reviewers - 1) / d.reviewers
+	}
+	return d
+}
+
+// Write serialises the track as indented JSON.
+func (t *Track) Write(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// Read parses and validates a track. A torn or truncated file fails the
+// JSON decode (the object never closes), and a decodable track still goes
+// through Validate — a half-written artifact is never replayed.
+func Read(r io.Reader) (*Track, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var t Track
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("track: decoding (torn or truncated file?): %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// ReadFile reads a track from a file.
+func ReadFile(path string) (*Track, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

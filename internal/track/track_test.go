@@ -1,0 +1,178 @@
+package track_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/track"
+	"repro/internal/wire"
+)
+
+// testInstance generates a small deterministic corpus instance.
+func testInstance(t *testing.T) *wire.Instance {
+	t.Helper()
+	ds, err := corpus.NewGenerator(corpus.Config{Scale: 0.06, Seed: 3, AuthorsPerArea: 60}).Dataset(corpus.Databases, 2008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := wire.FromInstance(ds.Instance(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// testTrack generates a small valid track over a corpus reference.
+func testTrack(t *testing.T, scenario string, seed int64) *track.Track {
+	t.Helper()
+	in := testInstance(t)
+	ops, err := track.Generate(scenario, in, track.GenConfig{Seed: seed, Edits: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &track.Track{
+		Format:   track.FormatVersion,
+		Name:     "test-" + scenario,
+		Scenario: scenario,
+		Seed:     seed,
+		Config:   wire.TenantConfig{Method: "sdga", Seed: 1},
+		Corpus: &track.CorpusRef{
+			Area: "DB", Year: 2008, Scale: 0.06, Seed: 3, Authors: 60, GroupSize: 3,
+		},
+		Ops: ops,
+	}
+}
+
+func TestTrackRoundTrip(t *testing.T) {
+	tr := testTrack(t, "coi-storm", 7)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := track.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || got.Scenario != tr.Scenario || got.Seed != tr.Seed {
+		t.Fatalf("metadata changed in round trip: %+v", got)
+	}
+	if len(got.Ops) != len(tr.Ops) {
+		t.Fatalf("op count changed: wrote %d read %d", len(tr.Ops), len(got.Ops))
+	}
+	for i := range got.Ops {
+		if got.Ops[i].Kind != tr.Ops[i].Kind || got.Ops[i].R != tr.Ops[i].R || got.Ops[i].P != tr.Ops[i].P {
+			t.Fatalf("op %d changed in round trip: %+v vs %+v", i, tr.Ops[i], got.Ops[i])
+		}
+	}
+	if got.Corpus == nil || got.Corpus.Area != "DB" {
+		t.Fatalf("corpus ref lost: %+v", got.Corpus)
+	}
+}
+
+// TestTrackReadTruncated cuts a serialized track at several points; every cut
+// must be rejected — a torn artifact must never replay as a shorter workload.
+func TestTrackReadTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testTrack(t, "withdrawal-wave", 5).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 1, len(full) / 4, len(full) / 2, len(full) - 2} {
+		if _, err := track.Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncated track (%d of %d bytes) accepted", cut, len(full))
+		}
+	}
+}
+
+func TestTrackValidate(t *testing.T) {
+	valid := func() *track.Track { return testTrack(t, "rebalance", 2) }
+	cases := []struct {
+		name   string
+		mutate func(*track.Track)
+		want   string
+	}{
+		{"future format", func(tr *track.Track) { tr.Format = track.FormatVersion + 1 }, "unsupported format"},
+		{"zero format", func(tr *track.Track) { tr.Format = 0 }, "unsupported format"},
+		{"missing name", func(tr *track.Track) { tr.Name = "" }, "missing name"},
+		{"no instance source", func(tr *track.Track) { tr.Corpus = nil }, "instance source"},
+		{"two instance sources", func(tr *track.Track) { tr.Instance = &wire.Instance{} }, "instance source"},
+		{"bad corpus area", func(tr *track.Track) { tr.Corpus.Area = "XX" }, "unknown corpus area"},
+		{"non-positive scale", func(tr *track.Track) { tr.Corpus.Scale = 0 }, "positive scale"},
+		{"empty ops", func(tr *track.Track) { tr.Ops = nil }, "empty op stream"},
+		{"unknown kind", func(tr *track.Track) { tr.Ops[0].Kind = "explode" }, "unknown kind"},
+		{"negative conflict", func(tr *track.Track) {
+			tr.Ops = append(tr.Ops, track.Op{Kind: track.OpAddConflict, R: -1})
+		}, "negative conflict index"},
+		{"bad workload", func(tr *track.Track) {
+			tr.Ops = append(tr.Ops, track.Op{Kind: track.OpSetWorkload})
+		}, "non-positive workload"},
+		{"reviewerless add_reviewer", func(tr *track.Track) {
+			tr.Ops = append(tr.Ops, track.Op{Kind: track.OpAddReviewer})
+		}, "without a reviewer"},
+		{"nameless phase", func(tr *track.Track) {
+			tr.Ops = append(tr.Ops, track.Op{Kind: track.OpPhase})
+		}, "phase marker"},
+		{"negative sleep", func(tr *track.Track) {
+			tr.Ops = append(tr.Ops, track.Op{Kind: track.OpSleep, SleepNS: -1})
+		}, "negative sleep"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := valid()
+			tc.mutate(tr)
+			err := tr.Validate()
+			if err == nil {
+				t.Fatal("invalid track accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			// Write must refuse to serialize it too.
+			if err := tr.Write(&bytes.Buffer{}); err == nil {
+				t.Fatal("invalid track serialized")
+			}
+		})
+	}
+}
+
+func TestMaterializeCorpusRefDeterministic(t *testing.T) {
+	tr := testTrack(t, "coi-storm", 1)
+	a, err := tr.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tr.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Papers) != len(b.Papers) || len(a.Reviewers) != len(b.Reviewers) {
+		t.Fatalf("corpus ref rematerialized differently: %d/%d vs %d/%d papers/reviewers",
+			len(a.Papers), len(a.Reviewers), len(b.Papers), len(b.Reviewers))
+	}
+	for i := range a.Papers {
+		if a.Papers[i].ID != b.Papers[i].ID {
+			t.Fatalf("paper %d differs: %s vs %s", i, a.Papers[i].ID, b.Papers[i].ID)
+		}
+	}
+	// And it matches the instance the track was generated against.
+	in := testInstance(t)
+	if len(a.Papers) != len(in.Papers) || len(a.Reviewers) != len(in.Reviewers) {
+		t.Fatalf("materialized %d/%d, generated against %d/%d",
+			len(a.Papers), len(a.Reviewers), len(in.Papers), len(in.Reviewers))
+	}
+}
+
+func TestIsEdit(t *testing.T) {
+	for _, k := range []string{track.OpAddConflict, track.OpWithdraw, track.OpRestore, track.OpAddReviewer, track.OpSetWorkload} {
+		if !track.IsEdit(k) {
+			t.Errorf("IsEdit(%q) = false", k)
+		}
+	}
+	for _, k := range []string{track.OpSolve, track.OpResolve, track.OpResolveAsync, track.OpView, track.OpSleep, track.OpPhase, "nope"} {
+		if track.IsEdit(k) {
+			t.Errorf("IsEdit(%q) = true", k)
+		}
+	}
+}
