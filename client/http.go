@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 
 	"repro/internal/wire"
 )
@@ -17,17 +18,49 @@ import (
 // wgrap-serve API. Every non-2xx response carries a wire.Error envelope that
 // fromWireError maps back onto the sentinel errors, so callers cannot tell
 // the backends apart by error behavior.
+//
+// Against a clustered deployment (the bootstrap node serves /cluster/map)
+// the client turns shard-aware: it computes each venue's owner from the
+// epoch-stamped shard map with the same consistent hashing the servers use,
+// routes per-venue, follows not_owner redirects, refreshes the map on epoch
+// mismatch, and fails over to the promoted follower when a node dies —
+// including reconciling a mid-flight edit batch against the survivor's
+// journal sequence. All of that is invisible at the Client interface:
+// Open("http://…") callers are untouched.
 type httpClient struct {
 	base string
 	hc   *http.Client
+
+	// Cluster routing state; see cluster.go. All nil/empty against a
+	// single-node server.
+	cmu     sync.Mutex
+	probed  bool
+	cv      *clusterView
+	dead    map[string]uint64    // node id -> epoch at which we marked it dead
+	seqs    map[string]uint64    // tenant id -> last acknowledged edit seq
+	tickets map[string]ticketRef // ticket token -> issuing node + remote token
 }
 
 func openHTTP(base string) Client {
-	return &httpClient{base: base, hc: &http.Client{}}
+	return &httpClient{
+		base:    base,
+		hc:      &http.Client{},
+		dead:    make(map[string]uint64),
+		seqs:    make(map[string]uint64),
+		tickets: make(map[string]ticketRef),
+	}
 }
 
-// call issues one JSON request. out may be nil.
+// call issues one JSON request against the bootstrap base URL.
 func (c *httpClient) call(ctx context.Context, method, path string, body, out any) error {
+	return c.callAt(ctx, method, c.base, path, body, out)
+}
+
+// callAt issues one JSON request against an explicit node base URL. Failures
+// to reach the node (dial, reset, death mid-response) come back as
+// *transportError; a not_owner envelope comes back as *notOwnerError; other
+// error envelopes map onto the sentinel errors.
+func (c *httpClient) callAt(ctx context.Context, method, base, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
 		raw, err := json.Marshal(body)
@@ -36,7 +69,7 @@ func (c *httpClient) call(ctx context.Context, method, path string, body, out an
 		}
 		rd = bytes.NewReader(raw)
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, base+path, rd)
 	if err != nil {
 		return err
 	}
@@ -45,7 +78,7 @@ func (c *httpClient) call(ctx context.Context, method, path string, body, out an
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return &transportError{err: err}
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
@@ -53,53 +86,55 @@ func (c *httpClient) call(ctx context.Context, method, path string, body, out an
 		if err := json.NewDecoder(resp.Body).Decode(&we); err != nil || we.Code == "" {
 			return fmt.Errorf("client: %s %s: unexpected status %d", method, path, resp.StatusCode)
 		}
+		if we.Code == wire.CodeNotOwner {
+			return &notOwnerError{we: &we}
+		}
 		return fromWireError(&we)
 	}
 	if out == nil {
 		return nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return &transportError{err: err} // node died mid-response
+	}
+	return nil
 }
 
 func (c *httpClient) CreateTenant(ctx context.Context, req *wire.CreateRequest) (*wire.Status, error) {
 	st := &wire.Status{}
-	if err := c.call(ctx, "POST", "/v1/tenants", req, st); err != nil {
+	if _, err := c.routedCall(ctx, req.ID, "POST", "/v1/tenants", req, st); err != nil {
 		return nil, err
 	}
 	return st, nil
 }
 
 func (c *httpClient) Tenants(ctx context.Context) ([]string, error) {
-	var list wire.TenantList
-	if err := c.call(ctx, "GET", "/v1/tenants", nil, &list); err != nil {
-		return nil, err
-	}
-	return list.Tenants, nil
+	return c.clusterTenants(ctx)
 }
 
 func (c *httpClient) Status(ctx context.Context, id string) (*wire.Status, error) {
 	st := &wire.Status{}
-	if err := c.call(ctx, "GET", "/v1/tenants/"+id, nil, st); err != nil {
+	if _, err := c.tenantCall(ctx, id, "GET", "", nil, st); err != nil {
 		return nil, err
 	}
 	return st, nil
 }
 
 func (c *httpClient) DeleteTenant(ctx context.Context, id string) error {
-	return c.call(ctx, "DELETE", "/v1/tenants/"+id, nil, nil)
+	_, err := c.tenantCall(ctx, id, "DELETE", "", nil, nil)
+	if err == nil {
+		c.forgetTenant(id)
+	}
+	return err
 }
 
 func (c *httpClient) Edit(ctx context.Context, id string, edits ...wire.Edit) (*wire.EditResponse, error) {
-	resp := &wire.EditResponse{}
-	if err := c.call(ctx, "POST", "/v1/tenants/"+id+"/edits", wire.EditRequest{Edits: edits}, resp); err != nil {
-		return nil, err
-	}
-	return resp, nil
+	return c.clusterEdit(ctx, id, edits)
 }
 
 func (c *httpClient) Solve(ctx context.Context, id string) (*wire.Result, error) {
 	res := &wire.Result{}
-	if err := c.call(ctx, "POST", "/v1/tenants/"+id+"/solve", nil, res); err != nil {
+	if _, err := c.tenantCall(ctx, id, "POST", "/solve", nil, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -107,7 +142,7 @@ func (c *httpClient) Solve(ctx context.Context, id string) (*wire.Result, error)
 
 func (c *httpClient) Resolve(ctx context.Context, id string) (*wire.Result, error) {
 	res := &wire.Result{}
-	if err := c.call(ctx, "POST", "/v1/tenants/"+id+"/resolve", nil, res); err != nil {
+	if _, err := c.tenantCall(ctx, id, "POST", "/resolve", nil, res); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -115,23 +150,21 @@ func (c *httpClient) Resolve(ctx context.Context, id string) (*wire.Result, erro
 
 func (c *httpClient) ResolveAsync(ctx context.Context, id string) (string, error) {
 	var tk wire.Ticket
-	if err := c.call(ctx, "POST", "/v1/tenants/"+id+"/resolve-async", nil, &tk); err != nil {
+	addr, err := c.tenantCall(ctx, id, "POST", "/resolve-async", nil, &tk)
+	if err != nil {
 		return "", err
 	}
+	c.rememberTicket(tk.Ticket, addr, tk.Ticket)
 	return tk.Ticket, nil
 }
 
 func (c *httpClient) Ticket(ctx context.Context, id, token string) (*wire.TicketStatus, error) {
-	st := &wire.TicketStatus{}
-	if err := c.call(ctx, "GET", "/v1/tenants/"+id+"/tickets/"+token, nil, st); err != nil {
-		return nil, err
-	}
-	return st, nil
+	return c.clusterTicket(ctx, id, token)
 }
 
 func (c *httpClient) View(ctx context.Context, id string) (*wire.View, error) {
 	v := &wire.View{}
-	if err := c.call(ctx, "GET", "/v1/tenants/"+id+"/view", nil, v); err != nil {
+	if _, err := c.tenantCall(ctx, id, "GET", "/view", nil, v); err != nil {
 		return nil, err
 	}
 	return v, nil
@@ -139,10 +172,21 @@ func (c *httpClient) View(ctx context.Context, id string) (*wire.View, error) {
 
 // Progress subscribes to the tenant's SSE stream. The reader goroutine
 // parses "data:" lines into wire.Progress events and closes the channel when
-// the stream ends (context cancelled, stop called, or server shutdown).
+// the stream ends (context cancelled, stop called, or server shutdown). In
+// cluster mode the stream attaches to the venue's current owner.
 func (c *httpClient) Progress(ctx context.Context, id string) (<-chan wire.Progress, func(), error) {
+	base := c.base
+	if cv, err := c.clusterView(ctx); err != nil {
+		return nil, nil, err
+	} else if cv != nil {
+		_, addr := c.ownerOf(id)
+		if addr == "" {
+			return nil, nil, fmt.Errorf("client: no alive node owns tenant %q", id)
+		}
+		base = "http://" + addr
+	}
 	ctx, cancel := context.WithCancel(ctx)
-	req, err := http.NewRequestWithContext(ctx, "GET", c.base+"/v1/tenants/"+id+"/progress", nil)
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/v1/tenants/"+id+"/progress", nil)
 	if err != nil {
 		cancel()
 		return nil, nil, err

@@ -6,20 +6,20 @@ import (
 	"fmt"
 
 	wgrap "repro"
-	"repro/internal/serve"
+	"repro/internal/tenant"
 	"repro/internal/wire"
 )
 
-// memClient is the embedded backend: the same serve.Registry the daemon
+// memClient is the embedded backend: the same tenant.Registry the daemon
 // hosts, driven in-process. No HTTP, no serialization on the hot paths —
 // but byte-for-byte the same wire types and the same semantics, which is
 // what keeps the two backends interchangeable.
 type memClient struct {
-	reg *serve.Registry
+	reg *tenant.Registry
 }
 
 func openMem(dataDir string) (Client, error) {
-	reg, err := serve.NewRegistry(dataDir)
+	reg, err := tenant.NewRegistry(dataDir)
 	if err != nil {
 		return nil, err
 	}
@@ -32,11 +32,11 @@ func memErr(err error) error {
 	switch {
 	case err == nil:
 		return nil
-	case errors.Is(err, serve.ErrTenantNotFound):
+	case errors.Is(err, tenant.ErrTenantNotFound):
 		return fmt.Errorf("%w (%v)", ErrNotFound, err)
-	case errors.Is(err, serve.ErrTenantExists), errors.Is(err, wgrap.ErrJournalExists):
+	case errors.Is(err, tenant.ErrTenantExists), errors.Is(err, wgrap.ErrJournalExists):
 		return fmt.Errorf("%w (%v)", ErrTenantExists, err)
-	case errors.Is(err, serve.ErrBadTenantID):
+	case errors.Is(err, tenant.ErrBadTenantID):
 		return fmt.Errorf("%w: %v", wgrap.ErrInvalidInstance, err)
 	default:
 		return err
@@ -48,7 +48,7 @@ func (c *memClient) CreateTenant(_ context.Context, req *wire.CreateRequest) (*w
 	if err != nil {
 		return nil, memErr(err)
 	}
-	st := serve.StatusOf(t)
+	st := tenant.StatusOf(t)
 	return &st, nil
 }
 
@@ -61,7 +61,7 @@ func (c *memClient) Status(_ context.Context, id string) (*wire.Status, error) {
 	if err != nil {
 		return nil, memErr(err)
 	}
-	st := serve.StatusOf(t)
+	st := tenant.StatusOf(t)
 	return &st, nil
 }
 
@@ -74,7 +74,7 @@ func (c *memClient) Edit(_ context.Context, id string, edits ...wire.Edit) (*wir
 	if err != nil {
 		return nil, memErr(err)
 	}
-	resp, err := serve.ApplyEdits(t, edits)
+	resp, err := tenant.ApplyEdits(t, edits)
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +90,7 @@ func (c *memClient) Solve(ctx context.Context, id string) (*wire.Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	return serve.ResultOf(res), nil
+	return tenant.ResultOf(res), nil
 }
 
 func (c *memClient) Resolve(ctx context.Context, id string) (*wire.Result, error) {
@@ -102,7 +102,7 @@ func (c *memClient) Resolve(ctx context.Context, id string) (*wire.Result, error
 	if err != nil {
 		return nil, err
 	}
-	return serve.ResultOf(res), nil
+	return tenant.ResultOf(res), nil
 }
 
 func (c *memClient) ResolveAsync(_ context.Context, id string) (string, error) {
@@ -128,10 +128,10 @@ func (c *memClient) Ticket(ctx context.Context, id, token string) (*wire.TicketS
 		st.Done = true
 		res, err := tk.Wait(ctx) // completed: returns immediately
 		if err != nil {
-			st.Error = serve.ToWireError(err)
+			st.Error = tenant.ToWireError(err)
 		} else {
 			st.Version = tk.Version()
-			st.Result = serve.ResultOf(res)
+			st.Result = tenant.ResultOf(res)
 		}
 	default:
 	}
@@ -143,7 +143,7 @@ func (c *memClient) View(_ context.Context, id string) (*wire.View, error) {
 	if err != nil {
 		return nil, memErr(err)
 	}
-	v := serve.ViewOf(t.Solver.View())
+	v := tenant.ViewOf(t.Solver.View())
 	return &v, nil
 }
 

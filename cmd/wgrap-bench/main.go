@@ -108,6 +108,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	trackTenant := fs.String("tenant", "", "-track: tenant id override (default derives from the track name)")
 	trackJSON := fs.String("track-json", "", "-track: write the full replay report (histograms, phases, accepted/rejected, final seq/objective) to this JSON file")
 	sleepScale := fs.Float64("sleep-scale", 0, "-track: multiplier on the track's sleep ops (0 replays at full speed)")
+	var phaseBudgets budgetFlags
+	fs.Var(&phaseBudgets, "phase-budget", "-track: repeatable latency assertion [phase/]kind:p50=DUR,p99=DUR (e.g. deadline-rush/edit:p99=50ms); fails the run on violation")
 	ccPapers := fs.Int("papers", 1000, "-concurrent/-serve: number of papers")
 	ccReviewers := fs.Int("reviewers", 2000, "-concurrent/-serve: number of reviewers")
 	ccTopics := fs.Int("topics", 40, "-concurrent/-serve: topic vector dimension")
@@ -143,7 +145,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case *trackPath != "":
 		current, err = runTrack(stdout, trackConfig{
 			path: *trackPath, backend: *trackBackend, tenant: *trackTenant,
-			reportPath: *trackJSON, sleepScale: *sleepScale,
+			reportPath: *trackJSON, sleepScale: *sleepScale, budgets: phaseBudgets,
 		})
 		if err != nil {
 			return err

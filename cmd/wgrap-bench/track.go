@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/client"
@@ -13,11 +14,134 @@ import (
 
 // trackConfig is the -track replay mode's configuration.
 type trackConfig struct {
-	path       string  // track file
-	backend    string  // client.Open URL (mem://, mem:///dir, http://…)
-	tenant     string  // tenant id override ("" derives from the track name)
-	reportPath string  // full per-op-kind histogram report JSON ("" skips)
-	sleepScale float64 // sleep-op multiplier (0 skips sleeps)
+	path       string        // track file
+	backend    string        // client.Open URL (mem://, mem:///dir, http://…)
+	tenant     string        // tenant id override ("" derives from the track name)
+	reportPath string        // full per-op-kind histogram report JSON ("" skips)
+	sleepScale float64       // sleep-op multiplier (0 skips sleeps)
+	budgets    []phaseBudget // -phase-budget assertions
+}
+
+// phaseBudget is one -phase-budget assertion: latency percentile ceilings
+// for an op kind, scoped to one replay phase (or the whole track when phase
+// is empty).
+type phaseBudget struct {
+	phase string // "" = whole-track kinds
+	kind  string // op kind ("edit" aggregates the edit kinds)
+	p50   time.Duration
+	p99   time.Duration
+}
+
+// budgetFlags parses repeated -phase-budget values of the form
+//
+//	[phase/]kind:p50=10ms,p99=80ms
+//
+// e.g. "deadline-rush/edit:p99=50ms" or "view:p50=200us,p99=2ms". Either
+// percentile may be omitted; at least one is required.
+type budgetFlags []phaseBudget
+
+func (b *budgetFlags) String() string {
+	parts := make([]string, 0, len(*b))
+	for _, pb := range *b {
+		s := pb.kind
+		if pb.phase != "" {
+			s = pb.phase + "/" + s
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (b *budgetFlags) Set(s string) error {
+	target, limits, ok := strings.Cut(s, ":")
+	if !ok {
+		return fmt.Errorf("bad -phase-budget %q (want [phase/]kind:p50=…,p99=…)", s)
+	}
+	var pb phaseBudget
+	if phase, kind, ok := strings.Cut(target, "/"); ok {
+		pb.phase, pb.kind = phase, kind
+	} else {
+		pb.kind = target
+	}
+	if pb.kind == "" {
+		return fmt.Errorf("bad -phase-budget %q: empty op kind", s)
+	}
+	for _, part := range strings.Split(limits, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("bad -phase-budget limit %q (want p50=DUR or p99=DUR)", part)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			return fmt.Errorf("bad -phase-budget duration %q", val)
+		}
+		switch key {
+		case "p50":
+			pb.p50 = d
+		case "p99":
+			pb.p99 = d
+		default:
+			return fmt.Errorf("bad -phase-budget percentile %q (want p50 or p99)", key)
+		}
+	}
+	if pb.p50 == 0 && pb.p99 == 0 {
+		return fmt.Errorf("bad -phase-budget %q: no percentile limit", s)
+	}
+	*b = append(*b, pb)
+	return nil
+}
+
+// assertPhaseBudgets checks every -phase-budget against the replay report's
+// per-phase (or whole-track) latency histograms and fails on any violation —
+// the replay-level analogue of the bench regression gate, with absolute
+// ceilings instead of a baseline ratio.
+func assertPhaseBudgets(stdout io.Writer, rep *track.Report, budgets []phaseBudget) error {
+	var failures []string
+	for _, pb := range budgets {
+		kinds := rep.Kinds
+		scope := "track"
+		if pb.phase != "" {
+			kinds = nil
+			for i := range rep.Phases {
+				if rep.Phases[i].Name == pb.phase {
+					kinds = rep.Phases[i].Kinds
+					break
+				}
+			}
+			if kinds == nil {
+				failures = append(failures, fmt.Sprintf("%s/%s: phase not found in replay", pb.phase, pb.kind))
+				continue
+			}
+			scope = "phase " + pb.phase
+		}
+		st, ok := kinds[pb.kind]
+		if !ok || st.Count == 0 {
+			failures = append(failures, fmt.Sprintf("%s/%s: op kind has no samples in %s", pb.phase, pb.kind, scope))
+			continue
+		}
+		check := func(label string, got int64, budget time.Duration) {
+			if budget == 0 {
+				return
+			}
+			status := "ok"
+			if got > budget.Nanoseconds() {
+				status = "FAIL"
+				failures = append(failures, fmt.Sprintf("%s %s %s=%v exceeds budget %v",
+					scope, pb.kind, label, time.Duration(got).Round(time.Microsecond), budget))
+			}
+			fmt.Fprintf(stdout, "phase-budget %-40s %s=%v (budget %v)  %s\n",
+				scope+"/"+pb.kind, label, time.Duration(got).Round(time.Microsecond), budget, status)
+		}
+		check("p50", st.P50NS, pb.p50)
+		check("p99", st.P99NS, pb.p99)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(stdout, "FAIL:", f)
+		}
+		return fmt.Errorf("%d phase-budget violation(s)", len(failures))
+	}
+	return nil
 }
 
 // runTrack replays one workload track file against a backend and reports
@@ -76,6 +200,11 @@ func runTrack(stdout io.Writer, cfg trackConfig) (map[string]Result, error) {
 			return nil, err
 		}
 		fmt.Fprintf(stdout, "wrote replay report to %s\n", cfg.reportPath)
+	}
+	if len(cfg.budgets) > 0 {
+		if err := assertPhaseBudgets(stdout, rep, cfg.budgets); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/track"
@@ -97,5 +98,67 @@ func TestRunTrackModeMissingFile(t *testing.T) {
 	var buf strings.Builder
 	if err := run([]string{"-track", filepath.Join(t.TempDir(), "nope.json")}, nil, &buf); err == nil {
 		t.Fatal("missing track file accepted")
+	}
+}
+
+func TestBudgetFlagsParse(t *testing.T) {
+	var b budgetFlags
+	for _, s := range []string{"edit:p50=10ms,p99=80ms", "coi-storm/view:p99=2ms"} {
+		if err := b.Set(s); err != nil {
+			t.Fatalf("Set(%q): %v", s, err)
+		}
+	}
+	if len(b) != 2 {
+		t.Fatalf("parsed %d budgets, want 2", len(b))
+	}
+	if b[0].phase != "" || b[0].kind != "edit" || b[0].p50 != 10*time.Millisecond || b[0].p99 != 80*time.Millisecond {
+		t.Fatalf("budget 0: %+v", b[0])
+	}
+	if b[1].phase != "coi-storm" || b[1].kind != "view" || b[1].p50 != 0 || b[1].p99 != 2*time.Millisecond {
+		t.Fatalf("budget 1: %+v", b[1])
+	}
+	for _, bad := range []string{
+		"edit",            // no limits
+		"edit:",           // empty limits
+		":p50=1ms",        // empty kind
+		"edit:p75=1ms",    // unknown percentile
+		"edit:p50=banana", // bad duration
+		"edit:p50=-1ms",   // non-positive duration
+	} {
+		if err := b.Set(bad); err == nil {
+			t.Fatalf("Set(%q) accepted", bad)
+		}
+	}
+}
+
+func TestAssertPhaseBudgets(t *testing.T) {
+	rep := &track.Report{
+		Kinds: map[string]*track.KindStats{
+			"edit": {Count: 100, P50NS: int64(2 * time.Millisecond), P99NS: int64(9 * time.Millisecond)},
+		},
+		Phases: []track.PhaseStat{{
+			Name: "storm",
+			Kinds: map[string]*track.KindStats{
+				"view": {Count: 40, P50NS: int64(100 * time.Microsecond), P99NS: int64(3 * time.Millisecond)},
+			},
+		}},
+	}
+	var out strings.Builder
+	ok := []phaseBudget{
+		{kind: "edit", p50: 5 * time.Millisecond, p99: 10 * time.Millisecond},
+		{phase: "storm", kind: "view", p99: 5 * time.Millisecond},
+	}
+	if err := assertPhaseBudgets(&out, rep, ok); err != nil {
+		t.Fatalf("budgets within limits failed: %v\n%s", err, out.String())
+	}
+	for name, bad := range map[string]phaseBudget{
+		"p99 over":      {kind: "edit", p99: 5 * time.Millisecond},
+		"missing phase": {phase: "quiet", kind: "edit", p99: time.Second},
+		"missing kind":  {phase: "storm", kind: "edit", p99: time.Second},
+		"no samples":    {kind: "solve", p50: time.Second},
+	} {
+		if err := assertPhaseBudgets(&out, rep, []phaseBudget{bad}); err == nil {
+			t.Fatalf("%s: violation not reported", name)
+		}
 	}
 }

@@ -10,10 +10,19 @@
 // as the uninterrupted session (the crash-recovery CI job asserts this
 // end to end, SIGKILL included).
 //
+// With -node-id and -peers the daemon becomes one node of a shard-aware
+// cluster (internal/cluster): venues are consistent-hashed onto the alive
+// nodes, the epoch-stamped shard map is served at /cluster/map, requests for
+// venues owned elsewhere answer not_owner with the owner's address, and each
+// tenant's edit journal is replicated to its ring successor, which replays
+// it into a warm standby and takes ownership when the owner dies.
+//
 // Examples:
 //
 //	wgrap-serve -addr 127.0.0.1:8080                 # in-memory tenants
 //	wgrap-serve -addr :8080 -data /var/lib/wgrap     # durable tenants
+//	wgrap-serve -node-id n1 -data /var/lib/wgrap \
+//	  -peers n1=10.0.0.1:8080,n2=10.0.0.2:8080,n3=10.0.0.3:8080
 //
 // Drive it with the repro/client package: client.Open("http://127.0.0.1:8080")
 // speaks the same interface as the embedded client.Open("mem://").
@@ -32,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/serve"
 )
 
@@ -47,8 +57,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", "127.0.0.1:8080", "listen address (host:port; port 0 picks a free port)")
 	data := fs.String("data", "", "data directory for durable tenants (empty: in-memory only)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown drain timeout")
+	nodeID := fs.String("node-id", "", "cluster node id (requires -peers and -data)")
+	peers := fs.String("peers", "", "static cluster membership: id=host:port,id=host:port,…")
+	probeInterval := fs.Duration("probe-interval", 250*time.Millisecond, "cluster peer health-probe interval")
+	replicaPoll := fs.Duration("replica-poll", 500*time.Millisecond, "cluster replication catch-up poll interval")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if (*nodeID == "") != (*peers == "") {
+		fmt.Fprintln(stderr, "wgrap-serve: -node-id and -peers go together")
+		return 2
+	}
+
+	var clusterCfg *cluster.Config
+	if *nodeID != "" {
+		if *data == "" {
+			fmt.Fprintln(stderr, "wgrap-serve: cluster mode requires -data (journal replication ships the data directory)")
+			return 2
+		}
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			fmt.Fprintln(stderr, "wgrap-serve:", err)
+			return 2
+		}
+		clusterCfg = &cluster.Config{
+			Self:          *nodeID,
+			Nodes:         nodes,
+			ProbeInterval: *probeInterval,
+			ReplicaPoll:   *replicaPoll,
+		}
+		// Unless -addr was given explicitly, listen on this node's advertised
+		// peer address so a 3-line peer list is the whole cluster config.
+		explicitAddr := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "addr" {
+				explicitAddr = true
+			}
+		})
+		if !explicitAddr {
+			for _, n := range nodes {
+				if n.ID == *nodeID {
+					*addr = n.Addr
+				}
+			}
+		}
 	}
 
 	// Catch shutdown signals before anything is announced: a SIGTERM racing
@@ -70,10 +122,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "wgrap-serve:", err)
 		return 1
 	}
-	srv := &http.Server{Handler: serve.Handler(reg)}
+	var opts []serve.Option
+	var member *cluster.Member
+	if clusterCfg != nil {
+		clusterCfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stdout, "wgrap-serve: "+format+"\n", args...)
+		}
+		member, err = cluster.NewMember(reg, *clusterCfg)
+		if err != nil {
+			fmt.Fprintln(stderr, "wgrap-serve:", err)
+			reg.Close()
+			return 1
+		}
+		opts = append(opts, serve.WithCluster(member))
+	}
+	srv := &http.Server{Handler: serve.Handler(reg, opts...)}
 	// The listening line is the readiness signal scripts and the CI crash
 	// test wait for; it carries the resolved address so -addr :0 is usable.
 	fmt.Fprintf(stdout, "wgrap-serve: listening on http://%s\n", ln.Addr())
+	if member != nil {
+		member.Start()
+		fmt.Fprintf(stdout, "wgrap-serve: cluster node %s (%d peers)\n", clusterCfg.Self, len(clusterCfg.Nodes))
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -83,6 +153,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "wgrap-serve: %v, draining\n", sig)
 	case err := <-errc:
 		fmt.Fprintln(stderr, "wgrap-serve:", err)
+		if member != nil {
+			member.Close()
+		}
 		reg.Close()
 		return 1
 	}
@@ -98,9 +171,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "wgrap-serve:", err)
 		code = 1
 	}
-	// Close every tenant last: journals flush and close only after the
-	// in-flight requests drained, so an acknowledged edit is never dropped by
-	// a graceful shutdown.
+	// Stop replication before closing tenants (the member reads their
+	// journals), and close every tenant last: journals flush and close only
+	// after the in-flight requests drained, so an acknowledged edit is never
+	// dropped by a graceful shutdown.
+	if member != nil {
+		member.Close()
+	}
 	if err := reg.Close(); err != nil {
 		fmt.Fprintln(stderr, "wgrap-serve:", err)
 		code = 1

@@ -1,0 +1,197 @@
+package durable
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// ErrTailGap reports a non-contiguous journal observed by a tail reader:
+// the next complete record skips ahead of the reader's sequence, which
+// happens when a compaction folded records the reader had not consumed yet
+// into the snapshot. The reader cannot recover the gap from the journal
+// alone — the consumer must restart from the snapshot (ReadState).
+var ErrTailGap = errors.New("durable: journal tail gap (records compacted away)")
+
+// TailReader streams the records of a live session journal without
+// disturbing the store that appends to it: it re-opens the journal file
+// read-only and decodes complete frames as they land, tolerating a torn or
+// still-in-flight tail (Next simply reports no record yet) and a compaction
+// truncating the file under it (it reopens from the start and skips records
+// at or below its sequence). This is the journal-shipping primitive: a
+// cluster owner drains a TailReader after each accepted edit batch to push
+// the new records to the tenant's follower, and serves catch-up reads
+// (GET /cluster/tenants/{id}/journal?after=N) from a fresh reader.
+type TailReader struct {
+	dir string
+	seq uint64 // last sequence returned
+	off int64  // byte offset of the next unread frame
+	buf []byte // remainder of the last read starting at off
+}
+
+// NewTailReader positions a reader after sequence `after` in dir's journal.
+// Records at or below `after` are skipped as they are encountered; the
+// caller is responsible for having consumed them (typically from the
+// snapshot — see ReadState).
+func NewTailReader(dir string, after uint64) *TailReader {
+	return &TailReader{dir: dir, seq: after}
+}
+
+// Seq returns the sequence of the last record returned (or the starting
+// point when none was).
+func (t *TailReader) Seq() uint64 { return t.seq }
+
+// load refreshes t.buf with the journal bytes from t.off to EOF. A file
+// shorter than t.off means the journal was truncated by a compaction: the
+// reader restarts from offset 0 and relies on the sequence filter.
+func (t *TailReader) load() error {
+	raw, err := os.ReadFile(filepath.Join(t.dir, journalFile))
+	if errors.Is(err, os.ErrNotExist) {
+		t.buf = nil
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if int64(len(raw)) < t.off {
+		t.off = 0 // compacted under us; re-scan and seq-filter
+	}
+	t.buf = raw[t.off:]
+	return nil
+}
+
+// Next returns the next complete record, or ok=false when the journal holds
+// no complete record beyond the reader's position yet (an in-flight append
+// or a torn tail — poll again later). A record that skips sequence numbers
+// returns ErrTailGap.
+func (t *TailReader) Next() (Record, bool, error) {
+	for {
+		if len(t.buf) == 0 {
+			if err := t.load(); err != nil {
+				return Record{}, false, err
+			}
+			if len(t.buf) == 0 {
+				return Record{}, false, nil
+			}
+		}
+		payload, next, ok := readFrame(t.buf, 0)
+		if !ok {
+			// Incomplete or torn frame at the current position: re-read in
+			// case more bytes landed, then report "nothing yet" if still so.
+			if err := t.load(); err != nil {
+				return Record{}, false, err
+			}
+			if payload, next, ok = readFrame(t.buf, 0); !ok {
+				return Record{}, false, nil
+			}
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return Record{}, false, fmt.Errorf("durable: decoding journal record: %w", err)
+		}
+		t.off += int64(next)
+		t.buf = t.buf[next:]
+		if rec.Seq <= t.seq {
+			continue // pre-compaction residue or already consumed
+		}
+		if rec.Seq != t.seq+1 {
+			return Record{}, false, fmt.Errorf("%w: record seq %d after %d", ErrTailGap, rec.Seq, t.seq)
+		}
+		t.seq = rec.Seq
+		return rec, true, nil
+	}
+}
+
+// Drain returns every complete record currently beyond the reader's
+// position, in order.
+func (t *TailReader) Drain() ([]Record, error) {
+	var recs []Record
+	for {
+		rec, ok, err := t.Next()
+		if err != nil {
+			return recs, err
+		}
+		if !ok {
+			return recs, nil
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// ReadState loads dir's snapshot without opening the store — the read-only
+// side of the durable layout, used to bootstrap a replication follower.
+func ReadState(dir string) (*State, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, fmt.Errorf("durable: reading snapshot: %w", err)
+	}
+	payload, err := readSingleFrame(raw, "snapshot")
+	if err != nil {
+		return nil, err
+	}
+	st := &State{}
+	if err := json.Unmarshal(payload, st); err != nil {
+		return nil, fmt.Errorf("durable: decoding snapshot: %w", err)
+	}
+	return st, nil
+}
+
+// Materialize writes a snapshot and a journal record suffix into dir — the
+// replication bootstrap path: a follower lays down the chunk it fetched from
+// a tenant's owner as a regular durable session directory, then restores a
+// solver from it exactly like crash recovery would. It refuses to overwrite
+// an existing session and validates that the records continue the snapshot
+// contiguously.
+func Materialize(dir string, st *State, recs []Record) error {
+	if st == nil {
+		return errors.New("durable: Materialize requires a snapshot")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if Exists(dir) {
+		return fmt.Errorf("durable: %s already holds session state", dir)
+	}
+	last := st.Seq
+	var buf []byte
+	for _, rec := range recs {
+		if rec.Seq <= st.Seq {
+			continue
+		}
+		if rec.Seq != last+1 {
+			return fmt.Errorf("durable: materialize gap: record seq %d after %d", rec.Seq, last)
+		}
+		last = rec.Seq
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf = appendFrame(buf, payload)
+	}
+	if err := os.WriteFile(filepath.Join(dir, journalFile), buf, 0o644); err != nil {
+		return err
+	}
+	return writeSnapshot(dir, st)
+}
+
+// ReadSince returns dir's snapshot plus the journal records with sequence
+// beyond max(after, snapshot seq), without disturbing the live store. When
+// `after` is below the snapshot's sequence the caller needs the snapshot to
+// catch up; otherwise the records alone suffice.
+func ReadSince(dir string, after uint64) (*State, []Record, error) {
+	st, err := ReadState(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	from := after
+	if st.Seq > from {
+		from = st.Seq
+	}
+	recs, err := NewTailReader(dir, from).Drain()
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, recs, nil
+}

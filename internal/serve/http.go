@@ -1,3 +1,15 @@
+// Package serve is the HTTP front of the serving stack: a thin transport
+// over the transport-agnostic tenant core (internal/tenant), which owns the
+// registry, tenant lifecycle and edit/solve semantics. The same core also
+// backs the client package's in-process mem:// backend — the HTTP layer
+// adds only encoding, routing and (when configured) cluster ownership
+// guards, so both fronts expose identical behaviour.
+//
+// With WithCluster the handler becomes one node of a shard-aware cluster
+// (internal/cluster): write routes are refused with a not_owner envelope
+// when the venue hashes to another node, read routes are answered from a
+// local replica when one exists, and /cluster/* (shard map, journal
+// shipping) is mounted alongside /v1/*.
 package serve
 
 import (
@@ -7,15 +19,48 @@ import (
 	"net/http"
 
 	wgrap "repro"
+	"repro/internal/cluster"
+	"repro/internal/tenant"
 	"repro/internal/wire"
 )
+
+// Compatibility aliases: the registry and tenant types moved to
+// internal/tenant when the core was split out of the HTTP layer; existing
+// importers (client/mem.go, cmd/wgrap-serve) keep working unchanged.
+type (
+	Registry = tenant.Registry
+	Tenant   = tenant.Tenant
+)
+
+var (
+	ErrTenantExists   = tenant.ErrTenantExists
+	ErrTenantNotFound = tenant.ErrTenantNotFound
+	ErrBadTenantID    = tenant.ErrBadTenantID
+)
+
+// NewRegistry builds a tenant registry (see tenant.NewRegistry).
+func NewRegistry(dataDir string) (*Registry, error) { return tenant.NewRegistry(dataDir) }
+
+// Option configures the handler.
+type Option func(*handler)
+
+// WithCluster makes the handler cluster-aware: ownership guards on write
+// routes, replica-served reads, and the /cluster/* routes of m.
+func WithCluster(m *cluster.Member) Option {
+	return func(h *handler) { h.cluster = m }
+}
+
+type handler struct {
+	reg     *Registry
+	cluster *cluster.Member
+}
 
 // Handler builds the HTTP API over a registry. Routes (all JSON except the
 // SSE stream):
 //
 //	GET    /v1/healthz                          liveness
 //	POST   /v1/tenants                          create tenant (CreateRequest)
-//	GET    /v1/tenants                          list tenant ids
+//	GET    /v1/tenants                          list tenant ids (this node's)
 //	GET    /v1/tenants/{id}                     tenant status
 //	DELETE /v1/tenants/{id}                     close + unregister tenant
 //	POST   /v1/tenants/{id}/edits               apply an edit batch
@@ -26,142 +71,176 @@ import (
 //	GET    /v1/tenants/{id}/view                latest published View (lock-free)
 //	GET    /v1/tenants/{id}/result              latest Result (lock-free)
 //	GET    /v1/tenants/{id}/progress            SSE stream of anytime snapshots
-func Handler(reg *Registry) http.Handler {
+//
+// Cluster mode (WithCluster) splits the tenant routes into two classes.
+// Mutating routes (create, delete, edits, solve, resolve, resolve-async,
+// status, progress) are owner-only: a node that does not own the venue
+// answers 421 with a not_owner envelope naming the owner, and a client
+// follows it. Read routes (view, result, tickets) are local-reads: any node
+// holding the tenant — owner or replication follower — answers from its
+// local (possibly stale-bounded) copy, which is what lets a standby serve
+// reads and answer for tickets it issued. /cluster/map and the journal
+// shipping endpoints are mounted alongside.
+func Handler(reg *Registry, opts ...Option) http.Handler {
+	h := &handler{reg: reg}
+	for _, o := range opts {
+		o(h)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
-	mux.HandleFunc("POST /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
-		var req wire.CreateRequest
-		if !readJSON(w, r, &req) {
-			return
-		}
-		t, err := reg.Create(&req)
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		writeJSON(w, http.StatusCreated, StatusOf(t))
-	})
+	mux.HandleFunc("POST /v1/tenants", h.handleCreate)
 	mux.HandleFunc("GET /v1/tenants", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, wire.TenantList{Tenants: reg.List()})
 	})
-	mux.HandleFunc("GET /v1/tenants/{id}", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
-		writeJSON(w, http.StatusOK, StatusOf(t))
+	mux.HandleFunc("GET /v1/tenants/{id}", h.owned(func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+		writeJSON(w, http.StatusOK, tenant.StatusOf(t))
 	}))
-	mux.HandleFunc("DELETE /v1/tenants/{id}", func(w http.ResponseWriter, r *http.Request) {
-		if err := reg.Delete(r.PathValue("id")); err != nil {
+	mux.HandleFunc("DELETE /v1/tenants/{id}", h.ownedID(func(w http.ResponseWriter, r *http.Request, id string) {
+		if err := reg.Delete(id); err != nil {
 			writeErr(w, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
-	})
-	mux.HandleFunc("POST /v1/tenants/{id}/edits", withTenant(reg, handleEdits))
-	mux.HandleFunc("POST /v1/tenants/{id}/solve", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	}))
+	mux.HandleFunc("POST /v1/tenants/{id}/edits", h.owned(h.handleEdits))
+	mux.HandleFunc("POST /v1/tenants/{id}/solve", h.owned(func(w http.ResponseWriter, r *http.Request, t *Tenant) {
 		res, err := t.Solver.Solve(r.Context())
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, ResultOf(res))
+		writeJSON(w, http.StatusOK, tenant.ResultOf(res))
 	}))
-	mux.HandleFunc("POST /v1/tenants/{id}/resolve", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	mux.HandleFunc("POST /v1/tenants/{id}/resolve", h.owned(func(w http.ResponseWriter, r *http.Request, t *Tenant) {
 		res, err := t.Solver.Resolve(r.Context())
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, ResultOf(res))
+		writeJSON(w, http.StatusOK, tenant.ResultOf(res))
 	}))
-	mux.HandleFunc("POST /v1/tenants/{id}/resolve-async", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	mux.HandleFunc("POST /v1/tenants/{id}/resolve-async", h.owned(func(w http.ResponseWriter, r *http.Request, t *Tenant) {
 		token := reg.NewTicket(t, t.Solver.ResolveAsync())
 		writeJSON(w, http.StatusAccepted, wire.Ticket{Ticket: token})
 	}))
-	mux.HandleFunc("GET /v1/tenants/{id}/tickets/{ticket}", withTenant(reg, handleTicket))
-	mux.HandleFunc("GET /v1/tenants/{id}/view", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
-		writeJSON(w, http.StatusOK, ViewOf(t.Solver.View()))
+	mux.HandleFunc("GET /v1/tenants/{id}/tickets/{ticket}", h.local(handleTicket))
+	mux.HandleFunc("GET /v1/tenants/{id}/view", h.local(func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+		writeJSON(w, http.StatusOK, tenant.ViewOf(t.Solver.View()))
 	}))
-	mux.HandleFunc("GET /v1/tenants/{id}/result", withTenant(reg, func(w http.ResponseWriter, r *http.Request, t *Tenant) {
+	mux.HandleFunc("GET /v1/tenants/{id}/result", h.local(func(w http.ResponseWriter, r *http.Request, t *Tenant) {
 		res := t.Solver.Result()
 		if res == nil {
 			writeErr(w, fmt.Errorf("%w: tenant has no published result yet", ErrTenantNotFound))
 			return
 		}
-		writeJSON(w, http.StatusOK, ResultOf(res))
+		writeJSON(w, http.StatusOK, tenant.ResultOf(res))
 	}))
-	mux.HandleFunc("GET /v1/tenants/{id}/progress", withTenant(reg, handleProgress))
+	mux.HandleFunc("GET /v1/tenants/{id}/progress", h.owned(handleProgress))
+	if h.cluster != nil {
+		mux.Handle("/cluster/", h.cluster.Routes())
+	}
 	return mux
 }
 
-// withTenant resolves the {id} path segment before invoking h.
-func withTenant(reg *Registry, h func(http.ResponseWriter, *http.Request, *Tenant)) http.HandlerFunc {
+// handleCreate registers a new tenant. In cluster mode creation is routed
+// like any write: only the owner of the requested id accepts it.
+func (h *handler) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req wire.CreateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if h.cluster != nil && req.ID != "" && !h.cluster.IsOwner(req.ID) {
+		h.cluster.WriteNotOwner(w, req.ID)
+		return
+	}
+	t, err := h.reg.Create(&req)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if h.cluster != nil {
+		// Stand the follower up before acknowledging the create: from the
+		// first accepted edit on, replication is synchronous with the ack,
+		// and that only protects anything if the replica already exists.
+		h.cluster.EnsureFollower(t.ID)
+	}
+	writeJSON(w, http.StatusCreated, tenant.StatusOf(t))
+}
+
+// ownedID guards a mutating route that needs only the id (delete): in
+// cluster mode a non-owner answers not_owner instead of touching the local
+// registry.
+func (h *handler) ownedID(fn func(http.ResponseWriter, *http.Request, string)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		t, err := reg.Get(r.PathValue("id"))
+		id := r.PathValue("id")
+		if h.cluster != nil && !h.cluster.IsOwner(id) {
+			h.cluster.WriteNotOwner(w, id)
+			return
+		}
+		fn(w, r, id)
+	}
+}
+
+// owned resolves {id} on mutating routes: cluster ownership first, then the
+// local registry.
+func (h *handler) owned(fn func(http.ResponseWriter, *http.Request, *Tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if h.cluster != nil && !h.cluster.IsOwner(id) {
+			h.cluster.WriteNotOwner(w, id)
+			return
+		}
+		t, err := h.reg.Get(id)
 		if err != nil {
 			writeErr(w, err)
 			return
 		}
-		h(w, r, t)
+		fn(w, r, t)
+	}
+}
+
+// local resolves {id} on read routes from the local registry regardless of
+// ownership — a replication follower serves its stale-bounded copy. Only
+// when the tenant is not local at all does cluster mode answer not_owner so
+// the client retries at the owner.
+func (h *handler) local(fn func(http.ResponseWriter, *http.Request, *Tenant)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		t, err := h.reg.Get(id)
+		if err != nil {
+			if h.cluster != nil && !h.cluster.IsOwner(id) {
+				h.cluster.WriteNotOwner(w, id)
+				return
+			}
+			writeErr(w, err)
+			return
+		}
+		fn(w, r, t)
 	}
 }
 
 // handleEdits applies one edit batch in order. The batch is not atomic —
 // edits before the failing one stay accepted (and journaled), exactly like a
 // sequence of mutator calls on the embedded Solver; the response reports how
-// many were accepted so the client can resume.
-func handleEdits(w http.ResponseWriter, r *http.Request, t *Tenant) {
+// many were accepted so the client can resume. In cluster mode the accepted
+// records are pushed to the tenant's replication follower before the batch
+// is acknowledged, so an acknowledged edit survives the owner's death.
+func (h *handler) handleEdits(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	var req wire.EditRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
-	resp, err := ApplyEdits(t, req.Edits)
+	resp, err := tenant.ApplyEdits(t, req.Edits)
+	if h.cluster != nil && resp.Accepted > 0 {
+		h.cluster.NotifyWrite(t.ID)
+	}
 	if err != nil {
-		writeEditErr(w, err, resp.Accepted)
+		writeEditErr(w, err, resp)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
-}
-
-// ApplyEdits applies one edit batch to a tenant's session in order, shared
-// by the HTTP handler and the in-process (mem://) client. It stops at the
-// first rejected edit; the returned response always counts the accepted
-// prefix (edits are not transactional — accepted ones stay applied and
-// journaled, like consecutive mutator calls).
-func ApplyEdits(t *Tenant, edits []wire.Edit) (*wire.EditResponse, error) {
-	resp := &wire.EditResponse{}
-	for _, e := range edits {
-		var err error
-		switch e.Op {
-		case wire.OpAddConflict:
-			err = t.Solver.AddConflict(e.R, e.P)
-		case wire.OpWithdraw:
-			err = t.Solver.WithdrawPaper(e.P)
-		case wire.OpRestore:
-			err = t.Solver.RestorePaper(e.P)
-		case wire.OpAddReviewer:
-			if e.Reviewer == nil {
-				err = fmt.Errorf("%w: add-reviewer without a reviewer", wgrap.ErrInvalidEdit)
-				break
-			}
-			var idx int
-			idx, err = t.Solver.AddReviewer(wgrap.Reviewer{
-				ID: e.Reviewer.ID, Name: e.Reviewer.Name,
-				HIndex: e.Reviewer.HIndex, Topics: e.Reviewer.Topics,
-			})
-			if err == nil {
-				resp.ReviewerIndices = append(resp.ReviewerIndices, idx)
-			}
-		case wire.OpSetWorkload:
-			err = t.Solver.SetWorkload(e.Workload)
-		default:
-			err = fmt.Errorf("%w: unknown op %q", wgrap.ErrInvalidEdit, e.Op)
-		}
-		if err != nil {
-			return resp, err
-		}
-		resp.Accepted++
-	}
-	return resp, nil
 }
 
 // handleTicket reports an async resolve's state without blocking: done-ness
@@ -178,10 +257,10 @@ func handleTicket(w http.ResponseWriter, r *http.Request, t *Tenant) {
 		st.Done = true
 		res, err := tk.Wait(r.Context()) // completed: returns immediately
 		if err != nil {
-			st.Error = ToWireError(err)
+			st.Error = tenant.ToWireError(err)
 		} else {
 			st.Version = tk.Version()
-			st.Result = ResultOf(res)
+			st.Result = tenant.ResultOf(res)
 		}
 	default:
 	}
@@ -198,7 +277,7 @@ func handleProgress(w http.ResponseWriter, r *http.Request, t *Tenant) {
 		writeErr(w, errors.New("serve: streaming unsupported by this connection"))
 		return
 	}
-	ch, cancel := t.hub.subscribe()
+	ch, cancel := t.Subscribe()
 	defer cancel()
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
@@ -224,68 +303,6 @@ func handleProgress(w http.ResponseWriter, r *http.Request, t *Tenant) {
 	}
 }
 
-// StatusOf assembles a tenant's wire status from its lock-free read surface.
-func StatusOf(t *Tenant) wire.Status {
-	in := t.Solver.Instance()
-	return wire.Status{
-		ID:        t.ID,
-		Papers:    in.NumPapers(),
-		Reviewers: in.NumReviewers(),
-		Active:    t.Solver.ActivePapers(),
-		Seq:       t.Solver.Seq(),
-		Version:   t.Solver.View().Version,
-		Durable:   t.Durable,
-	}
-}
-
-// ResultOf converts a solver result to its wire form.
-func ResultOf(res *wgrap.Result) *wire.Result {
-	if res == nil {
-		return nil
-	}
-	return &wire.Result{
-		Score:           res.Score,
-		AverageCoverage: res.AverageCoverage,
-		LowestCoverage:  res.LowestCoverage,
-		ElapsedNS:       int64(res.Elapsed),
-		Method:          string(res.Method),
-		Groups:          res.Assignment.Groups,
-	}
-}
-
-// ViewOf converts a published view to its wire form.
-func ViewOf(v *wgrap.View) wire.View {
-	return wire.View{
-		Version:    v.Version,
-		Warm:       v.Warm,
-		Edits:      v.Edits,
-		WhenUnixNS: v.When.UnixNano(),
-		Result:     ResultOf(v.Result),
-	}
-}
-
-// ToWireError classifies err into the wire error envelope.
-func ToWireError(err error) *wire.Error {
-	code := wire.CodeInternal
-	switch {
-	case errors.Is(err, wgrap.ErrInvalidEdit):
-		code = wire.CodeInvalidEdit
-	case errors.Is(err, wgrap.ErrConflictSaturated):
-		code = wire.CodeConflictSaturated
-	case errors.Is(err, wgrap.ErrInfeasible):
-		code = wire.CodeInfeasible
-	case errors.Is(err, wgrap.ErrInvalidInstance), errors.Is(err, ErrBadTenantID):
-		code = wire.CodeInvalidInstance
-	case errors.Is(err, wgrap.ErrUnknownMethod):
-		code = wire.CodeUnknownMethod
-	case errors.Is(err, ErrTenantNotFound):
-		code = wire.CodeNotFound
-	case errors.Is(err, ErrTenantExists), errors.Is(err, wgrap.ErrJournalExists):
-		code = wire.CodeTenantExists
-	}
-	return &wire.Error{Code: code, Message: err.Error()}
-}
-
 // httpStatus maps wire error codes to HTTP statuses.
 func httpStatus(code string) int {
 	switch code {
@@ -295,24 +312,28 @@ func httpStatus(code string) int {
 		return http.StatusConflict
 	case wire.CodeNotFound:
 		return http.StatusNotFound
+	case wire.CodeNotOwner:
+		return http.StatusMisdirectedRequest
 	default:
 		return http.StatusInternalServerError
 	}
 }
 
 func writeErr(w http.ResponseWriter, err error) {
-	we := ToWireError(err)
+	we := tenant.ToWireError(err)
 	writeJSON(w, httpStatus(we.Code), we)
 }
 
-// writeEditErr is writeErr plus the accepted-edit count, so a partially
-// applied batch is reported precisely (edits are not transactional).
-func writeEditErr(w http.ResponseWriter, err error, accepted int) {
-	we := ToWireError(err)
+// writeEditErr is writeErr plus the accepted-edit count and post-batch
+// sequence, so a partially applied batch is reported precisely (edits are
+// not transactional).
+func writeEditErr(w http.ResponseWriter, err error, resp *wire.EditResponse) {
+	we := tenant.ToWireError(err)
 	writeJSON(w, httpStatus(we.Code), struct {
 		*wire.Error
-		Accepted int `json:"accepted"`
-	}{we, accepted})
+		Accepted int    `json:"accepted"`
+		Seq      uint64 `json:"seq,omitempty"`
+	}{we, resp.Accepted, resp.Seq})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -430,3 +430,78 @@ func TestCleanShutdownNoGoroutineLeak(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestServerDeleteDuringAsyncSolve races DELETE against an in-flight async
+// re-solve: the delete must complete cleanly, later polls of the orphaned
+// ticket must answer the plain not-found sentinel (no panic, no hang), and
+// the async worker goroutine must wind down instead of leaking. Both tenant
+// flavors run: the in-memory solver stays usable after Close (the solve in
+// flight completes into the void), the durable one refuses further solves —
+// either way the HTTP surface must look identical.
+func TestServerDeleteDuringAsyncSolve(t *testing.T) {
+	for _, durableTenant := range []bool{false, true} {
+		name := "memory"
+		if durableTenant {
+			name = "durable"
+		}
+		t.Run(name, func(t *testing.T) {
+			baseline := runtime.NumGoroutine()
+			dir := ""
+			if durableTenant {
+				dir = t.TempDir()
+			}
+			reg, err := NewRegistry(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := httptest.NewServer(Handler(reg))
+			ts := &testServer{t: t, reg: reg, srv: srv}
+			in := testWireInstance(40, 30, 8, 7)
+			// A real refinement budget keeps the async solve in flight when the
+			// delete lands.
+			cfg := wire.TenantConfig{Omega: 3, Seed: 4, RefinementBudget: int64(800 * time.Millisecond)}
+			ts.createTenant("race", in, cfg)
+
+			var tk wire.Ticket
+			ts.do("POST", "/v1/tenants/race/resolve-async", nil, &tk, http.StatusAccepted)
+			time.Sleep(30 * time.Millisecond) // let the solve start
+
+			ts.do("DELETE", "/v1/tenants/race", nil, nil, http.StatusOK)
+
+			// The orphaned ticket and the tenant itself answer the clean
+			// not-found sentinel.
+			ts.do("GET", "/v1/tenants/race/tickets/"+tk.Ticket, nil, nil, http.StatusNotFound)
+			ts.do("GET", "/v1/tenants/race", nil, nil, http.StatusNotFound)
+
+			if durableTenant {
+				// Durable state survives a delete by design: re-creating the id
+				// is refused until the directory is removed out of band.
+				ts.do("POST", "/v1/tenants", wire.CreateRequest{ID: "race", Instance: in}, nil, http.StatusConflict)
+			} else {
+				// In-memory: the id is free again immediately.
+				ts.createTenant("race", in, wire.TenantConfig{Omega: 3, Seed: 5})
+				ts.do("DELETE", "/v1/tenants/race", nil, nil, http.StatusOK)
+			}
+
+			srv.Close()
+			if err := reg.Close(); err != nil {
+				t.Fatal(err)
+			}
+			http.DefaultClient.CloseIdleConnections()
+
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if n := runtime.NumGoroutine(); n <= baseline {
+					return
+				}
+				if time.Now().After(deadline) {
+					buf := make([]byte, 1<<20)
+					n := runtime.Stack(buf, true)
+					t.Fatalf("goroutines leaked after delete-during-async-solve: baseline %d, now %d\n%s",
+						baseline, runtime.NumGoroutine(), buf[:n])
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}

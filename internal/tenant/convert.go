@@ -1,0 +1,117 @@
+package tenant
+
+import (
+	"errors"
+	"fmt"
+
+	wgrap "repro"
+	"repro/internal/wire"
+)
+
+// ApplyEdits applies one edit batch to a tenant's session in order, shared
+// by the HTTP handler, the in-process (mem://) client and the cluster
+// replication ingest. It stops at the first rejected edit; the returned
+// response always counts the accepted prefix (edits are not transactional —
+// accepted ones stay applied and journaled, like consecutive mutator calls)
+// and reports the session's edit sequence after the batch, which is what
+// lets a cluster client reconcile a batch interrupted by a failover.
+func ApplyEdits(t *Tenant, edits []wire.Edit) (*wire.EditResponse, error) {
+	resp := &wire.EditResponse{}
+	for _, e := range edits {
+		var err error
+		switch e.Op {
+		case wire.OpAddConflict:
+			err = t.Solver.AddConflict(e.R, e.P)
+		case wire.OpWithdraw:
+			err = t.Solver.WithdrawPaper(e.P)
+		case wire.OpRestore:
+			err = t.Solver.RestorePaper(e.P)
+		case wire.OpAddReviewer:
+			if e.Reviewer == nil {
+				err = fmt.Errorf("%w: add-reviewer without a reviewer", wgrap.ErrInvalidEdit)
+				break
+			}
+			var idx int
+			idx, err = t.Solver.AddReviewer(wgrap.Reviewer{
+				ID: e.Reviewer.ID, Name: e.Reviewer.Name,
+				HIndex: e.Reviewer.HIndex, Topics: e.Reviewer.Topics,
+			})
+			if err == nil {
+				resp.ReviewerIndices = append(resp.ReviewerIndices, idx)
+			}
+		case wire.OpSetWorkload:
+			err = t.Solver.SetWorkload(e.Workload)
+		default:
+			err = fmt.Errorf("%w: unknown op %q", wgrap.ErrInvalidEdit, e.Op)
+		}
+		if err != nil {
+			resp.Seq = t.Solver.Seq()
+			return resp, err
+		}
+		resp.Accepted++
+	}
+	resp.Seq = t.Solver.Seq()
+	return resp, nil
+}
+
+// StatusOf assembles a tenant's wire status from its lock-free read surface.
+func StatusOf(t *Tenant) wire.Status {
+	in := t.Solver.Instance()
+	return wire.Status{
+		ID:        t.ID,
+		Papers:    in.NumPapers(),
+		Reviewers: in.NumReviewers(),
+		Active:    t.Solver.ActivePapers(),
+		Seq:       t.Solver.Seq(),
+		Version:   t.Solver.View().Version,
+		Durable:   t.Durable,
+	}
+}
+
+// ResultOf converts a solver result to its wire form.
+func ResultOf(res *wgrap.Result) *wire.Result {
+	if res == nil {
+		return nil
+	}
+	return &wire.Result{
+		Score:           res.Score,
+		AverageCoverage: res.AverageCoverage,
+		LowestCoverage:  res.LowestCoverage,
+		ElapsedNS:       int64(res.Elapsed),
+		Method:          string(res.Method),
+		Groups:          res.Assignment.Groups,
+	}
+}
+
+// ViewOf converts a published view to its wire form.
+func ViewOf(v *wgrap.View) wire.View {
+	return wire.View{
+		Version:    v.Version,
+		Warm:       v.Warm,
+		Edits:      v.Edits,
+		WhenUnixNS: v.When.UnixNano(),
+		Result:     ResultOf(v.Result),
+	}
+}
+
+// ToWireError classifies err into the wire error envelope.
+func ToWireError(err error) *wire.Error {
+	code := wire.CodeInternal
+	switch {
+	case errors.Is(err, wgrap.ErrInvalidEdit):
+		code = wire.CodeInvalidEdit
+	case errors.Is(err, wgrap.ErrConflictSaturated):
+		code = wire.CodeConflictSaturated
+	case errors.Is(err, wgrap.ErrInfeasible):
+		code = wire.CodeInfeasible
+	case errors.Is(err, wgrap.ErrInvalidInstance), errors.Is(err, ErrBadTenantID):
+		code = wire.CodeInvalidInstance
+	case errors.Is(err, wgrap.ErrUnknownMethod):
+		code = wire.CodeUnknownMethod
+	case errors.Is(err, ErrTenantNotFound):
+		code = wire.CodeNotFound
+	case errors.Is(err, ErrTenantExists), errors.Is(err, wgrap.ErrJournalExists):
+		code = wire.CodeTenantExists
+	}
+	return &wire.Error{Code: code, Message: err.Error()}
+}

@@ -1,4 +1,4 @@
-package serve
+package tenant
 
 import (
 	"sync"
@@ -6,7 +6,7 @@ import (
 	"repro/internal/wire"
 )
 
-// hub fans one tenant's progress snapshots out to its SSE subscribers.
+// hub fans one tenant's progress snapshots out to its subscribers.
 // broadcast runs on the solving goroutine (inside the solve lock), so it
 // must never block: every subscriber gets a buffered channel and a slow one
 // loses events rather than stalling the solve — progress is a lossy metrics

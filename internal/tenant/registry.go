@@ -1,15 +1,19 @@
-// Package serve implements the wgrap-serve HTTP layer: a registry of
-// per-venue tenants, each a long-lived wgrap.Solver session, exposed through
-// a JSON API (instance upload, incremental edits, cold solve, warm resolve,
-// async resolve tickets, lock-free views) plus a Server-Sent-Events progress
-// stream per tenant.
+// Package tenant is the transport-agnostic tenant core of the serving
+// stack: a registry of per-venue tenants, each a long-lived wgrap.Solver
+// session, with the lifecycle (create, restore, adopt, delete), the
+// edit/solve semantics (accepted-prefix edit batches) and the progress
+// fan-out hub — everything a serving front needs except the transport.
+// internal/serve mounts an HTTP API over this core; the client package's
+// mem:// backend drives the same core in-process; internal/cluster
+// replicates tenants between cores on different nodes. One core, three
+// fronts, identical semantics.
 //
 // With a data directory the tenants are durable: each lives in its own
 // subdirectory holding the solver's snapshot + edit journal (internal/durable
 // via wgrap.WithJournalDir) and a config.json with the solver options, so a
 // killed server reopens the directory and replays every tenant back to its
 // exact pre-crash state.
-package serve
+package tenant
 
 import (
 	"encoding/json"
@@ -27,11 +31,11 @@ import (
 	"repro/internal/wire"
 )
 
-// Registry-level errors, mapped to wire error codes by the HTTP layer.
+// Registry-level errors, mapped to wire error codes by the transport layer.
 var (
-	ErrTenantExists   = errors.New("serve: tenant already exists")
-	ErrTenantNotFound = errors.New("serve: tenant not found")
-	ErrBadTenantID    = errors.New("serve: invalid tenant id")
+	ErrTenantExists   = errors.New("tenant: already exists")
+	ErrTenantNotFound = errors.New("tenant: not found")
+	ErrBadTenantID    = errors.New("tenant: invalid tenant id")
 )
 
 const configFile = "config.json"
@@ -79,10 +83,22 @@ func NewRegistry(dataDir string) (*Registry, error) {
 			continue
 		}
 		if err := r.restoreTenant(e.Name()); err != nil {
-			return nil, fmt.Errorf("serve: restoring tenant %q: %w", e.Name(), err)
+			return nil, fmt.Errorf("tenant: restoring %q: %w", e.Name(), err)
 		}
 	}
 	return r, nil
+}
+
+// Durable reports whether the registry persists its tenants.
+func (r *Registry) Durable() bool { return r.dataDir != "" }
+
+// Dir returns the durable directory of a tenant id ("" for an in-memory
+// registry). The directory may or may not exist.
+func (r *Registry) Dir(id string) string {
+	if r.dataDir == "" {
+		return ""
+	}
+	return filepath.Join(r.dataDir, id)
 }
 
 // validTenantID accepts DNS-label-like ids: they double as directory names.
@@ -178,6 +194,7 @@ func (r *Registry) Create(req *wire.CreateRequest) (*Tenant, error) {
 }
 
 // restoreTenant reopens one durable tenant directory (crash recovery).
+// Caller holds r.mu.
 func (r *Registry) restoreTenant(id string) error {
 	cfg, err := r.loadConfig(id)
 	if err != nil {
@@ -189,6 +206,36 @@ func (r *Registry) restoreTenant(id string) error {
 	}
 	r.tenants[id] = newTenant(id, s, cfg, true)
 	return nil
+}
+
+// Adopt registers a tenant from durable state written out of band — the
+// replication bootstrap path: a cluster follower materialises a snapshot +
+// journal it fetched from the owner into dataDir/<id> and then adopts it,
+// which saves the shipped config and restores the solver exactly like crash
+// recovery would. It fails when the id is already live or the directory
+// holds no durable state.
+func (r *Registry) Adopt(id string, cfg wire.TenantConfig) (*Tenant, error) {
+	if !validTenantID(id) {
+		return nil, fmt.Errorf("%w: %q", ErrBadTenantID, id)
+	}
+	if r.dataDir == "" {
+		return nil, errors.New("tenant: Adopt requires a durable registry")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.tenants[id]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTenantExists, id)
+	}
+	if !durable.Exists(filepath.Join(r.dataDir, id)) {
+		return nil, fmt.Errorf("%w: %q has no durable state to adopt", ErrTenantNotFound, id)
+	}
+	if err := r.saveConfig(id, cfg); err != nil {
+		return nil, err
+	}
+	if err := r.restoreTenant(id); err != nil {
+		return nil, err
+	}
+	return r.tenants[id], nil
 }
 
 func newTenant(id string, s *wgrap.Solver, cfg wire.TenantConfig, durableTenant bool) *Tenant {
@@ -240,6 +287,14 @@ func (r *Registry) Get(id string) (*Tenant, error) {
 	return t, nil
 }
 
+// Has reports whether a tenant id is live without allocating an error.
+func (r *Registry) Has(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.tenants[id]
+	return ok
+}
+
 // List returns the tenant ids, sorted.
 func (r *Registry) List() []string {
 	r.mu.RLock()
@@ -265,6 +320,26 @@ func (r *Registry) Delete(id string) error {
 	}
 	t.hub.closeAll()
 	return t.Solver.Close()
+}
+
+// Purge deletes a tenant (if live) and removes its durable directory — the
+// replication cleanup path, used when the owner reports a replicated tenant
+// gone so the follower's stale copy must not resurrect it. Unlike Delete it
+// succeeds when only on-disk state exists.
+func (r *Registry) Purge(id string) error {
+	if !validTenantID(id) {
+		return fmt.Errorf("%w: %q", ErrBadTenantID, id)
+	}
+	err := r.Delete(id)
+	if err != nil && !errors.Is(err, ErrTenantNotFound) {
+		return err
+	}
+	if r.dataDir != "" {
+		if rmErr := os.RemoveAll(filepath.Join(r.dataDir, id)); rmErr != nil {
+			return rmErr
+		}
+	}
+	return nil
 }
 
 // Close shuts every tenant down: journals flushed and closed, SSE

@@ -100,11 +100,16 @@ func quantile(sorted []time.Duration, q float64) time.Duration {
 	return sorted[i]
 }
 
-// PhaseStat is one phase's slice of the replay.
+// PhaseStat is one phase's slice of the replay. Kinds holds the phase-local
+// latency histograms — the same shape as Report.Kinds, restricted to the ops
+// between this phase marker and the next — so a latency budget can target
+// the phase where it matters (edit p99 during a deadline rush, not averaged
+// into the quiet phases around it).
 type PhaseStat struct {
-	Name   string `json:"name"`
-	Ops    int    `json:"ops"`
-	WallNS int64  `json:"wall_ns"`
+	Name   string                `json:"name"`
+	Ops    int                   `json:"ops"`
+	WallNS int64                 `json:"wall_ns"`
+	Kinds  map[string]*KindStats `json:"kinds,omitempty"`
 }
 
 // Report is the outcome of one replay: final-state fingerprints for parity
@@ -196,13 +201,49 @@ func Replay(ctx context.Context, c client.Client, t *Track, opt ReplayOptions) (
 		Ops:      len(t.Ops),
 		Kinds:    make(map[string]*KindStats),
 	}
-	kind := func(name string) *KindStats {
-		k := rep.Kinds[name]
+	var phaseKinds map[string]*KindStats // kinds of the currently open phase
+	statsFor := func(m map[string]*KindStats, name string) *KindStats {
+		k := m[name]
 		if k == nil {
 			k = &KindStats{}
-			rep.Kinds[name] = k
+			m[name] = k
 		}
 		return k
+	}
+	kind := func(name string) *KindStats { return statsFor(rep.Kinds, name) }
+	// record books one op's latency globally and into the open phase.
+	record := func(name string, d time.Duration, accepted, isRejected bool) {
+		targets := []*KindStats{kind(name)}
+		if phaseKinds != nil {
+			targets = append(targets, statsFor(phaseKinds, name))
+		}
+		for _, k := range targets {
+			k.record(d)
+			if accepted {
+				k.Accepted++
+			}
+			if isRejected {
+				k.Rejected++
+			}
+		}
+	}
+	// aggregateEdits folds the edit op kinds of one kind map into an "edit"
+	// aggregate and finalizes everything — the shape gates and budgets read.
+	aggregateEdits := func(m map[string]*KindStats) {
+		agg := &KindStats{}
+		for name, k := range m {
+			if IsEdit(name) {
+				agg.Count += k.Count
+				agg.Accepted += k.Accepted
+				agg.Rejected += k.Rejected
+				agg.samples = append(agg.samples, k.samples...)
+			}
+			k.finalize()
+		}
+		if agg.Count > 0 {
+			agg.finalize()
+			m["edit"] = agg
+		}
 	}
 
 	if _, err := c.CreateTenant(ctx, &wire.CreateRequest{ID: id, Instance: in, Config: t.Config}); err != nil {
@@ -219,6 +260,8 @@ func Replay(ctx context.Context, c client.Client, t *Track, opt ReplayOptions) (
 		if n := len(rep.Phases); n > 0 {
 			rep.Phases[n-1].Ops = phaseOps
 			rep.Phases[n-1].WallNS = time.Since(phaseStart).Nanoseconds()
+			aggregateEdits(phaseKinds)
+			rep.Phases[n-1].Kinds = phaseKinds
 		}
 	}
 	for i, op := range t.Ops {
@@ -227,6 +270,7 @@ func Replay(ctx context.Context, c client.Client, t *Track, opt ReplayOptions) (
 		case OpPhase:
 			closePhase()
 			rep.Phases = append(rep.Phases, PhaseStat{Name: op.Phase})
+			phaseKinds = make(map[string]*KindStats)
 			phaseStart, phaseOps = time.Now(), 0
 			if opt.Log != nil {
 				fmt.Fprintf(opt.Log, "track %s: phase %q (op %d/%d, %v elapsed)\n",
@@ -246,13 +290,13 @@ func Replay(ctx context.Context, c client.Client, t *Track, opt ReplayOptions) (
 			if _, err := c.Solve(ctx, id); err != nil {
 				return nil, fmt.Errorf("track %s: op %d solve: %w", t.Name, i, err)
 			}
-			kind(OpSolve).record(time.Since(t0))
+			record(OpSolve, time.Since(t0), false, false)
 		case OpResolve:
 			t0 := time.Now()
 			if _, err := c.Resolve(ctx, id); err != nil {
 				return nil, fmt.Errorf("track %s: op %d resolve: %w", t.Name, i, err)
 			}
-			kind(OpResolve).record(time.Since(t0))
+			record(OpResolve, time.Since(t0), false, false)
 		case OpResolveAsync:
 			t0 := time.Now()
 			token, err := c.ResolveAsync(ctx, id)
@@ -276,13 +320,13 @@ func Replay(ctx context.Context, c client.Client, t *Track, opt ReplayOptions) (
 					return nil, ctx.Err()
 				}
 			}
-			kind(OpResolveAsync).record(time.Since(t0))
+			record(OpResolveAsync, time.Since(t0), false, false)
 		case OpView:
 			t0 := time.Now()
 			if _, err := c.View(ctx, id); err != nil {
 				return nil, fmt.Errorf("track %s: op %d view: %w", t.Name, i, err)
 			}
-			kind(OpView).record(time.Since(t0))
+			record(OpView, time.Since(t0), false, false)
 		default: // an edit kind (Validate guarantees it)
 			e := wire.Edit{Workload: op.Workload, Reviewer: op.Reviewer, R: op.R, P: op.P}
 			switch op.Kind {
@@ -297,16 +341,15 @@ func Replay(ctx context.Context, c client.Client, t *Track, opt ReplayOptions) (
 			case OpSetWorkload:
 				e.Op = wire.OpSetWorkload
 			}
-			k := kind(op.Kind)
 			t0 := time.Now()
 			_, err := c.Edit(ctx, id, e)
-			k.record(time.Since(t0))
+			d := time.Since(t0)
 			switch {
 			case err == nil:
-				k.Accepted++
+				record(op.Kind, d, true, false)
 				rep.EditsAccepted++
 			case rejected(err):
-				k.Rejected++
+				record(op.Kind, d, false, true)
 				rep.EditsRejected++
 			default:
 				return nil, fmt.Errorf("track %s: op %d %s: %w", t.Name, i, op.Kind, err)
@@ -332,19 +375,6 @@ func Replay(ctx context.Context, c client.Client, t *Track, opt ReplayOptions) (
 
 	// Aggregate the edit kinds into one "edit" histogram: the bench-level
 	// number a CI gate watches.
-	agg := &KindStats{}
-	for name, k := range rep.Kinds {
-		if IsEdit(name) {
-			agg.Count += k.Count
-			agg.Accepted += k.Accepted
-			agg.Rejected += k.Rejected
-			agg.samples = append(agg.samples, k.samples...)
-		}
-		k.finalize()
-	}
-	if agg.Count > 0 {
-		agg.finalize()
-		rep.Kinds["edit"] = agg
-	}
+	aggregateEdits(rep.Kinds)
 	return rep, nil
 }

@@ -117,10 +117,14 @@ type EditRequest struct {
 }
 
 // EditResponse acknowledges an accepted edit batch. ReviewerIndices holds
-// the assigned pool index of each add-reviewer edit, in batch order.
+// the assigned pool index of each add-reviewer edit, in batch order. Seq is
+// the tenant's accepted-edit sequence after the batch; a cluster-aware
+// client uses it to compute how much of a batch survived when the owner
+// node dies between accepting edits and acknowledging them.
 type EditResponse struct {
-	Accepted        int   `json:"accepted"`
-	ReviewerIndices []int `json:"reviewer_indices,omitempty"`
+	Accepted        int    `json:"accepted"`
+	Seq             uint64 `json:"seq,omitempty"`
+	ReviewerIndices []int  `json:"reviewer_indices,omitempty"`
 }
 
 // Result is the wire form of a completed solve.
@@ -210,7 +214,10 @@ type TicketStatus struct {
 }
 
 // Error codes, mapped back onto the wgrap sentinel errors by the client so
-// errors.Is keeps working across the network boundary.
+// errors.Is keeps working across the network boundary. CodeNotOwner is the
+// cluster routing code: the addressed node does not own the tenant's venue;
+// the envelope carries the owner and the responder's shard-map epoch so the
+// client can redirect (and refresh a stale map when the epoch moved).
 const (
 	CodeInvalidEdit       = "invalid-edit"
 	CodeConflictSaturated = "conflict-saturated"
@@ -219,13 +226,40 @@ const (
 	CodeUnknownMethod     = "unknown-method"
 	CodeNotFound          = "not-found"
 	CodeTenantExists      = "tenant-exists"
+	CodeNotOwner          = "not_owner"
 	CodeInternal          = "internal"
 )
 
-// Error is the JSON error envelope of every non-2xx response.
+// Error is the JSON error envelope of every non-2xx response. The Owner*
+// and Epoch fields are set only on CodeNotOwner responses.
 type Error struct {
-	Code    string `json:"code"`
-	Message string `json:"message"`
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	Owner     string `json:"owner,omitempty"`
+	OwnerAddr string `json:"owner_addr,omitempty"`
+	Epoch     uint64 `json:"epoch,omitempty"`
 }
 
 func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// NodeInfo describes one static cluster member in the shard map. Alive is
+// the reporting node's current health view of it.
+type NodeInfo struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	Alive bool   `json:"alive"`
+}
+
+// ShardMap is the body of GET /cluster/map: the static membership with the
+// reporting node's health view, the consistent-hashing parameters, and an
+// epoch that increments on every membership transition (a node observed
+// dead or back alive). Venue ownership is a pure function of the map:
+// consistent-hash the venue id over the alive nodes with VNodes virtual
+// nodes per member — every node and every client computes the same owner
+// from the same map.
+type ShardMap struct {
+	Epoch  uint64     `json:"epoch"`
+	Self   string     `json:"self"`
+	VNodes int        `json:"vnodes"`
+	Nodes  []NodeInfo `json:"nodes"`
+}
